@@ -1,0 +1,140 @@
+(* Benchmark harness.
+
+   Default mode regenerates every table and figure of the paper's
+   evaluation (printed as text tables; see EXPERIMENTS.md for the
+   paper-vs-measured comparison). `micro` runs one Bechamel Test.make per
+   table/figure: each test executes a small representative point of that
+   experiment, so Bechamel measures the real-time cost of regenerating a
+   data point.
+
+     dune exec bench/main.exe             # all figures, quick scale
+     FULL=1 dune exec bench/main.exe      # paper-scale parameters
+     dune exec bench/main.exe fig2        # a single figure
+     dune exec bench/main.exe micro       # Bechamel micro-benchmarks *)
+
+open Bechamel
+open Harness
+
+(* A reduced scale so each Bechamel sample stays ~tens of milliseconds. *)
+let micro_scale =
+  {
+    Figures.quick with
+    Figures.label = "micro";
+    threads = [ 4 ];
+    key_range = 1024;
+    log_size = 4096;
+    eps_small = 64;
+    eps_large = 1024;
+    duration_ns = 300_000;
+    warmup_ns = 60_000;
+  }
+
+let micro_point ~system ~workload =
+  ignore (Figures.point micro_scale ~system ~workload ~threads:4)
+
+let map_workload read_pct =
+  Workload.map_workload ~read_pct ~key_range:micro_scale.Figures.key_range
+    ~prefill_n:(micro_scale.Figures.key_range / 2)
+
+module Hm = Experiment.Systems (Seqds.Hashmap)
+module Rb = Experiment.Systems (Seqds.Rbtree)
+module Qu = Experiment.Systems (Seqds.Queue_ds)
+module Pq = Experiment.Systems (Seqds.Pqueue)
+module St = Experiment.Systems (Seqds.Stack_ds)
+
+let prep mk mode eps =
+  mk
+    ?log_size:(Some micro_scale.Figures.log_size)
+    ?flush:None ?name:None ~mode ~epsilon:eps ()
+
+(* One Bechamel test per table/figure of the paper. *)
+let bechamel_tests =
+  [
+    Test.make ~name:"table1.log-indexes"
+      (Staged.stage (fun () ->
+           (* the index machinery Table 1 summarises: reserve, write,
+              publish and consume one log entry *)
+           Sim.run_one (fun () ->
+               let mem = Nvm.Memory.make ~bg_period:0 () in
+               let log = Prep.Log.create mem ~size:64 ~durable:false in
+               for i = 0 to 63 do
+                 Prep.Log.write_payload log i ~op:0 ~args:[| i |];
+                 Prep.Log.publish log i
+               done;
+               for i = 0 to 63 do
+                 ignore (Prep.Log.wait_and_read log i)
+               done)));
+    Test.make ~name:"fig1.volatile-ucs"
+      (Staged.stage (fun () ->
+           micro_point
+             ~system:(prep Hm.prep Prep.Config.Volatile 1)
+             ~workload:(map_workload 90)));
+    Test.make ~name:"fig2.pucs-hashmap"
+      (Staged.stage (fun () ->
+           micro_point
+             ~system:(prep Hm.prep Prep.Config.Buffered 1024)
+             ~workload:(map_workload 90)));
+    Test.make ~name:"fig3.epsilon-effect"
+      (Staged.stage (fun () ->
+           micro_point
+             ~system:(prep Hm.prep Prep.Config.Durable 64)
+             ~workload:(map_workload 90)));
+    Test.make ~name:"fig4.pqueue"
+      (Staged.stage (fun () ->
+           micro_point
+             ~system:(prep Pq.prep Prep.Config.Buffered 1024)
+             ~workload:(Workload.pqueue_pairs ~prefill_n:1000)));
+    Test.make ~name:"fig5.stack"
+      (Staged.stage (fun () ->
+           micro_point
+             ~system:(prep St.prep Prep.Config.Buffered 1024)
+             ~workload:(Workload.stack_pairs ~prefill_n:500)));
+    Test.make ~name:"fig6.soft-hashtable"
+      (Staged.stage (fun () ->
+           micro_point
+             ~system:(Experiment.soft ~nbuckets:1000)
+             ~workload:(map_workload 90)));
+  ]
+
+let run_micro () =
+  print_endline "Bechamel micro-benchmarks: real-time cost per figure point";
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~kde:None
+      ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg Toolkit.Instance.[ monotonic_clock ] elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let nanos =
+            match Analyze.OLS.estimates est with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          Printf.printf "%-28s %12.3f ms/run\n%!" (Test.Elt.name elt)
+            (nanos /. 1e6))
+        (Test.elements test))
+    bechamel_tests
+
+let () =
+  let scale = Figures.scale_of_env () in
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "all" -> Figures.all scale
+  | "table1" -> Figures.table1 ()
+  | "fig1" -> Figures.fig1 scale
+  | "fig2" -> Figures.fig2 scale
+  | "fig3" -> Figures.fig3 scale
+  | "fig4" -> Figures.fig4 scale
+  | "fig5" -> Figures.fig5 scale
+  | "fig6" -> Figures.fig6 scale
+  | "ablation" -> Figures.ablation scale
+  | "micro" -> run_micro ()
+  | other ->
+    Printf.eprintf
+      "unknown command %S (expected all|table1|fig1..fig6|ablation|micro)\n" other;
+    exit 1

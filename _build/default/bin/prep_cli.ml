@@ -1,0 +1,246 @@
+(* prep-cli: drive the PREP-UC reproduction from the command line.
+
+   Subcommands:
+     bench    run one figure (or all) of the paper's evaluation
+     run      run a single throughput point with explicit parameters
+     crash    run a crash/recovery episode and print the loss accounting
+
+   Examples:
+     dune exec bin/prep_cli.exe -- bench --figure fig3
+     dune exec bin/prep_cli.exe -- run --system prep-buffered --threads 8 \
+       --epsilon 1024 --read-pct 90
+     dune exec bin/prep_cli.exe -- crash --mode buffered --epsilon 128 *)
+
+open Cmdliner
+open Harness
+
+(* ---- bench ---- *)
+
+let figure_arg =
+  let doc = "Figure to regenerate: all, table1, fig1..fig6." in
+  Arg.(value & opt string "all" & info [ "figure"; "f" ] ~docv:"FIG" ~doc)
+
+let full_arg =
+  let doc = "Use paper-scale parameters (much slower)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let bench figure full =
+  let scale = if full then Figures.full else Figures.quick in
+  match figure with
+  | "all" -> `Ok (Figures.all scale)
+  | "table1" -> `Ok (Figures.table1 ())
+  | "fig1" -> `Ok (Figures.fig1 scale)
+  | "fig2" -> `Ok (Figures.fig2 scale)
+  | "fig3" -> `Ok (Figures.fig3 scale)
+  | "fig4" -> `Ok (Figures.fig4 scale)
+  | "fig5" -> `Ok (Figures.fig5 scale)
+  | "fig6" -> `Ok (Figures.fig6 scale)
+  | other -> `Error (true, Printf.sprintf "unknown figure %S" other)
+
+let bench_cmd =
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures")
+    Term.(ret (const bench $ figure_arg $ full_arg))
+
+(* ---- run ---- *)
+
+let system_arg =
+  let doc =
+    "System: gl, prep-v, prep-buffered, prep-durable, cx, soft-1k, soft-10k."
+  in
+  Arg.(
+    value
+    & opt string "prep-buffered"
+    & info [ "system"; "s" ] ~docv:"SYSTEM" ~doc)
+
+let ds_arg =
+  let doc = "Data structure: hashmap, rbtree, skiplist, queue, pqueue, stack." in
+  Arg.(value & opt string "hashmap" & info [ "ds" ] ~docv:"DS" ~doc)
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "threads"; "t" ] ~docv:"N" ~doc:"Worker threads.")
+
+let epsilon_arg =
+  Arg.(value & opt int 1024 & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc:"Flush boundary step.")
+
+let read_pct_arg =
+  Arg.(value & opt int 90 & info [ "read-pct" ] ~docv:"PCT" ~doc:"Read-only percentage (maps only).")
+
+let keys_arg =
+  Arg.(value & opt int 4096 & info [ "keys" ] ~docv:"N" ~doc:"Key range (maps) or prefill size (pairs).")
+
+let duration_arg =
+  Arg.(value & opt int 2_000_000 & info [ "duration" ] ~docv:"NS" ~doc:"Measured simulated time, ns.")
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let log_size = 16384
+
+module type SYSTEMS = sig
+  val prep :
+    ?log_size:int ->
+    ?flush:Prep.Config.flush_strategy ->
+    ?name:string ->
+    mode:Prep.Config.mode ->
+    epsilon:int ->
+    unit ->
+    Experiment.system
+
+  val global_lock : Experiment.system
+  val cx : ?queue_capacity:int -> unit -> Experiment.system
+end
+
+let run_point system ds threads epsilon read_pct keys duration seed =
+  let workload_map, workload_pairs =
+    ( (fun () -> Workload.map_workload ~read_pct ~key_range:keys ~prefill_n:(keys / 2)),
+      fun pairs -> pairs ~prefill_n:(keys / 2) )
+  in
+  let fail msg = `Error (true, msg) in
+  let go sys workload =
+    let r =
+      Experiment.run ~seed:(Int64.of_int seed) ~duration_ns:duration
+        ~warmup_ns:(duration / 5) ~system:sys ~workload ~workers:threads ()
+    in
+    Printf.printf "%s | %s | %d threads: %.0f ops/sec (%d ops)\n"
+      r.Experiment.system r.Experiment.workload r.Experiment.workers
+      r.Experiment.throughput r.Experiment.ops;
+    Printf.printf "memory: %d wbinvd, %d clwb, %d clflush, %d fences, %d bg-flushes\n"
+      r.Experiment.wbinvd r.Experiment.clwb 0 0 r.Experiment.bg_flushes;
+    `Ok ()
+  in
+  let prep_sys (module Sy : SYSTEMS) =
+    match system with
+    | "gl" -> Ok Sy.global_lock
+    | "prep-v" -> Ok (Sy.prep ~log_size ~mode:Prep.Config.Volatile ~epsilon:1 ())
+    | "prep-buffered" -> Ok (Sy.prep ~log_size ~mode:Prep.Config.Buffered ~epsilon ())
+    | "prep-durable" -> Ok (Sy.prep ~log_size ~mode:Prep.Config.Durable ~epsilon ())
+    | "cx" -> Ok (Sy.cx ())
+    | "soft-1k" -> Ok (Experiment.soft ~nbuckets:1000)
+    | "soft-10k" -> Ok (Experiment.soft ~nbuckets:10_000)
+    | other -> Error (Printf.sprintf "unknown system %S" other)
+  in
+  match ds with
+  | "hashmap" ->
+    let module Sy = Experiment.Systems (Seqds.Hashmap) in
+    (match prep_sys (module Sy) with
+     | Ok sys -> go sys (workload_map ())
+     | Error m -> fail m)
+  | "rbtree" ->
+    let module Sy = Experiment.Systems (Seqds.Rbtree) in
+    (match prep_sys (module Sy) with
+     | Ok sys -> go sys (workload_map ())
+     | Error m -> fail m)
+  | "skiplist" ->
+    let module Sy = Experiment.Systems (Seqds.Skiplist) in
+    (match prep_sys (module Sy) with
+     | Ok sys -> go sys (workload_map ())
+     | Error m -> fail m)
+  | "queue" ->
+    let module Sy = Experiment.Systems (Seqds.Queue_ds) in
+    (match prep_sys (module Sy) with
+     | Ok sys -> go sys (workload_pairs Workload.queue_pairs)
+     | Error m -> fail m)
+  | "pqueue" ->
+    let module Sy = Experiment.Systems (Seqds.Pqueue) in
+    (match prep_sys (module Sy) with
+     | Ok sys -> go sys (workload_pairs Workload.pqueue_pairs)
+     | Error m -> fail m)
+  | "stack" ->
+    let module Sy = Experiment.Systems (Seqds.Stack_ds) in
+    (match prep_sys (module Sy) with
+     | Ok sys -> go sys (workload_pairs Workload.stack_pairs)
+     | Error m -> fail m)
+  | other -> fail (Printf.sprintf "unknown data structure %S" other)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a single throughput point")
+    Term.(
+      ret
+        (const run_point $ system_arg $ ds_arg $ threads_arg $ epsilon_arg
+       $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg))
+
+(* ---- crash ---- *)
+
+let mode_arg =
+  let doc = "PREP mode: buffered or durable." in
+  Arg.(value & opt string "buffered" & info [ "mode"; "m" ] ~docv:"MODE" ~doc)
+
+let crash_at_arg =
+  Arg.(value & opt int 2_000_000 & info [ "crash-at" ] ~docv:"NS" ~doc:"Crash time, simulated ns.")
+
+let crash mode epsilon threads crash_at seed =
+  let module Uc = Prep.Prep_uc.Make (Seqds.Hashmap) in
+  let module H = Seqds.Hashmap in
+  let mode_v =
+    match mode with
+    | "buffered" -> Ok Prep.Config.Buffered
+    | "durable" -> Ok Prep.Config.Durable
+    | other -> Error (Printf.sprintf "unknown mode %S" other)
+  in
+  match mode_v with
+  | Error m -> `Error (true, m)
+  | Ok mode_v ->
+    let topology = Sim.Topology.default in
+    let beta = topology.Sim.Topology.cores_per_socket in
+    let sim = Sim.create ~seed:(Int64.of_int seed) topology in
+    let mem = Nvm.Memory.make ~sockets:topology.Sim.Topology.sockets ~bg_period:5000 () in
+    let uc_ref = ref None in
+    ignore
+      (Sim.spawn sim ~socket:0 (fun () ->
+           let roots = Nvm.Roots.make mem in
+           let cfg =
+             Prep.Config.make ~mode:mode_v ~log_size:16384 ~epsilon
+               ~workers:threads ()
+           in
+           let uc = Uc.create mem roots cfg in
+           uc_ref := Some uc;
+           Uc.start_persistence uc;
+           for w = 0 to threads - 1 do
+             let socket, core = Sim.Topology.place topology w in
+             Sim.spawn_here ~socket ~core (fun () ->
+                 Uc.register_worker uc;
+                 let rng = Sim.fiber_rng () in
+                 while true do
+                   let k = Sim.Rng.int rng 256 in
+                   ignore (Uc.execute uc ~op:H.op_insert ~args:[| k; Sim.Rng.int rng 1000 |])
+                 done)
+           done));
+    (match Sim.run ~until:crash_at sim () with
+     | `Cut t -> Printf.printf "power failure at %d ns\n" t
+     | `Done -> ());
+    Nvm.Memory.crash mem;
+    Nvm.Context.reset ();
+    let uc = Option.get !uc_ref in
+    let completed =
+      List.length (Prep.Trace.completed_indexes (Uc.trace uc))
+    in
+    let sim2 = Sim.create ~seed:(Int64.of_int (seed + 1)) topology in
+    ignore
+      (Sim.spawn sim2 ~socket:0 (fun () ->
+           let _, report = Uc.recover uc in
+           Printf.printf
+             "completed before crash: %d\nrecovered: %d ops\nlost completed: %d (bound epsilon+beta-1 = %d)\ncontiguous prefix: %b\nskipped completed (must be 0): %d\n"
+             completed
+             (List.length report.Prep.Prep_uc.applied)
+             report.Prep.Prep_uc.lost_completed
+             (epsilon + beta - 1)
+             report.Prep.Prep_uc.contiguous_prefix
+             report.Prep.Prep_uc.skipped_completed));
+    (match Sim.run sim2 () with
+     | `Done -> `Ok ()
+     | `Cut _ -> `Error (false, "recovery did not finish"))
+
+let crash_cmd =
+  Cmd.v
+    (Cmd.info "crash" ~doc:"Run a crash/recovery episode and print loss accounting")
+    Term.(
+      ret (const crash $ mode_arg $ epsilon_arg $ threads_arg $ crash_at_arg $ seed_arg))
+
+let () =
+  let info =
+    Cmd.info "prep-cli" ~version:"1.0.0"
+      ~doc:"PREP-UC (SPAA 2022) reproduction driver"
+  in
+  exit (Cmd.eval (Cmd.group info [ bench_cmd; run_cmd; crash_cmd ]))

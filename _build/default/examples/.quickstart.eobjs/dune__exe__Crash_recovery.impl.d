@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Context Int64 List Memory Nvm Option Prep Printf Roots Seqds Sim

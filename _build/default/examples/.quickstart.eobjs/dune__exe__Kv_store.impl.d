@@ -1,0 +1,1 @@
+examples/kv_store.ml: Context Hashtbl List Memory Nvm Option Prep Printf Roots Seqds Sim

@@ -1,0 +1,1 @@
+examples/numa_scaling.ml: Experiment Figures Harness List Prep Printf Seqds Workload

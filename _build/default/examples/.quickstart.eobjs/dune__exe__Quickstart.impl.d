@@ -1,0 +1,1 @@
+examples/quickstart.ml: Context List Memory Nvm Option Prep Printf Roots Seqds Sim

@@ -1,0 +1,62 @@
+(* NUMA scaling: why node replication is the right substrate for a PUC.
+
+   Runs the same 90%-read hashmap workload through the global-lock UC and
+   through PREP (volatile / buffered / durable) at increasing thread
+   counts, filling socket 0 before socket 1 — the paper's Figure 1/2
+   storyline in one table. Also prints the memory-system counters so you
+   can see *why*: WBINVD checkpoints and CLWB write-backs appear only in
+   the persistent variants.
+
+     dune exec examples/numa_scaling.exe *)
+
+open Harness
+
+let () =
+  let scale =
+    {
+      Figures.quick with
+      Figures.threads = [ 1; 2; 4; 6; 8; 12; 16; 20; 23 ];
+      key_range = 4096;
+      duration_ns = 1_500_000;
+      warmup_ns = 300_000;
+    }
+  in
+  let module Hm = Experiment.Systems (Seqds.Hashmap) in
+  let workload =
+    Workload.map_workload ~read_pct:90 ~key_range:scale.Figures.key_range
+      ~prefill_n:(scale.Figures.key_range / 2)
+  in
+  let systems =
+    [
+      Hm.global_lock;
+      Hm.prep ~log_size:scale.Figures.log_size ~mode:Prep.Config.Volatile
+        ~epsilon:1 ();
+      Hm.prep ~log_size:scale.Figures.log_size ~mode:Prep.Config.Buffered
+        ~epsilon:1024 ();
+      Hm.prep ~log_size:scale.Figures.log_size ~mode:Prep.Config.Durable
+        ~epsilon:1024 ();
+    ]
+  in
+  Printf.printf
+    "hashmap, 90%% reads, %d keys; socket 0 fills first (12 cores/socket)\n\n"
+    scale.Figures.key_range;
+  Printf.printf "%8s %16s %12s %8s %10s\n" "threads" "system" "ops/sec"
+    "wbinvd" "clwb";
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun system ->
+          match
+            Experiment.run ~topology:scale.Figures.topology
+              ~duration_ns:scale.Figures.duration_ns
+              ~warmup_ns:scale.Figures.warmup_ns ~system ~workload
+              ~workers:threads ()
+          with
+          | r ->
+            Printf.printf "%8d %16s %12.0f %8d %10d\n%!" threads
+              r.Experiment.system r.Experiment.throughput r.Experiment.wbinvd
+              r.Experiment.clwb
+          | exception Failure msg -> Printf.printf "%8d failed: %s\n" threads msg)
+        systems;
+      print_newline ())
+    scale.Figures.threads

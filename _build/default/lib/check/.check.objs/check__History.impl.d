@@ -1,0 +1,1 @@
+lib/check/history.ml: List Sim

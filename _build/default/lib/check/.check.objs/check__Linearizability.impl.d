@@ -1,0 +1,1 @@
+lib/check/linearizability.ml: Array Hashtbl History List Seqds

@@ -1,0 +1,31 @@
+(** Concurrent-history recording.
+
+    Each completed operation is recorded with its invocation and response
+    times in *simulated* nanoseconds. Because the simulator executes
+    fibers in causal order, these intervals are exactly the real-time
+    order a linearizability checker needs. *)
+
+type event = {
+  thread : int;
+  t_inv : int;
+  t_resp : int;
+  op : int;
+  args : int array;
+  resp : int;
+}
+
+type t = { mutable events : event list; mutable count : int }
+
+let create () = { events = []; count = 0 }
+
+(** Wrap an operation executor so completed calls are recorded. *)
+let wrap t ~thread exec ~op ~args =
+  let t_inv = Sim.now () in
+  let resp = exec ~op ~args in
+  let t_resp = Sim.now () in
+  t.events <- { thread; t_inv; t_resp; op; args; resp } :: t.events;
+  t.count <- t.count + 1;
+  resp
+
+let events t = List.rev t.events
+let length t = t.count

@@ -1,0 +1,70 @@
+(** Wing–Gong linearizability checker for complete histories.
+
+    A history is linearizable w.r.t. a sequential model if there is a
+    total order of its operations that (1) respects real-time order (if
+    op A's response precedes op B's invocation, A comes first), and
+    (2) every response matches what the model returns when the ops are
+    applied in that order.
+
+    The checker is a DFS over "linearize next" choices with memoization
+    on (set of linearized ops, model state). Exponential in the worst
+    case — intended for the small histories the tests generate (tens of
+    operations). *)
+
+module Make (Model : Seqds.Ds_intf.MODEL) = struct
+  type verdict = Linearizable | Not_linearizable
+
+  let check_from initial (history : History.event list) =
+    let ops = Array.of_list history in
+    let n = Array.length ops in
+    if n > 62 then invalid_arg "Linearizability.check: history too large";
+    let full_mask = if n = 0 then 0 else (1 lsl n) - 1 in
+    (* memo of explored-and-failed states *)
+    let failed : (int * int list, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let rec dfs mask model =
+      if mask = full_mask then true
+      else begin
+        let key = (mask, Model.snapshot model) in
+        if Hashtbl.mem failed key then false
+        else begin
+          (* the earliest response among unlinearized ops bounds which ops
+             may be linearized next: anything invoked after it must wait *)
+          let t_bound = ref max_int in
+          for i = 0 to n - 1 do
+            if mask land (1 lsl i) = 0 && ops.(i).History.t_resp < !t_bound
+            then t_bound := ops.(i).History.t_resp
+          done;
+          let ok = ref false in
+          let i = ref 0 in
+          while (not !ok) && !i < n do
+            let idx = !i in
+            incr i;
+            if mask land (1 lsl idx) = 0 then begin
+              let e = ops.(idx) in
+              if e.History.t_inv <= !t_bound then begin
+                let model', resp =
+                  Model.apply model ~op:e.History.op ~args:e.History.args
+                in
+                if resp = e.History.resp then
+                  if dfs (mask lor (1 lsl idx)) model' then ok := true
+              end
+            end
+          done;
+          if not !ok then Hashtbl.replace failed key ();
+          !ok
+        end
+      end
+    in
+    if dfs 0 initial then Linearizable else Not_linearizable
+
+  let check history = check_from Model.empty history
+
+  (** Like [check] but with the model state that [prefill] produces. *)
+  let check_with_prefill ~prefill history =
+    let initial =
+      List.fold_left
+        (fun m (op, args) -> fst (Model.apply m ~op ~args))
+        Model.empty prefill
+    in
+    check_from initial history
+end

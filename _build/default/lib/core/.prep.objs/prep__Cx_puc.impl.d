@@ -1,0 +1,1 @@
+lib/core/cx_puc.ml: Alloc Array Context List Locks Log Memory Nvm Option Roots Seqds Sim

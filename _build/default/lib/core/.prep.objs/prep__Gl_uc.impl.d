@@ -1,0 +1,1 @@
+lib/core/gl_uc.ml: Alloc Context List Locks Memory Nvm Seqds Sim

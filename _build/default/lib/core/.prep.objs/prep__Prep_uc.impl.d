@@ -1,0 +1,1 @@
+lib/core/prep_uc.ml: Alloc Array Config Context Hashtbl List Locks Log Memory Nvm Option Roots Seqds Sim Trace

@@ -1,0 +1,1 @@
+lib/core/soft_hash.ml: Alloc Array Context List Memory Nvm Seqds Sim

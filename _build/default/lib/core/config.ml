@@ -1,0 +1,44 @@
+(** PREP-UC configuration (paper Algorithm 1 and §6). *)
+
+type mode =
+  | Volatile (** PREP-V: node replication with all persistence removed *)
+  | Buffered (** PREP-Buffered: buffered durable linearizable *)
+  | Durable (** PREP-Durable: durable linearizable *)
+
+let mode_name = function
+  | Volatile -> "PREP-V"
+  | Buffered -> "PREP-Buffered"
+  | Durable -> "PREP-Durable"
+
+(** How the persistence thread writes the active persistent replica back
+    to NVM at the end of an update cycle. [Wbinvd] is the paper's default
+    (write back and invalidate the whole cache); [Flush_heap] walks the
+    persistent heap's address range and writes back dirty lines — the
+    alternative the paper suggests for very small structures (§6,
+    "Priority Queue"). *)
+type flush_strategy = Wbinvd | Flush_heap
+
+type t = {
+  mode : mode;
+  log_size : int; (** LOG_SIZE: entries in the circular shared log *)
+  epsilon : int; (** flush-boundary advance per persistence cycle *)
+  workers : int; (** worker threads; replicas are created only for the
+                     sockets these occupy, as in the paper's pinning *)
+  flush : flush_strategy;
+}
+
+(** Validate against the constraint of §5.1: the persistence-cycle length
+    must leave room for one full batch plus the lowMark slack,
+    ε ≤ LOG_SIZE − β − 1. *)
+let validate t ~beta =
+  if t.log_size < 2 * beta then
+    invalid_arg "Config: log too small for two batches";
+  if t.mode <> Volatile && t.epsilon > t.log_size - beta - 1 then
+    invalid_arg "Config: epsilon must be at most LOG_SIZE - beta - 1";
+  if t.mode <> Volatile && t.epsilon < 1 then
+    invalid_arg "Config: epsilon must be positive";
+  if t.workers < 1 then invalid_arg "Config: need at least one worker"
+
+let make ?(mode = Buffered) ?(log_size = 65536) ?(epsilon = 1024)
+    ?(flush = Wbinvd) ~workers () =
+  { mode; log_size; epsilon; workers; flush }

@@ -1,0 +1,53 @@
+(** Locks over simulated memory (paper §3: each replica is protected by a
+    trylock — the combiner lock — and a reader-writer lock). *)
+
+open Nvm
+
+(** Trylock: one word, 0 = free, 1 = held. *)
+module Trylock = struct
+  type t = { mem : Memory.t; a : int }
+
+  let size_words = 1
+
+  let make mem a =
+    Memory.write mem a 0;
+    { mem; a }
+
+  let try_acquire t = Memory.cas t.mem t.a ~expected:0 ~desired:1
+  let release t = Memory.write t.mem t.a 0
+  let held t = Memory.read t.mem t.a = 1
+end
+
+(** Reader-writer lock: one word, 0 = free, [n > 0] = n readers,
+    [-1] = writer. Writers and readers both spin; this matches the strong
+    try reader-writer lock the paper's systems use, with writer acquisition
+    via CAS from the free state. *)
+module Rwlock = struct
+  type t = { mem : Memory.t; a : int }
+
+  let size_words = 1
+
+  let make mem a =
+    Memory.write mem a 0;
+    { mem; a }
+
+  let try_read_acquire t =
+    let v = Memory.read t.mem t.a in
+    v >= 0 && Memory.cas t.mem t.a ~expected:v ~desired:(v + 1)
+
+  let read_acquire t =
+    while not (try_read_acquire t) do
+      Sim.spin ()
+    done
+
+  let read_release t = ignore (Memory.faa t.mem t.a (-1))
+
+  let try_write_acquire t = Memory.cas t.mem t.a ~expected:0 ~desired:(-1)
+
+  let write_acquire t =
+    while not (try_write_acquire t) do
+      Sim.spin ()
+    done
+
+  let write_release t = Memory.write t.mem t.a 0
+end

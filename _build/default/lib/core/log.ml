@@ -1,0 +1,82 @@
+(** The shared circular operation log (paper §3, §4.1, Table 1).
+
+    Each entry occupies one cache line:
+    [0] emptyBit | [1] op | [2] argc | [3..5] args | [6..7] unused.
+
+    The various indexes (logTail, localTail, completedTail, logMin) are
+    monotonically increasing; the entry for index [i] is [i mod size]. The
+    emptyBit's meaning flips parity on every wrap of the log: on even laps
+    a full entry holds 1, on odd laps 0 — so a stale entry from the
+    previous lap reads as empty and entries can be reused without being
+    cleared (§3).
+
+    In durable mode the log lives in NVM and writers persist entries with
+    CLWB + SFENCE before publishing responses; in buffered/volatile mode it
+    lives in DRAM and a crash destroys it (§5.1, §5.2). *)
+
+open Nvm
+
+let entry_words = 8
+let max_args = 3
+
+type t = {
+  mem : Memory.t;
+  base : int; (* address of entry 0 *)
+  size : int; (* entries *)
+  durable : bool;
+}
+
+(** Allocate the log as dedicated consecutive arenas homed on socket 0. *)
+let create mem ~size ~durable =
+  let words = size * entry_words in
+  let arenas = (words + Memory.arena_words - 1) / Memory.arena_words in
+  let kind = if durable then Memory.Nvm else Memory.Dram in
+  let first = Memory.new_arena mem ~kind ~home:0 in
+  for i = 1 to arenas - 1 do
+    let aid = Memory.new_arena mem ~kind ~home:0 in
+    if aid <> first + i then failwith "Log.create: arenas not consecutive"
+  done;
+  { mem; base = Memory.addr_of ~aid:first ~offset:0; size; durable }
+
+let entry_addr t idx = t.base + (idx mod t.size * entry_words)
+
+(** emptyBit value that means "full" for index [idx]'s lap. *)
+let full_parity t idx = if idx / t.size mod 2 = 0 then 1 else 0
+
+let is_full t idx =
+  Memory.read t.mem (entry_addr t idx) = full_parity t idx
+
+(** Write an entry's payload — arguments first, then the operation, exactly
+    as §4.1 prescribes — without publishing it. *)
+let write_payload t idx ~op ~args =
+  if Array.length args > max_args then invalid_arg "Log: too many args";
+  let a = entry_addr t idx in
+  Memory.write t.mem (a + 2) (Array.length args);
+  Array.iteri (fun i v -> Memory.write t.mem (a + 3 + i) v) args;
+  Memory.write t.mem (a + 1) op
+
+(** Queue the entry's line for write-back (durable mode only). *)
+let persist_entry t idx = if t.durable then Memory.clwb t.mem (entry_addr t idx)
+
+let fence t = if t.durable then Memory.sfence t.mem
+
+(** Flip the emptyBit, making the entry visible to consumers. *)
+let publish t idx =
+  Memory.write t.mem (entry_addr t idx) (full_parity t idx)
+
+(** Read a published entry's payload. Callers must have checked [is_full]
+    (or otherwise know the entry is published). *)
+let read_payload t idx =
+  let a = entry_addr t idx in
+  let op = Memory.read t.mem (a + 1) in
+  let argc = Memory.read t.mem (a + 2) in
+  let args = Array.init argc (fun i -> Memory.read t.mem (a + 3 + i)) in
+  (op, args)
+
+(** Spin until index [idx] is published, then read it. Entries below the
+    completedTail are always published, so consumers cannot hang here. *)
+let wait_and_read t idx =
+  while not (is_full t idx) do
+    Sim.spin ()
+  done;
+  read_payload t idx

@@ -1,0 +1,671 @@
+(** PREP-UC: the replicated persistent universal construction (paper §4–5).
+
+    One functor implements all three variants of the paper:
+
+    - [Config.Volatile] — PREP-V, the node-replication UC of Calciu et al.
+      with all persistence code removed (used as the volatile baseline in
+      Fig. 1);
+    - [Config.Buffered] — PREP-Buffered (§5.1): the log and completedTail
+      stay in DRAM; two dedicated persistent replicas in NVM are maintained
+      by a persistence thread and checkpointed every ε operations with
+      WBINVD; at most ε+β−1 completed operations are lost per crash;
+    - [Config.Durable] — PREP-Durable (§5.2): additionally places the log
+      and completedTail in NVM and persists log entries (CLWB+SFENCE) and
+      the completedTail (CLFLUSH after CAS) before operations complete.
+
+    Worker threads are fibers pinned one per simulated core; the replica a
+    worker uses is its socket's, and its flat-combining slot is its core's.
+    The persistence thread runs on the last core of the last socket, which
+    the harness never assigns to a worker (the paper similarly uses at most
+    95 of 96 hardware threads).
+
+    Deviations from the paper's pseudocode, both liveness fixes:
+    - the persistence thread evaluates the flush condition on every loop
+      iteration, not only after applying new operations; otherwise a
+      combiner that lowers the flushBoundary (Algorithm 3's helping path)
+      after the persistence thread caught up would deadlock it;
+    - the active/stable swap and its CLFLUSH happen *before* advancing the
+      flushBoundary, so the ε+β−1 loss bound holds without assuming the
+      two steps are atomic. *)
+
+open Nvm
+
+(* Root directory slots. *)
+let slot_active = 1 (* p_activePReplica *)
+let slot_meta0 = 2 (* address of persistent replica 0's metadata block *)
+let slot_meta1 = 3 (* address of persistent replica 1's metadata block *)
+let slot_ct = 4 (* address of d_completedTail (durable only) *)
+let slot_log = 5 (* log base address (durable only) *)
+
+(* Control-arena word offsets (one cache line apart). *)
+let off_log_tail = 8
+let off_log_min = 16
+let off_flush_boundary = 24
+let off_update_now = 32 (* one word per volatile replica *)
+
+let slot_words = 16 (* flat-combining slot: 2 cache lines per core *)
+
+(* slot field offsets *)
+let sl_full = 0
+let sl_op = 1
+let sl_argc = 2
+let sl_args = 3 (* 3 words *)
+let sl_resp = 6
+let sl_ready = 7
+let sl_ghost = 8
+
+type recovery_report = {
+  applied : int list;
+      (** trace indexes recovered, in linearization order *)
+  lost_completed : int;
+      (** completed operations not present in the recovered state *)
+  skipped_completed : int;
+      (** completed operations skipped as log holes — must always be 0 *)
+  contiguous_prefix : bool;
+      (** whether [applied] is a gap-free prefix of the linearization *)
+}
+
+module Make (Ds : Seqds.Ds_intf.S) = struct
+  type replica = {
+    rid : int;
+    socket : int;
+    ds : Ds.handle;
+    alloc : Alloc.t;
+    lt_addr : int; (* localTail *)
+    combiner : Locks.Trylock.t;
+    rw : Locks.Rwlock.t;
+    slots : int; (* base address of beta slots *)
+  }
+
+  type preplica = {
+    meta : int; (* NVM block: [0] localTail, [1] ds root address *)
+    mutable pds : Ds.handle;
+  }
+
+  type t = {
+    mem : Memory.t;
+    roots : Roots.t;
+    cfg : Config.t;
+    beta : int;
+    n_replicas : int;
+    replicas : replica array;
+    log : Log.t;
+    ctrl : int; (* control arena base address *)
+    ct_addr : int; (* completedTail (NVM in durable mode) *)
+    p_alloc : Alloc.t option;
+    p_reps : preplica array; (* 2 entries, or empty when volatile *)
+    p_socket : int;
+    trace : Trace.t;
+    prefill : (int * int array) list;
+        (* ops establishing the initial state, for the checkers *)
+    mutable stop_flag : bool;
+    mutable p_thread_running : bool;
+  }
+
+  let durable t = t.cfg.Config.mode = Config.Durable
+  let has_persistence t = t.cfg.Config.mode <> Config.Volatile
+
+  (* ---- control-word helpers ---- *)
+
+  let read_log_tail t = Memory.read t.mem (t.ctrl + off_log_tail)
+  let read_log_min t = Memory.read t.mem (t.ctrl + off_log_min)
+  let write_log_min t v = Memory.write t.mem (t.ctrl + off_log_min) v
+  let read_flush_boundary t = Memory.read t.mem (t.ctrl + off_flush_boundary)
+
+  let write_flush_boundary t v =
+    Memory.write t.mem (t.ctrl + off_flush_boundary) v
+
+  let update_now_addr t rid = t.ctrl + off_update_now + rid
+  let read_ct t = Memory.read t.mem t.ct_addr
+  let read_local_tail t r = Memory.read t.mem r.lt_addr
+
+  let read_p_local_tail t p = Memory.read t.mem t.p_reps.(p).meta
+
+  (* ---- construction ---- *)
+
+  let apply_ops ds ops =
+    List.iter (fun (op, args) -> ignore (Ds.execute ds ~op ~args)) ops
+
+  (* Build a full UC instance around [master]'s current contents. Runs
+     inside a fiber; the caller's allocator binding is replaced. *)
+  let build mem roots cfg ~prefill ~master =
+    let topo = Sim.topology () in
+    let beta = topo.Sim.Topology.cores_per_socket in
+    Config.validate cfg ~beta;
+    let workers = min cfg.Config.workers (Sim.Topology.total_cores topo - 1) in
+    let n_replicas =
+      min topo.Sim.Topology.sockets ((workers + beta - 1) / beta)
+    in
+    let p_socket = topo.Sim.Topology.sockets - 1 in
+    let ctrl_aid = Memory.new_arena mem ~kind:Memory.Dram ~home:0 in
+    let ctrl = Memory.addr_of ~aid:ctrl_aid ~offset:0 in
+    let mode = cfg.Config.mode in
+    let log = Log.create mem ~size:cfg.Config.log_size ~durable:(mode = Config.Durable) in
+    Memory.write mem (ctrl + off_log_tail) 0;
+    Memory.write mem (ctrl + off_log_min) (cfg.Config.log_size - 1);
+    Memory.write mem (ctrl + off_flush_boundary)
+      (if mode = Config.Volatile then max_int / 2 else cfg.Config.epsilon);
+    (* volatile replicas, one per occupied socket *)
+    let master_ds =
+      match master with
+      | Some ds -> ds
+      | None ->
+        (* an empty master, built in a scratch volatile heap *)
+        let scratch = Alloc.create_volatile mem ~home:0 in
+        Context.set_default scratch;
+        let ds = Ds.create mem in
+        apply_ops ds prefill;
+        ds
+    in
+    let make_replica rid =
+      let alloc = Alloc.create_volatile mem ~home:rid in
+      Context.set_default alloc;
+      let ds = Ds.copy master_ds in
+      let lt_addr = Alloc.alloc alloc 8 in
+      let combiner = Locks.Trylock.make mem (Alloc.alloc alloc 8) in
+      let rw = Locks.Rwlock.make mem (Alloc.alloc alloc 8) in
+      let slots = Alloc.alloc alloc (beta * slot_words) in
+      Memory.write mem lt_addr 0;
+      Memory.write mem (ctrl + off_update_now + rid) 0;
+      { rid; socket = rid; ds; alloc; lt_addr; combiner; rw; slots }
+    in
+    let replicas = Array.init n_replicas make_replica in
+    (* persistent side *)
+    let p_alloc, p_reps, ct_addr =
+      if mode = Config.Volatile then begin
+        let ct = ctrl + 40 in
+        Memory.write mem ct 0;
+        (None, [||], ct)
+      end
+      else begin
+        let pa = Alloc.create_persistent mem ~home:p_socket in
+        Context.set_persistent pa;
+        let ct_addr =
+          if mode = Config.Durable then begin
+            let a = Alloc.alloc pa 8 in
+            Memory.write mem a 0;
+            Memory.clflush mem a;
+            a
+          end
+          else begin
+            let ct = ctrl + 40 in
+            Memory.write mem ct 0;
+            ct
+          end
+        in
+        let make_prep () =
+          Context.with_persistent (fun () ->
+              let pds = Ds.copy master_ds in
+              let meta = Alloc.alloc pa 8 in
+              Memory.write mem meta 0;
+              Memory.write mem (meta + 1) (Ds.root_addr pds);
+              { meta; pds })
+        in
+        let p0 = make_prep () and p1 = make_prep () in
+        (* checkpoint zero: both replicas durable before any operation *)
+        Alloc.persist_heap pa;
+        Roots.set roots slot_active 0;
+        Roots.set roots slot_meta0 p0.meta;
+        Roots.set roots slot_meta1 p1.meta;
+        if mode = Config.Durable then begin
+          Roots.set roots slot_ct ct_addr;
+          Roots.set roots slot_log log.Log.base
+        end;
+        (Some pa, [| p0; p1 |], ct_addr)
+      end
+    in
+    {
+      mem;
+      roots;
+      cfg;
+      beta;
+      n_replicas;
+      replicas;
+      log;
+      ctrl;
+      ct_addr;
+      p_alloc;
+      p_reps;
+      p_socket;
+      trace = Trace.create ();
+      prefill;
+      stop_flag = false;
+      p_thread_running = false;
+    }
+
+  (** Create a UC whose initial object state is [prefill] applied to an
+      empty object. Must be called from inside a fiber. *)
+  let create ?(prefill = []) mem roots cfg =
+    (* give the creating fiber a binding so Context.alloc works *)
+    Context.bind ~default:(Alloc.create_volatile mem ~home:0) ();
+    build mem roots cfg ~prefill ~master:None
+
+  (* ---- worker-side machinery ---- *)
+
+  (** Bind the calling fiber to its socket's replica. Must be called once
+      at the start of every worker fiber. *)
+  let register_worker t =
+    let socket = Sim.socket () in
+    if socket >= t.n_replicas then
+      invalid_arg "Prep_uc: worker on a socket with no replica";
+    Context.bind ~default:t.replicas.(socket).alloc ()
+
+  let my_replica t = t.replicas.(Sim.socket ())
+
+  (** Apply published log entries [localTail, upto) to replica [r]. Caller
+      holds the replica's write lock and has the right allocator bound. *)
+  let update_from_log t r ~upto =
+    let lt = read_local_tail t r in
+    if upto > lt then begin
+      for idx = lt to upto - 1 do
+        let op, args = Log.wait_and_read t.log idx in
+        ignore (Ds.execute r.ds ~op ~args)
+      done;
+      Memory.write t.mem r.lt_addr upto
+    end
+
+  (** Algorithm 3's helping mechanism, worker side: while waiting, a
+      combiner checks whether someone asked its replica to catch up. *)
+  let help_if_asked t r =
+    if Memory.read t.mem (update_now_addr t r.rid) = 1 then begin
+      Locks.Rwlock.write_acquire r.rw;
+      update_from_log t r ~upto:(read_ct t);
+      Locks.Rwlock.write_release r.rw;
+      Memory.write t.mem (update_now_addr t r.rid) 0
+    end
+
+  (** Algorithm 3: advance (or wait on) logMin so the entries we are about
+      to write are safe to reuse. [old_tail, new_tail) is our reservation. *)
+  let update_or_wait_on_log_min t r ~old_tail ~new_tail =
+    let log_size = t.cfg.Config.log_size in
+    let low_mark () = read_log_min t - t.beta in
+    if new_tail <= low_mark () then ()
+    else if old_tail <= low_mark () then begin
+      (* we reserved the lowMark entry: we advance logMin *)
+      let lm = ref (low_mark ()) in
+      while !lm < new_tail do
+        (* find the least up-to-date replica *)
+        let lowest = ref max_int and low_rid = ref 0 in
+        for rid = 0 to t.n_replicas - 1 do
+          let lt = read_local_tail t t.replicas.(rid) in
+          if lt < !lowest then begin
+            lowest := lt;
+            low_rid := rid
+          end
+        done;
+        if has_persistence t then
+          for p = 0 to 1 do
+            let lt = read_p_local_tail t p in
+            if lt < !lowest then begin
+              lowest := lt;
+              low_rid := t.n_replicas + p
+            end
+          done;
+        if !lowest + log_size - 1 = read_log_min t then begin
+          (* logMin is pinned by a laggard: ask it to catch up *)
+          if !low_rid >= t.n_replicas then begin
+            let p = !low_rid - t.n_replicas in
+            let active = Roots.get t.roots slot_active in
+            if active <> p && read_flush_boundary t >= !lm then
+              (* the stable persistent replica is the laggard: force the
+                 persistence thread to checkpoint and swap early *)
+              write_flush_boundary t (!lm - 1)
+          end
+          else Memory.write t.mem (update_now_addr t !low_rid) 1;
+          let laggard_tail () =
+            if !low_rid >= t.n_replicas then
+              read_p_local_tail t (!low_rid - t.n_replicas)
+            else read_local_tail t t.replicas.(!low_rid)
+          in
+          while laggard_tail () = !lowest do
+            help_if_asked t r;
+            (* If the laggard is a volatile replica whose own threads have
+               gone quiet (e.g. they finished their work), nobody will ever
+               service updateReplicaNow — so help it directly through its
+               combiner lock. Without this, a replica with no active
+               workers pins logMin and wedges log reuse forever. *)
+            if !low_rid < t.n_replicas && !low_rid <> r.rid then begin
+              let lag = t.replicas.(!low_rid) in
+              if Locks.Trylock.try_acquire lag.combiner then begin
+                Locks.Rwlock.write_acquire lag.rw;
+                Context.with_allocator lag.alloc (fun () ->
+                    update_from_log t lag ~upto:(read_ct t));
+                Locks.Rwlock.write_release lag.rw;
+                Locks.Trylock.release lag.combiner
+              end
+            end;
+            Sim.spin ()
+          done;
+          if !low_rid < t.n_replicas then
+            Memory.write t.mem (update_now_addr t !low_rid) 0
+        end
+        else write_log_min t (!lowest + log_size - 1);
+        lm := low_mark ()
+      done
+    end
+    else
+      (* someone else owns the lowMark entry: wait for logMin to advance *)
+      while low_mark () < new_tail do
+        help_if_asked t r;
+        Sim.spin ()
+      done
+
+  (** Algorithm 4: reserve [n] log entries, blocking while the persistence
+      thread is behind the flush boundary. Returns the start index. *)
+  let reserve_log_entries t r n =
+    let rec attempt () =
+      let tail = read_log_tail t in
+      if has_persistence t && read_flush_boundary t < tail then begin
+        (* the log has outrun the checkpoint: block until the persistence
+           thread swaps, helping our own replica if asked *)
+        help_if_asked t r;
+        Sim.spin ();
+        attempt ()
+      end
+      else begin
+        let new_tail = tail + n in
+        if Memory.cas t.mem (t.ctrl + off_log_tail) ~expected:tail ~desired:new_tail
+        then begin
+          update_or_wait_on_log_min t r ~old_tail:tail ~new_tail;
+          tail
+        end
+        else attempt ()
+      end
+    in
+    attempt ()
+
+  (** CAS completedTail forward to at least [target]; in durable mode the
+      successful CAS is followed by a CLFLUSH (§5.2). *)
+  let advance_completed_tail t target =
+    let rec loop () =
+      let ct = read_ct t in
+      if ct >= target then ()
+      else if Memory.cas t.mem t.ct_addr ~expected:ct ~desired:target then begin
+        if durable t then Memory.clflush t.mem t.ct_addr
+      end
+      else loop ()
+    in
+    loop ()
+
+  let slot_addr r core = r.slots + (core * slot_words)
+
+  (* The combiner: collect the local batch, append it to the log, bring the
+     replica up to date, and apply + answer the batch (paper §3). *)
+  let combine t r =
+    (* collect and claim full slots *)
+    let batch = ref [] in
+    for core = t.beta - 1 downto 0 do
+      let s = slot_addr r core in
+      if Memory.read t.mem (s + sl_full) = 1 then begin
+        Memory.write t.mem (s + sl_full) 0;
+        let op = Memory.read t.mem (s + sl_op) in
+        let argc = Memory.read t.mem (s + sl_argc) in
+        let args = Array.init argc (fun i -> Memory.read t.mem (s + sl_args + i)) in
+        batch := (core, op, args) :: !batch
+      end
+    done;
+    let batch = !batch in
+    let n = List.length batch in
+    if n > 0 then begin
+      let tail = reserve_log_entries t r n in
+      let new_tail = tail + n in
+      (* phase 1: payloads (arguments then op), write-backs, one fence *)
+      List.iteri
+        (fun i (_, op, args) ->
+          Log.write_payload t.log (tail + i) ~op ~args;
+          Log.persist_entry t.log (tail + i);
+          Trace.logged t.trace (tail + i) ~op ~args)
+        batch;
+      Log.fence t.log;
+      (* phase 2: publish emptyBits, write-backs, one fence *)
+      List.iteri
+        (fun i _ ->
+          Log.publish t.log (tail + i);
+          Log.persist_entry t.log (tail + i))
+        batch;
+      Log.fence t.log;
+      Locks.Rwlock.write_acquire r.rw;
+      update_from_log t r ~upto:tail;
+      Memory.write t.mem r.lt_addr new_tail;
+      advance_completed_tail t new_tail;
+      (* apply own batch from the collected copies and answer *)
+      List.iteri
+        (fun i (core, op, args) ->
+          let resp = Ds.execute r.ds ~op ~args in
+          let s = slot_addr r core in
+          Memory.write t.mem (s + sl_resp) resp;
+          Memory.write t.mem (s + sl_ghost) (tail + i);
+          Memory.write t.mem (s + sl_ready) 1)
+        batch;
+      Locks.Rwlock.write_release r.rw
+    end
+
+  let execute_update t r ~op ~args =
+    let core = (Sim.self ()).Sim.core in
+    let s = slot_addr r core in
+    Memory.write t.mem (s + sl_op) op;
+    Memory.write t.mem (s + sl_argc) (Array.length args);
+    Array.iteri (fun i v -> Memory.write t.mem (s + sl_args + i) v) args;
+    Memory.write t.mem (s + sl_ready) 0;
+    Memory.write t.mem (s + sl_full) 1;
+    let rec wait () =
+      if Memory.read t.mem (s + sl_ready) = 1 then begin
+        let resp = Memory.read t.mem (s + sl_resp) in
+        Memory.write t.mem (s + sl_ready) 0;
+        Trace.completed t.trace (Memory.read t.mem (s + sl_ghost));
+        resp
+      end
+      else if Locks.Trylock.try_acquire r.combiner then begin
+        combine t r;
+        Locks.Trylock.release r.combiner;
+        wait ()
+      end
+      else begin
+        help_if_asked t r;
+        Sim.spin ();
+        wait ()
+      end
+    in
+    wait ()
+
+  let execute_readonly t r ~op ~args =
+    let rec loop () =
+      let ct = read_ct t in
+      if read_local_tail t r >= ct then begin
+        Locks.Rwlock.read_acquire r.rw;
+        let resp = Ds.execute r.ds ~op ~args in
+        Locks.Rwlock.read_release r.rw;
+        resp
+      end
+      else if Locks.Trylock.try_acquire r.combiner then begin
+        (* bring the replica up to date ourselves *)
+        Locks.Rwlock.write_acquire r.rw;
+        update_from_log t r ~upto:(read_ct t);
+        Locks.Rwlock.write_release r.rw;
+        Locks.Trylock.release r.combiner;
+        loop ()
+      end
+      else begin
+        Sim.spin ();
+        loop ()
+      end
+    in
+    loop ()
+
+  (** ExecuteConcurrent (paper §3/§4.1): run [op] with [args] on the
+      concurrent object and return its response. [readonly] defaults to
+      the sequential object's own classification. *)
+  let execute ?readonly t ~op ~args =
+    let r = my_replica t in
+    let ro = match readonly with Some b -> b | None -> Ds.is_readonly ~op in
+    if ro then execute_readonly t r ~op ~args
+    else execute_update t r ~op ~args
+
+  (* ---- persistence thread (Algorithm 2) ---- *)
+
+  let flush_and_swap t =
+    (match t.cfg.Config.flush with
+     | Config.Wbinvd -> Memory.wbinvd t.mem
+     | Config.Flush_heap ->
+       (* walk the persistent heap and write back whatever is dirty; pays
+          per line instead of the WBINVD stall — the small-structure
+          alternative of §6 *)
+       List.iter
+         (fun aid -> Memory.flush_arena t.mem aid)
+         (Alloc.arenas (Option.get t.p_alloc)));
+    Memory.sfence t.mem;
+    (* swap active/stable and persist the switch before opening the next
+       window (see module comment on ordering) *)
+    let active = Roots.get t.roots slot_active in
+    Roots.set t.roots slot_active (1 - active);
+    write_flush_boundary t (read_flush_boundary t + t.cfg.Config.epsilon)
+
+  let persistence_loop t =
+    Context.bind
+      ~default:(Alloc.create_volatile t.mem ~home:t.p_socket)
+      ?persistent:t.p_alloc ();
+    t.p_thread_running <- true;
+    while not t.stop_flag do
+      let active = Roots.get t.roots slot_active in
+      let rep = t.p_reps.(active) in
+      let tail = read_ct t in
+      let lt = Memory.read t.mem rep.meta in
+      if tail > lt then begin
+        (* bring the active persistent replica up to date *)
+        Context.with_persistent (fun () ->
+            for idx = lt to tail - 1 do
+              let op, args = Log.wait_and_read t.log idx in
+              ignore (Ds.execute rep.pds ~op ~args)
+            done);
+        Memory.write t.mem rep.meta tail
+      end;
+      if read_flush_boundary t <= Memory.read t.mem rep.meta then
+        flush_and_swap t
+      else Sim.spin ()
+    done;
+    t.p_thread_running <- false
+
+  (** Spawn the persistence thread on its dedicated core. No-op for the
+      volatile variant. *)
+  let start_persistence t =
+    if has_persistence t then
+      Sim.spawn_here ~socket:t.p_socket ~core:(t.beta - 1) (fun () ->
+          persistence_loop t)
+
+  let stop t = t.stop_flag <- true
+
+  (* ---- observation ---- *)
+
+  let trace t = t.trace
+  let prefill_ops t = t.prefill
+
+  (** Bring every volatile replica up to date with the completedTail.
+      Convenience for quiescent observation (tests, examples); not part of
+      the paper's interface. Must run inside a bound fiber. *)
+  let sync t =
+    Array.iter
+      (fun r ->
+        Locks.Rwlock.write_acquire r.rw;
+        Context.with_allocator r.alloc (fun () ->
+            update_from_log t r ~upto:(read_ct t));
+        Locks.Rwlock.write_release r.rw)
+      t.replicas
+
+  (** Cost-free snapshot of the abstract state (replica 0's view). *)
+  let snapshot t = Ds.snapshot t.replicas.(0).ds
+
+  (** Cost-free snapshot of the stable persistent replica's current
+      (coherent) view. *)
+  let stable_snapshot t =
+    let active = Memory.peek t.mem (Roots.addr t.roots slot_active) in
+    Ds.snapshot t.p_reps.(1 - active).pds
+
+  (* ---- recovery (paper §5.1 / §5.2) ---- *)
+
+  (** Recover after [Memory.crash]. [old_t] supplies configuration and the
+      ghost trace; all simulated-memory state is read back from NVM media
+      through the root directory. Returns the rebuilt UC and a report for
+      the durability checkers. Must run inside a fiber. *)
+  let recover old_t =
+    let mem = old_t.mem and roots = old_t.roots and cfg = old_t.cfg in
+    if not (has_persistence old_t) then
+      invalid_arg "Prep_uc.recover: volatile variant cannot recover";
+    Context.bind ~default:(Alloc.create_volatile mem ~home:0) ();
+    let active = Roots.get roots slot_active in
+    let stable = 1 - active in
+    let stable_meta = Roots.get roots (if stable = 0 then slot_meta0 else slot_meta1) in
+    let stable_lt = Memory.read mem stable_meta in
+    let stable_root = Memory.read mem (stable_meta + 1) in
+    let stable_ds = Ds.attach mem stable_root in
+    (* a fresh persistent allocator: pre-crash NVM arenas are left alone,
+       so a crash can leak recovered-heap space but never corrupt it *)
+    let p_home = (Sim.topology ()).Sim.Topology.sockets - 1 in
+    Context.set_persistent (Alloc.create_persistent mem ~home:p_home);
+    (* decide which trace indexes the recovered state contains *)
+    let applied_prefix = List.init stable_lt (fun i -> i) in
+    let replayed =
+      if cfg.Config.mode = Config.Durable then begin
+        (* replay the recovered log from the stable replica's tail to the
+           recovered completedTail, skipping holes (unpersisted entries) *)
+        let ct_addr = Roots.get roots slot_ct in
+        let ct = Memory.read mem ct_addr in
+        let log_base = Roots.get roots slot_log in
+        let log =
+          { Log.mem; base = log_base; size = cfg.Config.log_size; durable = true }
+        in
+        let replayed = ref [] in
+        Context.with_persistent (fun () ->
+            for idx = stable_lt to ct - 1 do
+              if Log.is_full log idx then begin
+                let op, args = Log.read_payload log idx in
+                ignore (Ds.execute stable_ds ~op ~args);
+                replayed := idx :: !replayed
+              end
+            done);
+        List.rev !replayed
+      end
+      else []
+    in
+    let applied = applied_prefix @ replayed in
+    (* durability accounting against the ghost trace *)
+    let applied_set = Hashtbl.create 256 in
+    List.iter (fun i -> Hashtbl.replace applied_set i ()) applied;
+    let completed = Trace.completed_indexes old_t.trace in
+    let lost_completed =
+      List.length (List.filter (fun i -> not (Hashtbl.mem applied_set i)) completed)
+    in
+    let skipped_completed =
+      match replayed with
+      | [] ->
+        List.length
+          (List.filter (fun i -> i < stable_lt && not (Hashtbl.mem applied_set i)) completed)
+      | _ ->
+        (* holes are indexes in [stable_lt, ct) missing from [replayed] *)
+        let ct_addr = Roots.get roots slot_ct in
+        let ct = Memory.read mem ct_addr in
+        List.length
+          (List.filter
+             (fun i -> i >= stable_lt && i < ct && not (Hashtbl.mem applied_set i))
+             completed)
+    in
+    let contiguous_prefix =
+      let rec check expect = function
+        | [] -> true
+        | i :: rest -> i = expect && check (expect + 1) rest
+      in
+      check 0 applied
+    in
+    let report = { applied; lost_completed; skipped_completed; contiguous_prefix } in
+    (* fold the recovered ops into the new instance's prefill so that
+       checkers after a subsequent crash keep working *)
+    let recovered_ops =
+      List.map
+        (fun i ->
+          let e = Trace.get old_t.trace i in
+          (e.Trace.op, e.Trace.args))
+        applied
+    in
+    let prefill = old_t.prefill @ recovered_ops in
+    let t = build mem roots cfg ~prefill ~master:(Some stable_ds) in
+    (t, report)
+end

@@ -1,0 +1,62 @@
+(** Ghost trace of the linearization order.
+
+    The order in which update operations are written to the shared log *is*
+    their linearization order (paper §4.2 "Correctness"). The trace records
+    that order on the OCaml side — outside simulated memory, so it survives
+    simulated crashes "for free" — and marks which operations completed
+    (their invoking thread observed the response). The durability checkers
+    compare recovered states against prefixes of this trace.
+
+    The trace is white-box instrumentation only: no algorithm reads it. *)
+
+type entry = {
+  op : int;
+  args : int array;
+  mutable completed : bool;
+}
+
+type t = {
+  mutable entries : entry array;
+  mutable len : int;
+}
+
+let create () = { entries = Array.make 1024 { op = -1; args = [||]; completed = false }; len = 0 }
+
+(** Record the op logged at index [idx] (combiner side, at log-write time). *)
+let logged t idx ~op ~args =
+  if idx >= Array.length t.entries then begin
+    let bigger =
+      Array.make
+        (max (2 * Array.length t.entries) (idx + 1))
+        { op = -1; args = [||]; completed = false }
+    in
+    Array.blit t.entries 0 bigger 0 t.len;
+    t.entries <- bigger
+  end;
+  t.entries.(idx) <- { op; args; completed = false };
+  if idx + 1 > t.len then t.len <- idx + 1
+
+(** Mark the op at log index [idx] completed (worker side, at return). *)
+let completed t idx = t.entries.(idx).completed <- true
+
+let length t = t.len
+let get t idx = t.entries.(idx)
+
+(** Indexes of completed ops. *)
+let completed_indexes t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    if t.entries.(i).completed then acc := i :: !acc
+  done;
+  !acc
+
+(** Fold a pure model over the first [n] trace entries. *)
+let replay_model (type m) (module Model : Seqds.Ds_intf.MODEL with type m = m)
+    t n =
+  let state = ref Model.empty in
+  for i = 0 to n - 1 do
+    let e = t.entries.(i) in
+    let state', _ = Model.apply !state ~op:e.op ~args:e.args in
+    state := state'
+  done;
+  !state

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array List Memory Nvm Prep Printf Roots Seqds Sim Workload

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Experiment Format List Prep Printf Seqds Sim Sys Workload

@@ -1,0 +1,183 @@
+(** Throughput experiment runner.
+
+    Reproduces the paper's measurement methodology (§6): prefill the
+    structure, spawn worker fibers pinned to cores (socket 0 first), run
+    the workload for a fixed *simulated* duration after a warmup, and
+    report throughput in simulated operations per second. The persistence
+    thread (when the system has one) runs on the last core, which is never
+    given to a worker. *)
+
+open Nvm
+
+(** A live universal-construction instance, as seen by workers. *)
+type instance = {
+  register : unit -> unit; (* bind the calling worker fiber *)
+  exec : op:int -> args:int array -> int;
+  teardown : unit -> unit; (* stop helper threads so the run can drain *)
+}
+
+(** A system under test: builds an instance inside the setup fiber.
+    [duration_factor] stretches the measurement window for systems whose
+    steady state takes longer to reach (CX-PUC's per-update whole-replica
+    flushes would otherwise complete no operation in a short window). *)
+type system = {
+  sys_name : string;
+  duration_factor : int;
+  make :
+    Memory.t -> Roots.t -> workers:int -> prefill:Workload.op list -> instance;
+}
+
+type result = {
+  system : string;
+  workload : string;
+  workers : int;
+  ops : int;
+  duration_ns : int;
+  throughput : float; (* simulated ops/sec *)
+  wbinvd : int;
+  clwb : int;
+  bg_flushes : int;
+}
+
+let run ?(seed = 7L) ?(topology = Sim.Topology.default)
+    ?(duration_ns = 4_000_000) ?(warmup_ns = 800_000) ?(bg_period = 50_000)
+    ~system ~(workload : Workload.t) ~workers () =
+  if workers >= Sim.Topology.total_cores topology then
+    invalid_arg "Experiment.run: last core is reserved";
+  let duration_ns = duration_ns * system.duration_factor in
+  let warmup_ns = warmup_ns * system.duration_factor in
+  let sim = Sim.create ~seed topology in
+  let mem = Memory.make ~bg_period ~sockets:topology.Sim.Topology.sockets () in
+  let counts = Array.make workers 0 in
+  let done_count = ref 0 in
+  ignore
+    (Sim.spawn sim ~socket:0 (fun () ->
+         let roots = Roots.make mem in
+         let inst =
+           system.make mem roots ~workers ~prefill:workload.Workload.prefill
+         in
+         let t0 = Sim.now () in
+         let measure_start = t0 + warmup_ns in
+         let deadline = measure_start + duration_ns in
+         for w = 0 to workers - 1 do
+           let socket, core = Sim.Topology.place topology w in
+           ignore
+             (Sim.spawn sim ~socket ~core (fun () ->
+                  inst.register ();
+                  let rng = Sim.fiber_rng () in
+                  let phase = ref 0 in
+                  while Sim.now () < deadline do
+                    let op, args = workload.Workload.next rng ~phase:!phase in
+                    incr phase;
+                    ignore (inst.exec ~op ~args);
+                    if Sim.now () > measure_start && Sim.now () <= deadline
+                    then counts.(w) <- counts.(w) + 1
+                  done;
+                  incr done_count))
+         done;
+         (* supervisor: tear down once every worker has drained *)
+         while !done_count < workers do
+           Sim.tick 50_000
+         done;
+         inst.teardown ()));
+  (* The horizon is a safety net: a correct run always finishes by itself. *)
+  (match Sim.run ~until:(1_000 * (duration_ns + warmup_ns)) sim () with
+   | `Done -> ()
+   | `Cut _ -> failwith ("Experiment.run: system wedged: " ^ system.sys_name));
+  let ops = Array.fold_left ( + ) 0 counts in
+  let stats = Memory.stats mem in
+  {
+    system = system.sys_name;
+    workload = workload.Workload.name;
+    workers;
+    ops;
+    duration_ns;
+    throughput = float_of_int ops *. 1e9 /. float_of_int duration_ns;
+    wbinvd = stats.Memory.wbinvd;
+    clwb = stats.Memory.clwb;
+    bg_flushes = stats.Memory.bg_flushes;
+  }
+
+(* ---- system constructors ---- *)
+
+module Systems (Ds : Seqds.Ds_intf.S) = struct
+  module P = Prep.Prep_uc.Make (Ds)
+  module G = Prep.Gl_uc.Make (Ds)
+  module C = Prep.Cx_puc.Make (Ds)
+
+  let prep ?(log_size = 65536) ?(flush = Prep.Config.Wbinvd) ?name ~mode
+      ~epsilon () =
+    let name =
+      match name with
+      | Some n -> n
+      | None -> (
+        match mode with
+        | Prep.Config.Volatile -> "PREP-V"
+        | Prep.Config.Buffered -> "PREP-Buffered"
+        | Prep.Config.Durable -> "PREP-Durable")
+    in
+    {
+      sys_name = name;
+      duration_factor = 1;
+      make =
+        (fun mem roots ~workers ~prefill ->
+          let cfg =
+            Prep.Config.make ~mode ~log_size ~epsilon ~flush ~workers ()
+          in
+          let uc = P.create ~prefill mem roots cfg in
+          P.start_persistence uc;
+          {
+            register = (fun () -> P.register_worker uc);
+            exec = (fun ~op ~args -> P.execute uc ~op ~args);
+            teardown = (fun () -> P.stop uc);
+          });
+    }
+
+  let global_lock =
+    {
+      sys_name = "GL";
+      duration_factor = 1;
+      make =
+        (fun mem _roots ~workers ~prefill ->
+          ignore workers;
+          let gl = G.create ~prefill mem in
+          {
+            register = (fun () -> G.register_worker gl);
+            exec = (fun ~op ~args -> G.execute gl ~op ~args);
+            teardown = ignore;
+          });
+    }
+
+  let cx ?(queue_capacity = 1 lsl 18) () =
+    {
+      sys_name = "CX-PUC";
+      duration_factor = 10;
+      make =
+        (fun mem roots ~workers ~prefill ->
+          let cx = C.create ~prefill ~queue_capacity mem roots ~workers in
+          {
+            register = (fun () -> C.register_worker cx);
+            exec = (fun ~op ~args -> C.execute cx ~op ~args);
+            teardown = ignore;
+          });
+    }
+end
+
+(** SOFT hashtable as a system (hashmap op codes). *)
+let soft ~nbuckets =
+  {
+    sys_name = Printf.sprintf "SOFT-%dB" nbuckets;
+    duration_factor = 1;
+    make =
+      (fun mem _roots ~workers ~prefill ->
+        ignore workers;
+        let s = Prep.Soft_hash.create ~nbuckets mem in
+        List.iter
+          (fun (op, args) -> ignore (Prep.Soft_hash.execute s ~op ~args))
+          prefill;
+        {
+          register = (fun () -> Prep.Soft_hash.register_worker s);
+          exec = (fun ~op ~args -> Prep.Soft_hash.execute s ~op ~args);
+          teardown = ignore;
+        });
+  }

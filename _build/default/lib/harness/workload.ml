@@ -1,0 +1,79 @@
+(** Workload generators matching the paper's evaluation (§6).
+
+    Map workloads draw keys uniformly from a key range and split the
+    operation mix between reads (get) and updates (half insert, half
+    remove), e.g. "90% read-only". Queue/stack/priority-queue workloads are
+    100% update, with each worker executing operation *pairs*
+    (enqueue+dequeue / push+pop) so the structure's size stays stable. *)
+
+type op = int * int array
+
+(** A workload is (prefill ops, per-worker op generator). The generator
+    returns the next operation for a worker given its RNG; pair workloads
+    alternate internally. *)
+type t = {
+  name : string;
+  prefill : op list;
+  next : Sim.Rng.t -> phase:int -> op;
+      (** [phase] is a per-worker op counter, used to alternate pairs *)
+}
+
+(* ---- map workloads (hashmap / rbtree share op codes) ---- *)
+
+let map_workload ~read_pct ~key_range ~prefill_n =
+  let module H = Seqds.Hashmap in
+  let prefill =
+    (* 50% capacity as in the paper: prefill_n distinct keys *)
+    List.init prefill_n (fun i ->
+        let k = i * (key_range / max 1 prefill_n) in
+        (H.op_insert, [| k; k |]))
+  in
+  let next rng ~phase =
+    ignore phase;
+    let k = Sim.Rng.int rng key_range in
+    let r = Sim.Rng.int rng 100 in
+    if r < read_pct then (H.op_get, [| k |])
+    else if r < read_pct + ((100 - read_pct) / 2) then
+      (H.op_insert, [| k; Sim.Rng.int rng 1_000_000 |])
+    else (H.op_remove, [| k |])
+  in
+  {
+    name = Printf.sprintf "map %d%% read, %d keys" read_pct key_range;
+    prefill;
+    next;
+  }
+
+(* ---- pair workloads ---- *)
+
+let queue_pairs ~prefill_n =
+  let module Q = Seqds.Queue_ds in
+  {
+    name = Printf.sprintf "queue enq/deq pairs, %d items" prefill_n;
+    prefill = List.init prefill_n (fun i -> (Q.op_enqueue, [| i |]));
+    next =
+      (fun rng ~phase ->
+        if phase land 1 = 0 then (Q.op_enqueue, [| Sim.Rng.int rng 1_000_000 |])
+        else (Q.op_dequeue, [||]));
+  }
+
+let pqueue_pairs ~prefill_n =
+  let module P = Seqds.Pqueue in
+  {
+    name = Printf.sprintf "pqueue enq/deq pairs, %d items" prefill_n;
+    prefill = List.init prefill_n (fun i -> (P.op_enqueue, [| (i * 7919) mod 1_000_003 |]));
+    next =
+      (fun rng ~phase ->
+        if phase land 1 = 0 then (P.op_enqueue, [| Sim.Rng.int rng 1_000_000 |])
+        else (P.op_dequeue, [||]));
+  }
+
+let stack_pairs ~prefill_n =
+  let module S = Seqds.Stack_ds in
+  {
+    name = Printf.sprintf "stack push/pop pairs, %d items" prefill_n;
+    prefill = List.init prefill_n (fun i -> (S.op_push, [| i |]));
+    next =
+      (fun rng ~phase ->
+        if phase land 1 = 0 then (S.op_push, [| Sim.Rng.int rng 1_000_000 |])
+        else (S.op_pop, [||]));
+  }

@@ -1,0 +1,1 @@
+lib/nvm/alloc.ml: Hashtbl List Memory Sim

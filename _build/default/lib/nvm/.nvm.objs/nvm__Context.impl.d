@@ -1,0 +1,1 @@
+lib/nvm/context.ml: Alloc Fun Hashtbl Sim

@@ -1,0 +1,1 @@
+lib/nvm/memory.ml: Array Bytes Hashtbl List Sim

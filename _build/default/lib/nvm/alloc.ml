@@ -1,0 +1,91 @@
+(** Dynamic memory allocators over simulated memory.
+
+    Two flavours, mirroring the paper's setup (§5.1, §6):
+
+    - a *volatile* allocator (the stand-in for jemalloc) serving DRAM
+      arenas homed on a given socket, and
+    - a *persistent* allocator (the stand-in for the simple free-list
+      allocator of Correia et al.) serving NVM arenas.
+
+    Crash-safety policy of the persistent allocator: arena contents are
+    media-backed, so allocated objects keep their addresses across a crash
+    (requirement 2 of §5.1). Allocator bookkeeping itself is volatile and is
+    *rebuilt fresh* on recovery — a recovered heap never reuses pre-crash
+    addresses, so a crash can leak but can never corrupt a live object
+    (requirement 1). Within a run, freed blocks are recycled through
+    per-size free lists. *)
+
+type t = {
+  mem : Memory.t;
+  kind : Memory.kind;
+  home : int;
+  mutable arenas : int list; (* aids owned by this allocator, newest first *)
+  mutable bump_aid : int;
+  mutable bump_off : int;
+  free_lists : (int, int list ref) Hashtbl.t; (* size -> reusable addrs *)
+  mutable live_words : int;
+}
+
+let alloc_cost = 90 (* fixed simulated cost of one malloc/free call *)
+
+let create mem ~kind ~home =
+  let aid = Memory.new_arena mem ~kind ~home in
+  {
+    mem;
+    kind;
+    home;
+    arenas = [ aid ];
+    bump_aid = aid;
+    (* never hand out offset 0 of any arena: address 0 is the null pointer
+       and keeping offset 0 reserved everywhere makes bugs loud *)
+    bump_off = Memory.line_words;
+    free_lists = Hashtbl.create 16;
+    live_words = 0;
+  }
+
+let create_volatile mem ~home = create mem ~kind:Memory.Dram ~home
+let create_persistent mem ~home = create mem ~kind:Memory.Nvm ~home
+
+let mem t = t.mem
+let arenas t = t.arenas
+let live_words t = t.live_words
+
+(** Allocate [size] words, zero-initialised. *)
+let alloc t size =
+  if size <= 0 || size > Memory.arena_words / 2 then
+    invalid_arg "Alloc.alloc: bad size";
+  Sim.tick alloc_cost;
+  t.live_words <- t.live_words + size;
+  match Hashtbl.find_opt t.free_lists size with
+  | Some ({ contents = addr :: rest } as cell) ->
+    cell := rest;
+    (* recycled block: scrub it so stale words cannot leak between users;
+       the scrub dirties the lines so the zeros are re-persistable *)
+    Memory.scrub t.mem addr size;
+    addr
+  | Some _ | None ->
+    if t.bump_off + size > Memory.arena_words then begin
+      let aid = Memory.new_arena t.mem ~kind:t.kind ~home:t.home in
+      t.arenas <- aid :: t.arenas;
+      t.bump_aid <- aid;
+      t.bump_off <- Memory.line_words
+    end;
+    let addr = Memory.addr_of ~aid:t.bump_aid ~offset:t.bump_off in
+    t.bump_off <- t.bump_off + size;
+    addr
+
+(** Return a block of [size] words to the allocator's free list. *)
+let free t addr size =
+  Sim.tick alloc_cost;
+  t.live_words <- t.live_words - size;
+  match Hashtbl.find_opt t.free_lists size with
+  | Some cell -> cell := addr :: !cell
+  | None -> Hashtbl.replace t.free_lists size (ref [ addr ])
+
+(** Persist the allocator's entire heap (every owned arena). This is the
+    CX-PUC persistence strategy: write back whatever is dirty in the
+    replica's address range, then fence. *)
+let persist_heap t =
+  if t.kind <> Memory.Nvm then invalid_arg "Alloc.persist_heap: volatile heap";
+  List.iter (fun aid -> Memory.flush_arena t.mem aid) t.arenas;
+  Memory.sfence t.mem

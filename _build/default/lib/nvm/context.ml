@@ -1,0 +1,81 @@
+(** The paper's allocator-swap mechanism (§5.1).
+
+    A persistent universal construction cannot hand the sequential data
+    structure a persistent allocator (that would mean modifying the
+    sequential code), and it cannot override the system allocator globally.
+    The paper's solution: wrap malloc/free so that a *thread-local flag*
+    redirects allocations to the persistent allocator; the persistence
+    thread sets the flag around its calls into the sequential object and
+    clears it afterwards.
+
+    Here the thread-local flag is the fiber's [palloc] field, and
+    [alloc]/[free] below are the wrapped entry points the sequential data
+    structures call. *)
+
+type binding = {
+  mutable default : Alloc.t; (* the "system allocator" for this fiber *)
+  mutable persistent : Alloc.t option;
+}
+
+let table : (int, binding) Hashtbl.t = Hashtbl.create 256
+
+(** Bind the current fiber's allocators. Every fiber that executes
+    sequential-object code must be bound first. *)
+let bind ~default ?persistent () =
+  let fid = (Sim.self ()).Sim.fid in
+  Hashtbl.replace table fid { default; persistent }
+
+(** Rebind only the default (volatile) allocator of the current fiber;
+    combiners do this when applying a batch to their local replica. *)
+let set_default alloc =
+  let fid = (Sim.self ()).Sim.fid in
+  match Hashtbl.find_opt table fid with
+  | Some b -> b.default <- alloc
+  | None -> Hashtbl.replace table fid { default = alloc; persistent = None }
+
+let set_persistent alloc =
+  let fid = (Sim.self ()).Sim.fid in
+  match Hashtbl.find_opt table fid with
+  | Some b -> b.persistent <- Some alloc
+  | None ->
+    Hashtbl.replace table fid { default = alloc; persistent = Some alloc }
+
+let binding () =
+  let fid = (Sim.self ()).Sim.fid in
+  match Hashtbl.find_opt table fid with
+  | Some b -> b
+  | None -> failwith "Context: fiber has no allocator binding"
+
+(** The allocator the wrapped malloc would use right now. *)
+let current () =
+  let b = binding () in
+  if (Sim.self ()).Sim.palloc then
+    match b.persistent with
+    | Some p -> p
+    | None -> failwith "Context: persistent allocator enabled but not bound"
+  else b.default
+
+(** Run [f] with the persistent allocator enabled, restoring the flag
+    afterwards. This is exactly the persistence thread's wrapper. *)
+let with_persistent f =
+  let fiber = Sim.self () in
+  let saved = fiber.Sim.palloc in
+  fiber.Sim.palloc <- true;
+  Fun.protect ~finally:(fun () -> fiber.Sim.palloc <- saved) f
+
+(** Run [f] with [alloc] as the fiber's default allocator, restoring the
+    previous binding afterwards. Used by systems (e.g. CX-PUC) that route a
+    sequential-object call to a specific per-replica heap. *)
+let with_allocator alloc f =
+  let b = binding () in
+  let saved = b.default in
+  b.default <- alloc;
+  Fun.protect ~finally:(fun () -> b.default <- saved) f
+
+(* Wrapped allocation entry points used by the black-box sequential code. *)
+
+let alloc size = Alloc.alloc (current ()) size
+let free addr size = Alloc.free (current ()) addr size
+
+(** Drop all bindings (between experiment runs / after a crash). *)
+let reset () = Hashtbl.reset table

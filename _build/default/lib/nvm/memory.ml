@@ -1,0 +1,361 @@
+(** Simulated byte-addressable memory with an explicit cache model.
+
+    The address space is divided into fixed-size arenas, each homed on a
+    NUMA socket and backed by either DRAM (volatile) or NVM. All stores
+    first take effect in the coherent view ([values]) and dirty their cache
+    line; NVM arenas additionally carry a [media] array holding the last
+    *persisted* value of every word. A line's contents reach media only via
+    [clwb]+[sfence], [clflush], [wbinvd], or a random seeded *background
+    flush* — the cache-coherence-induced write-backs the paper warns about
+    (§2.2, §4.1). [crash] discards everything except media.
+
+    Addresses are plain ints: [addr = arena_id * arena_words + offset].
+    Address 0 is reserved and plays the role of the null pointer. *)
+
+let arena_shift = 16
+let arena_words = 1 lsl arena_shift (* 65536 words per arena *)
+let line_words = 8
+let lines_per_arena = arena_words / line_words
+
+let null = 0
+
+type kind = Dram | Nvm
+
+type arena = {
+  aid : int;
+  kind : kind;
+  home : int; (* socket the arena is homed on *)
+  values : int array; (* coherent view, what loads observe *)
+  media : int array; (* persisted view; length 0 for DRAM arenas *)
+  dirty : Bytes.t; (* per line: 0 = clean, 1 + socket = dirty in that socket's cache *)
+}
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable cas_ops : int;
+  mutable clwb : int;
+  mutable clflush : int;
+  mutable sfence : int;
+  mutable wbinvd : int;
+  mutable wbinvd_lines : int;
+  mutable bg_flushes : int;
+}
+
+let new_stats () =
+  { reads = 0; writes = 0; cas_ops = 0; clwb = 0; clflush = 0; sfence = 0;
+    wbinvd = 0; wbinvd_lines = 0; bg_flushes = 0 }
+
+type pending = { p_arena : int; p_line : int; p_words : int array }
+
+let dirty_key aid line = (aid * lines_per_arena) + line
+
+let dummy_arena =
+  { aid = -1; kind = Dram; home = 0; values = [||]; media = [||];
+    dirty = Bytes.create 0 }
+
+type t = {
+  mutable m_arenas : arena array;
+  mutable m_count : int;
+  m_dirty_by_socket : (int, unit) Hashtbl.t array;
+  mutable m_pending : pending list;
+  m_rng : Sim.Rng.t;
+  m_bg_period : int;
+  mutable m_countdown : int;
+  m_stats : stats;
+}
+
+let make ?(seed = 42L) ?(sockets = 2) ?(bg_period = 50_000) () =
+  let m =
+    {
+      m_arenas = Array.make 64 dummy_arena;
+      m_count = 0;
+      m_dirty_by_socket = Array.init sockets (fun _ -> Hashtbl.create 4096);
+      m_pending = [];
+      m_rng = Sim.Rng.create seed;
+      m_bg_period = bg_period;
+      m_countdown = (if bg_period = 0 then max_int else bg_period);
+      m_stats = new_stats ();
+    }
+  in
+  m
+
+let stats m = m.m_stats
+
+(** Allocate a fresh arena homed on [home]. Returns the arena id. *)
+let new_arena m ~kind ~home =
+  if m.m_count = Array.length m.m_arenas then begin
+    let bigger = Array.make (2 * Array.length m.m_arenas) dummy_arena in
+    Array.blit m.m_arenas 0 bigger 0 m.m_count;
+    m.m_arenas <- bigger
+  end;
+  let aid = m.m_count in
+  let arena =
+    {
+      aid;
+      kind;
+      home;
+      values = Array.make arena_words 0;
+      media = (match kind with Nvm -> Array.make arena_words 0 | Dram -> [||]);
+      dirty = Bytes.make lines_per_arena '\000';
+    }
+  in
+  m.m_arenas.(aid) <- arena;
+  m.m_count <- m.m_count + 1;
+  aid
+
+let arena_of_addr m addr =
+  let aid = addr lsr arena_shift in
+  if aid >= m.m_count then invalid_arg "Memory: address beyond allocated arenas";
+  m.m_arenas.(aid)
+
+let offset_of_addr addr = addr land (arena_words - 1)
+let line_of_offset off = off / line_words
+let addr_of ~aid ~offset = (aid lsl arena_shift) lor offset
+
+let is_nvm m addr = (arena_of_addr m addr).kind = Nvm
+
+(* ---- cost accounting ---- *)
+
+let access_cost m arena ~line_dirty =
+  let c = Sim.costs () in
+  let base =
+    if line_dirty then c.Sim.Costs.cache_access
+    else
+      match arena.kind with
+      | Dram -> c.Sim.Costs.dram_access
+      | Nvm -> c.Sim.Costs.nvm_read
+  in
+  let remote =
+    if arena.home <> Sim.socket () then c.Sim.Costs.remote_penalty else 0
+  in
+  ignore m;
+  base + remote
+
+(* ---- line persistence ---- *)
+
+let commit_line_to_media arena line =
+  if arena.kind = Nvm then begin
+    let base = line * line_words in
+    Array.blit arena.values base arena.media base line_words
+  end
+
+let clear_dirty m arena line =
+  let d = Bytes.get_uint8 arena.dirty line in
+  if d <> 0 then begin
+    Bytes.set_uint8 arena.dirty line 0;
+    Hashtbl.remove m.m_dirty_by_socket.(d - 1) (dirty_key arena.aid line)
+  end
+
+let mark_dirty m arena line socket =
+  let d = Bytes.get_uint8 arena.dirty line in
+  if d <> socket + 1 then begin
+    if d <> 0 then
+      Hashtbl.remove m.m_dirty_by_socket.(d - 1) (dirty_key arena.aid line);
+    Bytes.set_uint8 arena.dirty line (socket + 1);
+    Hashtbl.replace m.m_dirty_by_socket.(socket) (dirty_key arena.aid line) ()
+  end
+
+let background_flush m arena line =
+  m.m_stats.bg_flushes <- m.m_stats.bg_flushes + 1;
+  commit_line_to_media arena line;
+  clear_dirty m arena line
+
+let maybe_background_flush m arena line =
+  if arena.kind = Nvm && m.m_bg_period > 0 then begin
+    m.m_countdown <- m.m_countdown - 1;
+    if m.m_countdown <= 0 then begin
+      m.m_countdown <- 1 + Sim.Rng.int m.m_rng (2 * m.m_bg_period);
+      background_flush m arena line
+    end
+  end
+
+(* ---- fiber-facing operations (charge simulated time) ---- *)
+
+let read m addr =
+  let arena = arena_of_addr m addr in
+  let off = offset_of_addr addr in
+  let line = line_of_offset off in
+  let line_dirty = Bytes.get_uint8 arena.dirty line <> 0 in
+  Sim.tick (access_cost m arena ~line_dirty);
+  m.m_stats.reads <- m.m_stats.reads + 1;
+  arena.values.(off)
+
+let write m addr v =
+  let arena = arena_of_addr m addr in
+  let off = offset_of_addr addr in
+  let line = line_of_offset off in
+  Sim.tick (access_cost m arena ~line_dirty:true);
+  m.m_stats.writes <- m.m_stats.writes + 1;
+  arena.values.(off) <- v;
+  mark_dirty m arena line (Sim.socket ());
+  maybe_background_flush m arena line
+
+(** Zero [size] words starting at [addr], as a memset would: the stores
+    dirty their cache lines (so a later flush re-persists the zeros) but
+    cost is charged per line rather than per word. Used by the allocator
+    when recycling blocks. *)
+let scrub m addr size =
+  let arena = arena_of_addr m addr in
+  let off = offset_of_addr addr in
+  let first_line = line_of_offset off in
+  let last_line = line_of_offset (off + size - 1) in
+  Sim.tick ((last_line - first_line + 1) * (Sim.costs ()).Sim.Costs.cache_access);
+  let socket = Sim.socket () in
+  Array.fill arena.values off size 0;
+  for line = first_line to last_line do
+    mark_dirty m arena line socket
+  done
+
+(** Atomic compare-and-swap. The cost is charged (and a scheduling point
+    taken) *before* the read-modify-write, which is then indivisible. *)
+let cas m addr ~expected ~desired =
+  let arena = arena_of_addr m addr in
+  let off = offset_of_addr addr in
+  let line = line_of_offset off in
+  let c = Sim.costs () in
+  Sim.tick (c.Sim.Costs.cas + access_cost m arena ~line_dirty:true);
+  m.m_stats.cas_ops <- m.m_stats.cas_ops + 1;
+  if arena.values.(off) = expected then begin
+    arena.values.(off) <- desired;
+    mark_dirty m arena line (Sim.socket ());
+    maybe_background_flush m arena line;
+    true
+  end
+  else false
+
+(** Atomic fetch-and-add, used by reader counts in the reader-writer lock. *)
+let faa m addr delta =
+  let arena = arena_of_addr m addr in
+  let off = offset_of_addr addr in
+  let line = line_of_offset off in
+  let c = Sim.costs () in
+  Sim.tick (c.Sim.Costs.cas + access_cost m arena ~line_dirty:true);
+  let old = arena.values.(off) in
+  arena.values.(off) <- old + delta;
+  mark_dirty m arena line (Sim.socket ());
+  old
+
+(** Asynchronous write-back of the line containing [addr]. The captured
+    line contents only reach media at the next [sfence] (or clflush /
+    background flush), so a crash in between loses them. *)
+let clwb m addr =
+  let arena = arena_of_addr m addr in
+  if arena.kind <> Nvm then invalid_arg "Memory.clwb: not an NVM address";
+  let line = line_of_offset (offset_of_addr addr) in
+  Sim.tick (Sim.costs ()).Sim.Costs.clwb_line;
+  m.m_stats.clwb <- m.m_stats.clwb + 1;
+  let base = line * line_words in
+  let words = Array.sub arena.values base line_words in
+  m.m_pending <- { p_arena = arena.aid; p_line = line; p_words = words } :: m.m_pending;
+  clear_dirty m arena line
+
+(** Blocking flush: the line is persisted before the call returns. *)
+let clflush m addr =
+  let arena = arena_of_addr m addr in
+  if arena.kind <> Nvm then invalid_arg "Memory.clflush: not an NVM address";
+  let line = line_of_offset (offset_of_addr addr) in
+  Sim.tick (Sim.costs ()).Sim.Costs.clflush_line;
+  m.m_stats.clflush <- m.m_stats.clflush + 1;
+  commit_line_to_media arena line;
+  clear_dirty m arena line
+
+(** Persistent fence: drains every pending [clwb]. *)
+let sfence m =
+  Sim.tick (Sim.costs ()).Sim.Costs.sfence;
+  m.m_stats.sfence <- m.m_stats.sfence + 1;
+  List.iter
+    (fun p ->
+      let arena = m.m_arenas.(p.p_arena) in
+      if arena.kind = Nvm then begin
+        let base = p.p_line * line_words in
+        Array.blit p.p_words 0 arena.media base line_words
+      end)
+    (List.rev m.m_pending);
+  m.m_pending <- []
+
+(** Write back and invalidate the executing socket's entire cache: every
+    line dirtied by this socket is persisted (NVM) or merely cleaned
+    (DRAM). Cost scales with the number of dirty lines, making this the
+    expensive hammer the paper says it is. *)
+let wbinvd m =
+  let socket = Sim.socket () in
+  let table = m.m_dirty_by_socket.(socket) in
+  let keys = Hashtbl.fold (fun k () acc -> k :: acc) table [] in
+  let flushed = List.length keys in
+  let c = Sim.costs () in
+  Sim.tick (c.Sim.Costs.wbinvd_base + (flushed * c.Sim.Costs.wbinvd_per_line));
+  m.m_stats.wbinvd <- m.m_stats.wbinvd + 1;
+  m.m_stats.wbinvd_lines <- m.m_stats.wbinvd_lines + flushed;
+  List.iter
+    (fun key ->
+      let aid = key / lines_per_arena and line = key mod lines_per_arena in
+      let arena = m.m_arenas.(aid) in
+      commit_line_to_media arena line;
+      Bytes.set_uint8 arena.dirty line 0;
+      Hashtbl.remove table key)
+    keys
+
+(** Write back every dirty line of arena [aid] to media (blocking).
+    Used by CX-PUC's persist-the-whole-replica step: clean lines cost
+    nothing, dirty lines cost one [clwb] each, plus one trailing fence. *)
+let clean_line_flush_cost = 12
+(* issuing CLWB for a line that turns out to be clean still costs the
+   instruction; this is what makes walking a huge address range more
+   expensive than WBINVD for large structures *)
+
+let flush_arena m aid =
+  let arena = m.m_arenas.(aid) in
+  if arena.kind <> Nvm then invalid_arg "Memory.flush_arena: not an NVM arena";
+  let c = Sim.costs () in
+  Sim.tick (lines_per_arena * clean_line_flush_cost);
+  for line = 0 to lines_per_arena - 1 do
+    if Bytes.get_uint8 arena.dirty line <> 0 then begin
+      Sim.tick c.Sim.Costs.clwb_line;
+      m.m_stats.clwb <- m.m_stats.clwb + 1;
+      commit_line_to_media arena line;
+      clear_dirty m arena line
+    end
+  done
+
+(* ---- crash and inspection (no simulated cost: harness-side) ---- *)
+
+(** Full-system power failure: caches and DRAM vanish; only NVM media
+    survives. The coherent view of every NVM arena is rebuilt from media;
+    DRAM arenas are zeroed. *)
+let crash m =
+  for aid = 0 to m.m_count - 1 do
+    let arena = m.m_arenas.(aid) in
+    (match arena.kind with
+     | Nvm -> Array.blit arena.media 0 arena.values 0 arena_words
+     | Dram -> Array.fill arena.values 0 arena_words 0);
+    Bytes.fill arena.dirty 0 (Bytes.length arena.dirty) '\000'
+  done;
+  Array.iter Hashtbl.reset m.m_dirty_by_socket;
+  m.m_pending <- []
+
+(** Read a word without charging simulated time (test/assertion helper). *)
+let peek m addr = (arena_of_addr m addr).values.(offset_of_addr addr)
+
+(** Read a word as it would be recovered after a crash right now. *)
+let peek_media m addr =
+  let arena = arena_of_addr m addr in
+  match arena.kind with
+  | Nvm -> arena.media.(offset_of_addr addr)
+  | Dram -> 0
+
+(** Write a word without charging simulated time (test setup helper). *)
+let poke m addr v = (arena_of_addr m addr).values.(offset_of_addr addr) <- v
+
+let arena_kind m aid = m.m_arenas.(aid).kind
+let arena_count m = m.m_count
+
+(** Count of currently dirty (unpersisted) lines across all NVM arenas. *)
+let dirty_nvm_lines m =
+  let n = ref 0 in
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun key () ->
+         let aid = key / lines_per_arena in
+         if m.m_arenas.(aid).kind = Nvm then incr n) tbl)
+    m.m_dirty_by_socket;
+  !n

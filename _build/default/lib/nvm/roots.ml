@@ -1,0 +1,34 @@
+(** Named persistent roots.
+
+    Real persistent-memory programs reach recovered data through a
+    well-known root object in the persistent memory file. Here the root
+    directory is the first cache lines of NVM arena 0 (which the [make]
+    below creates eagerly so it always exists and always has arena id 0).
+    Slot 0 is never used: address 0 is the null pointer. *)
+
+let max_slots = 64
+
+type t = { mem : Memory.t }
+
+(** Create the root directory. Must be called before any other arena is
+    created so the directory lands at addresses [1 .. max_slots-1]. *)
+let make mem =
+  let aid = Memory.new_arena mem ~kind:Memory.Nvm ~home:0 in
+  if aid <> 0 then failwith "Roots.make: root arena must be the first arena";
+  { mem }
+
+let addr _t slot =
+  if slot < 1 || slot >= max_slots then invalid_arg "Roots.addr: bad slot";
+  slot
+
+(** Read root [slot] (charges a simulated NVM access). *)
+let get t slot = Memory.read t.mem (addr t slot)
+
+(** Write root [slot] and persist it immediately (CLFLUSH), so the root is
+    recoverable as soon as the call returns. *)
+let set t slot v =
+  Memory.write t.mem (addr t slot) v;
+  Memory.clflush t.mem (addr t slot)
+
+(** Write root [slot] without persisting (caller flushes). *)
+let set_unflushed t slot v = Memory.write t.mem (addr t slot) v

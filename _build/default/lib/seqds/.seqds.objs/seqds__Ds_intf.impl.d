@@ -1,0 +1,1 @@
+lib/seqds/ds_intf.ml: Nvm

@@ -1,0 +1,1 @@
+lib/seqds/hashmap.ml: Array Context Int List Map Memory Nvm

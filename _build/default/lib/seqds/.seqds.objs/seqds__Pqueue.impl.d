@@ -1,0 +1,1 @@
+lib/seqds/pqueue.ml: Array Context List Memory Nvm

@@ -1,0 +1,1 @@
+lib/seqds/queue_ds.ml: Array Context List Memory Nvm

@@ -1,0 +1,1 @@
+lib/seqds/rbtree.ml: Array Context Int List Map Memory Nvm

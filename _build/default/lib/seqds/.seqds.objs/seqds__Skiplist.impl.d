@@ -1,0 +1,1 @@
+lib/seqds/skiplist.ml: Array Context Hashmap List Memory Nvm

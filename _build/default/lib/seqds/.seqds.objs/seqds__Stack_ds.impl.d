@@ -1,0 +1,1 @@
+lib/seqds/stack_ds.ml: Array Context List Memory Nvm

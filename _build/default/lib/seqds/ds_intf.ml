@@ -1,0 +1,60 @@
+(** The black-box sequential object signature.
+
+    This is the contract between a universal construction and the
+    sequential data structure it lifts (paper §3, §5.2):
+
+    - operations are invoked through a single [execute] dispatch — the
+      paper's [Execute] switch over raw function pointers. An operation is
+      an integer op code plus integer arguments, which is exactly what gets
+      written into (and recovered from) the shared log;
+    - the UC may ask whether an op code is read-only ([is_readonly]), the
+      paper's optional boolean argument to [ExecuteConcurrent];
+    - the UC may deep-[copy] a structure to instantiate a replica; the copy
+      allocates through the *current* fiber allocator ([Nvm.Context]), so
+      the same code builds volatile and persistent replicas;
+    - [attach] reattaches a handle to a structure recovered from NVM media
+      after a crash, given its persisted root address.
+
+    The structure's entire state must live in simulated memory reached from
+    the root address: the UC never sees its internals, and a crash must be
+    able to take away exactly the unpersisted part. *)
+
+module type MODEL = sig
+  (** Pure reference model of the same object, for checkers. *)
+
+  type m
+
+  val empty : m
+  val apply : m -> op:int -> args:int array -> m * int
+  val snapshot : m -> int list
+end
+
+module type S = sig
+  val name : string
+
+  type handle
+
+  (** Allocate a fresh, empty structure via the current fiber allocator. *)
+  val create : Nvm.Memory.t -> handle
+
+  (** Stable root address of the structure (what a PUC persists so it can
+      find the structure again after a crash). *)
+  val root_addr : handle -> int
+
+  (** Reattach to a structure whose root block is at [addr]. *)
+  val attach : Nvm.Memory.t -> int -> handle
+
+  (** Run one operation; returns its integer response. *)
+  val execute : handle -> op:int -> args:int array -> int
+
+  val is_readonly : op:int -> bool
+
+  (** Deep copy into the current fiber allocator. *)
+  val copy : handle -> handle
+
+  (** Cost-free canonical observation of the current (coherent) state, for
+      checkers only. *)
+  val snapshot : handle -> int list
+
+  module Model : MODEL
+end

@@ -1,0 +1,182 @@
+(** Skiplist map over simulated memory — a sixth sequential structure to
+    demonstrate that anything implementing [Ds_intf.S] gets all three
+    PREP variants (and the baselines) for free.
+
+    Node heights are derived deterministically from the key's hash rather
+    than drawn from a per-instance RNG: a universal construction replays
+    the same operation sequence on many replicas, and deterministic
+    heights keep the replicas structurally identical, which makes
+    [snapshot] comparisons and copy tests exact.
+
+    Layout:
+    - header: [0] head pointer, [1] size
+    - head:   a full-height node with key slot unused
+    - node:   [0] key, [1] value, [2] height, [3..3+height-1] forward
+              pointers (so a node occupies 3+height words) *)
+
+open Nvm
+
+let op_insert = Hashmap.op_insert
+let op_remove = Hashmap.op_remove
+let op_get = Hashmap.op_get
+let op_contains = Hashmap.op_contains
+let op_size = Hashmap.op_size
+
+let name = "skiplist"
+let max_height = 12
+let hdr_words = 2
+
+type handle = { mem : Memory.t; h : int }
+
+let root_addr t = t.h
+let attach mem h = { mem; h }
+
+(* Deterministic 1..max_height with P(h >= k+1) ~ 2^-k. *)
+let height_of_key key =
+  let x = (key * 0x9E3779B1) lxor (key lsr 7) in
+  let rec count h x =
+    if h >= max_height || x land 1 = 0 then h else count (h + 1) (x lsr 1)
+  in
+  count 1 (x land max_int)
+
+let node_words height = 3 + height
+
+let fwd t node level = Memory.read t.mem (node + 3 + level)
+let set_fwd t node level v = Memory.write t.mem (node + 3 + level) v
+
+let create mem =
+  let h = Context.alloc hdr_words in
+  let head = Context.alloc (node_words max_height) in
+  let t = { mem; h } in
+  Memory.write mem h head;
+  Memory.write mem (h + 1) 0;
+  Memory.write mem (head + 2) max_height;
+  for level = 0 to max_height - 1 do
+    set_fwd t head level Memory.null
+  done;
+  t
+
+let is_readonly ~op = op = op_get || op = op_contains || op = op_size
+
+(* Walk down from the top level; [update.(l)] is the rightmost node at
+   level [l] whose key is < [key]. *)
+let find_predecessors t key update =
+  let head = Memory.read t.mem t.h in
+  let node = ref head in
+  for level = max_height - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      let next = fwd t !node level in
+      if next <> Memory.null && Memory.read t.mem next < key then node := next
+      else continue := false
+    done;
+    update.(level) <- !node
+  done;
+  let candidate = fwd t !node 0 in
+  if candidate <> Memory.null && Memory.read t.mem candidate = key then candidate
+  else Memory.null
+
+let insert t key value =
+  let update = Array.make max_height Memory.null in
+  let found = find_predecessors t key update in
+  if found <> Memory.null then begin
+    Memory.write t.mem (found + 1) value;
+    0
+  end
+  else begin
+    let height = height_of_key key in
+    let node = Context.alloc (node_words height) in
+    Memory.write t.mem node key;
+    Memory.write t.mem (node + 1) value;
+    Memory.write t.mem (node + 2) height;
+    for level = 0 to height - 1 do
+      set_fwd t node level (fwd t update.(level) level);
+      set_fwd t update.(level) level node
+    done;
+    Memory.write t.mem (t.h + 1) (Memory.read t.mem (t.h + 1) + 1);
+    1
+  end
+
+let remove t key =
+  let update = Array.make max_height Memory.null in
+  let found = find_predecessors t key update in
+  if found = Memory.null then 0
+  else begin
+    let height = Memory.read t.mem (found + 2) in
+    for level = 0 to height - 1 do
+      if fwd t update.(level) level = found then
+        set_fwd t update.(level) level (fwd t found level)
+    done;
+    Context.free found (node_words height);
+    Memory.write t.mem (t.h + 1) (Memory.read t.mem (t.h + 1) - 1);
+    1
+  end
+
+let get t key =
+  let update = Array.make max_height Memory.null in
+  let found = find_predecessors t key update in
+  if found = Memory.null then -1 else Memory.read t.mem (found + 1)
+
+let execute t ~op ~args =
+  if op = op_insert then insert t args.(0) args.(1)
+  else if op = op_remove then remove t args.(0)
+  else if op = op_get then get t args.(0)
+  else if op = op_contains then (if get t args.(0) >= 0 then 1 else 0)
+  else if op = op_size then Memory.read t.mem (t.h + 1)
+  else invalid_arg "Skiplist.execute: unknown op"
+
+let copy src =
+  let dst = create src.mem in
+  let head = Memory.read src.mem src.h in
+  let rec walk node =
+    if node <> Memory.null then begin
+      ignore (insert dst (Memory.read src.mem node) (Memory.read src.mem (node + 1)));
+      walk (fwd src node 0)
+    end
+  in
+  walk (fwd src head 0);
+  dst
+
+(* Observation: [k1; v1; ...] in key order (level-0 chain is sorted). *)
+let snapshot t =
+  let head = Memory.peek t.mem t.h in
+  let rec walk acc node =
+    if node = Memory.null then List.rev acc
+    else
+      let acc = Memory.peek t.mem (node + 1) :: Memory.peek t.mem node :: acc in
+      walk acc (Memory.peek t.mem (node + 3))
+  in
+  walk [] (Memory.peek t.mem (head + 3))
+
+(** Structural invariants for property tests: level-0 keys strictly
+    ascending; every level-l chain is a subsequence of level 0; node
+    heights match [height_of_key]. *)
+let check_invariants t =
+  let head = Memory.peek t.mem t.h in
+  let rec level0 acc node =
+    if node = Memory.null then List.rev acc
+    else level0 (Memory.peek t.mem node :: acc) (Memory.peek t.mem (node + 3))
+  in
+  let keys0 = level0 [] (Memory.peek t.mem (head + 3)) in
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+      if a >= b then failwith "skiplist: level-0 keys not ascending";
+      ascending rest
+    | _ -> ()
+  in
+  ascending keys0;
+  for level = 1 to max_height - 1 do
+    let rec chain node =
+      if node <> Memory.null then begin
+        let key = Memory.peek t.mem node in
+        let height = Memory.peek t.mem (node + 2) in
+        if height <= level then failwith "skiplist: node too short for level";
+        if height <> height_of_key key then failwith "skiplist: wrong height";
+        if not (List.mem key keys0) then failwith "skiplist: ghost node";
+        chain (Memory.peek t.mem (node + 3 + level))
+      end
+    in
+    chain (Memory.peek t.mem (head + 3 + level))
+  done
+
+module Model = Hashmap.Model

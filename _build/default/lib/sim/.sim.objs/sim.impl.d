@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Costs Effect Option Rng Topology

@@ -1,0 +1,35 @@
+(** Simulated-time cost model, in nanoseconds.
+
+    Values are loosely calibrated to published Optane DC / Cascade Lake
+    measurements. Absolute numbers do not matter for the reproduction; the
+    *asymmetries* do: NVM media writes are much slower than DRAM, remote
+    socket accesses are slower than local ones, and WBINVD is vastly more
+    expensive than flushing a single line. *)
+
+type t = {
+  cache_access : int;     (** load/store hitting the local cache *)
+  dram_access : int;      (** load/store served by local DRAM *)
+  nvm_read : int;         (** load served by NVM media *)
+  remote_penalty : int;   (** extra cost when the line is homed on another socket *)
+  cas : int;              (** atomic compare-and-swap (cache-hot) *)
+  clwb_line : int;        (** asynchronous write-back of one line to NVM media *)
+  clflush_line : int;     (** blocking flush of one line to NVM media *)
+  sfence : int;           (** persistent fence draining pending write-backs *)
+  wbinvd_base : int;      (** fixed stall of a whole-cache write-back-and-invalidate *)
+  wbinvd_per_line : int;  (** additional WBINVD cost per dirty line written back *)
+  spin : int;             (** one iteration of a spin-wait loop *)
+}
+
+let default = {
+  cache_access = 15;
+  dram_access = 70;
+  nvm_read = 170;
+  remote_penalty = 110;
+  cas = 35;
+  clwb_line = 220;
+  clflush_line = 320;
+  sfence = 120;
+  wbinvd_base = 450_000;
+  wbinvd_per_line = 90;
+  spin = 40;
+}

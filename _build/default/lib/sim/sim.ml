@@ -1,0 +1,262 @@
+(** Discrete-event simulator with effects-based fibers.
+
+    Simulated threads run in direct style. Every simulated memory access
+    charges nanoseconds to the running fiber's clock ([tick]); fibers hand
+    control back to the scheduler at synchronization points and whenever
+    they exhaust their time quantum. The scheduler always resumes the fiber
+    with the smallest clock, so simulated time is globally consistent and a
+    run is a deterministic function of its seed.
+
+    The simulator is single-OS-thread by construction: [current ()] style
+    accessors are safe. *)
+
+module Rng = Rng
+module Topology = Topology
+module Costs = Costs
+
+type fiber = {
+  fid : int;                  (** unique fiber id *)
+  socket : int;               (** NUMA node this fiber is pinned to *)
+  core : int;                 (** core within the socket *)
+  frng : Rng.t;               (** fiber-private random stream *)
+  mutable clock : int;        (** fiber-local simulated time, ns *)
+  mutable slice : int;        (** time consumed since the last yield *)
+  mutable palloc : bool;      (** allocator-swap flag (paper §5.1): when set,
+                                  allocations go to the persistent allocator *)
+}
+
+type entry = { time : int; seq : int; resume : unit -> unit }
+
+type t = {
+  topology : Topology.t;
+  costs : Costs.t;
+  rng : Rng.t;                    (** scheduler stream (background flushes etc.) *)
+  quantum : int;
+  mutable heap : entry option array;
+  mutable heap_len : int;
+  mutable seq : int;
+  mutable live : int;
+  mutable next_fid : int;
+  mutable running : bool;
+}
+
+type _ Effect.t += Yield : unit Effect.t
+
+let the_sim : t option ref = ref None
+let the_fiber : fiber option ref = ref None
+
+let instance () =
+  match !the_sim with
+  | Some s -> s
+  | None -> failwith "Sim: no simulation running"
+
+let self () =
+  match !the_fiber with
+  | Some f -> f
+  | None -> failwith "Sim: not inside a fiber"
+
+let create ?(seed = 1L) ?(costs = Costs.default) ?(quantum = 150) topology =
+  {
+    topology;
+    costs;
+    rng = Rng.create seed;
+    quantum;
+    heap = Array.make 1024 None;
+    heap_len = 0;
+    seq = 0;
+    live = 0;
+    next_fid = 0;
+    running = false;
+  }
+
+(* ---- binary min-heap ordered by (time, seq) ---- *)
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let heap_push t e =
+  if t.heap_len = Array.length t.heap then begin
+    let bigger = Array.make (2 * Array.length t.heap) None in
+    Array.blit t.heap 0 bigger 0 t.heap_len;
+    t.heap <- bigger
+  end;
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      match t.heap.(parent) with
+      | Some p when entry_lt e p ->
+        t.heap.(i) <- t.heap.(parent);
+        up parent
+      | _ -> t.heap.(i) <- Some e
+    end
+    else t.heap.(i) <- Some e
+  in
+  t.heap.(t.heap_len) <- Some e;
+  t.heap_len <- t.heap_len + 1;
+  up (t.heap_len - 1)
+
+let heap_pop t =
+  match t.heap.(0) with
+  | None -> None
+  | Some top ->
+    t.heap_len <- t.heap_len - 1;
+    let last = t.heap.(t.heap_len) in
+    t.heap.(t.heap_len) <- None;
+    if t.heap_len > 0 then begin
+      let last = Option.get last in
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = ref i and cur = ref last in
+        (match t.heap.(l) with
+         | Some e when l < t.heap_len && entry_lt e !cur -> smallest := l; cur := e
+         | _ -> ());
+        (match t.heap.(r) with
+         | Some e when r < t.heap_len && entry_lt e !cur -> smallest := r; cur := e
+         | _ -> ());
+        if !smallest <> i then begin
+          t.heap.(i) <- t.heap.(!smallest);
+          down !smallest
+        end
+        else t.heap.(i) <- Some last
+      in
+      down 0
+    end;
+    Some top
+
+let heap_peek t = t.heap.(0)
+
+let schedule t ~time resume =
+  heap_push t { time; seq = t.seq; resume };
+  t.seq <- t.seq + 1
+
+(* ---- fiber lifecycle ---- *)
+
+let run_under_handler t fiber f =
+  let open Effect.Deep in
+  match_with
+    (fun () -> f ())
+    ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                schedule t ~time:fiber.clock (fun () ->
+                    the_fiber := Some fiber;
+                    continue k ()))
+          | _ -> None);
+    }
+
+(** [spawn t ~socket ?core f] registers a fiber pinned to [socket]/[core].
+    If called from inside a running fiber, the child starts at the parent's
+    current clock; otherwise at time 0. *)
+let spawn t ~socket ?(core = 0) ?(at = -1) f =
+  if socket < 0 || socket >= t.topology.Topology.sockets then
+    invalid_arg "Sim.spawn: bad socket";
+  let start_time =
+    if at >= 0 then at
+    else match !the_fiber with Some parent -> parent.clock | None -> 0
+  in
+  let fiber =
+    {
+      fid = t.next_fid;
+      socket;
+      core;
+      frng = Rng.split t.rng;
+      clock = start_time;
+      slice = 0;
+      palloc = false;
+    }
+  in
+  t.next_fid <- t.next_fid + 1;
+  t.live <- t.live + 1;
+  schedule t ~time:start_time (fun () ->
+      the_fiber := Some fiber;
+      run_under_handler t fiber f);
+  fiber
+
+(** [run t ~until ()] dispatches fibers in simulated-time order. Returns
+    [`Done] when every fiber has finished, or [`Cut t] when the next
+    runnable fiber's clock exceeds [until] — which models a full-system
+    power failure at time [until]: in-flight fibers are simply abandoned,
+    exactly as a crash abandons in-flight threads. *)
+let run ?(until = max_int) t () =
+  if t.running then failwith "Sim.run: reentrant run";
+  t.running <- true;
+  the_sim := Some t;
+  let rec loop () =
+    match heap_peek t with
+    | None -> `Done
+    | Some e when e.time > until -> `Cut e.time
+    | Some _ ->
+      let e = Option.get (heap_pop t) in
+      e.resume ();
+      loop ()
+  in
+  let result = loop () in
+  t.running <- false;
+  the_sim := None;
+  the_fiber := None;
+  result
+
+(* ---- fiber-facing API ---- *)
+
+let now () = (self ()).clock
+
+let costs () = (instance ()).costs
+
+(** Charge [cost] ns to the running fiber.
+
+    Causality rule: a fiber may keep executing only while it is the
+    globally earliest runnable fiber. As soon as its clock passes another
+    fiber's wake time it yields, so every memory operation executes in
+    simulated-time order — which is what makes locks and CAS exclusion
+    sound in simulated time (a fiber can never observe a "future" write
+    of a logically-later fiber). *)
+let tick cost =
+  let f = self () in
+  f.clock <- f.clock + cost;
+  match heap_peek (instance ()) with
+  | Some e when e.time < f.clock -> Effect.perform Yield
+  | Some _ | None -> ()
+
+(** Force a scheduling point without advancing time. *)
+let yield () = Effect.perform Yield
+
+(** One iteration of a spin-wait loop: charge the spin cost and give the
+    scheduler a chance to run whoever we are waiting for. *)
+let spin () =
+  let f = self () in
+  f.clock <- f.clock + (instance ()).costs.Costs.spin;
+  Effect.perform Yield
+
+(** Advance the fiber's clock to [time] (no-op if already past). *)
+let sleep_until time =
+  let f = self () in
+  if time > f.clock then f.clock <- time;
+  Effect.perform Yield
+
+let fiber_rng () = (self ()).frng
+let socket () = (self ()).socket
+let sim_rng () = (instance ()).rng
+let topology () = (instance ()).topology
+
+(** Spawn a sibling fiber from inside a running fiber. *)
+let spawn_here ~socket ?core f =
+  ignore (spawn (instance ()) ~socket ?core f)
+
+(** Run [f] as a single fiber on socket 0 of a fresh default simulation and
+    return its result. Convenience for tests and sequential examples. *)
+let run_one ?(seed = 1L) ?(topology = Topology.default) f =
+  let sim = create ~seed topology in
+  let result = ref None in
+  ignore (spawn sim ~socket:0 (fun () -> result := Some (f ())));
+  (match run sim () with
+   | `Done -> ()
+   | `Cut _ -> failwith "Sim.run_one: unexpected cut");
+  match !result with
+  | Some r -> r
+  | None -> failwith "Sim.run_one: fiber did not complete"

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Check Config Cx_puc Gl_uc List Memory Nvm Prep Prep_uc Printf Roots Seqds Sim Soft_hash

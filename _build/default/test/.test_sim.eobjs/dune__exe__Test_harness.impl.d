@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Context Experiment Harness Int64 List Memory Nvm Option Prep Printf Roots Seqds Sim Workload

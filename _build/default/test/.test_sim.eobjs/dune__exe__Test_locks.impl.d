@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Array Locks Memory Nvm Option Prep Printf Sim

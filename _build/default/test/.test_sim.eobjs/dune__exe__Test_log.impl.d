@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Array List Log Memory Nvm Prep Sim

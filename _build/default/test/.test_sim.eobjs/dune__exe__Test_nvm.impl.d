@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Alloc Context List Memory Nvm QCheck QCheck_alcotest Roots Sim

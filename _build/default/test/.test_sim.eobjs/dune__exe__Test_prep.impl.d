@@ -1,0 +1,1 @@
+test/test_prep.ml: Alcotest Alloc Array Atomic Config Context Cx_puc Gl_uc Hashtbl Int64 List Log Memory Nvm Option Prep Prep_uc Printf Roots Seqds Sim Soft_hash Trace

@@ -1,0 +1,1 @@
+test/test_seqds.ml: Alcotest Alloc Context Hashmap List Memory Nvm Pqueue QCheck QCheck_alcotest Queue_ds Rbtree Seqds Sim Skiplist Stack_ds

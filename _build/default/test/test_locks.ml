@@ -1,0 +1,162 @@
+(* Tests for the trylock and reader-writer lock over simulated memory. *)
+
+open Nvm
+open Prep
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 }
+
+let with_mem f =
+  Sim.run_one (fun () ->
+      let mem = Memory.make ~bg_period:0 () in
+      let aid = Memory.new_arena mem ~kind:Memory.Dram ~home:0 in
+      f mem (Memory.addr_of ~aid ~offset:8))
+
+let test_trylock_basic () =
+  with_mem (fun mem a ->
+      let l = Locks.Trylock.make mem a in
+      check_bool "acquire" true (Locks.Trylock.try_acquire l);
+      check_bool "held" true (Locks.Trylock.held l);
+      check_bool "second acquire fails" false (Locks.Trylock.try_acquire l);
+      Locks.Trylock.release l;
+      check_bool "released" false (Locks.Trylock.held l);
+      check_bool "reacquire" true (Locks.Trylock.try_acquire l))
+
+let test_rwlock_readers_share () =
+  with_mem (fun mem a ->
+      let l = Locks.Rwlock.make mem a in
+      check_bool "reader 1" true (Locks.Rwlock.try_read_acquire l);
+      check_bool "reader 2" true (Locks.Rwlock.try_read_acquire l);
+      check_bool "writer blocked by readers" false
+        (Locks.Rwlock.try_write_acquire l);
+      Locks.Rwlock.read_release l;
+      check_bool "writer still blocked" false (Locks.Rwlock.try_write_acquire l);
+      Locks.Rwlock.read_release l;
+      check_bool "writer now ok" true (Locks.Rwlock.try_write_acquire l);
+      check_bool "reader blocked by writer" false
+        (Locks.Rwlock.try_read_acquire l);
+      Locks.Rwlock.write_release l;
+      check_bool "reader ok again" true (Locks.Rwlock.try_read_acquire l))
+
+(* Writers are mutually exclusive with everyone in simulated time, and a
+   shared counter incremented non-atomically under the write lock must not
+   lose updates. *)
+let test_rwlock_writer_exclusion () =
+  let sim = Sim.create ~seed:3L topology in
+  let mem = Memory.make ~bg_period:0 ~sockets:2 () in
+  let aid = Memory.new_arena mem ~kind:Memory.Dram ~home:0 in
+  let lock_addr = Memory.addr_of ~aid ~offset:8 in
+  let counter = Memory.addr_of ~aid ~offset:16 in
+  let l = ref None in
+  ignore (Sim.spawn sim ~socket:0 (fun () ->
+      l := Some (Locks.Rwlock.make mem lock_addr)));
+  (match Sim.run sim () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  let sim = Sim.create ~seed:4L topology in
+  let l = Option.get !l in
+  for w = 0 to 7 do
+    let socket, core = Sim.Topology.place topology w in
+    ignore
+      (Sim.spawn sim ~socket ~core (fun () ->
+           for _ = 1 to 50 do
+             Locks.Rwlock.write_acquire l;
+             (* non-atomic read-modify-write: only safe under the lock *)
+             let v = Memory.read mem counter in
+             Sim.tick 30;
+             Memory.write mem counter (v + 1);
+             Locks.Rwlock.write_release l
+           done))
+  done;
+  (match Sim.run sim () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  check "no lost updates" 400 (Memory.peek mem counter)
+
+(* Readers must never observe a writer's half-done update. *)
+let test_rwlock_readers_see_consistent_pairs () =
+  let sim = Sim.create ~seed:5L topology in
+  let mem = Memory.make ~bg_period:0 ~sockets:2 () in
+  let aid = Memory.new_arena mem ~kind:Memory.Dram ~home:0 in
+  let lock_addr = Memory.addr_of ~aid ~offset:8 in
+  let x = Memory.addr_of ~aid ~offset:16 in
+  let y = Memory.addr_of ~aid ~offset:24 in
+  let violations = ref 0 in
+  let l = ref None in
+  ignore (Sim.spawn sim ~socket:0 (fun () ->
+      l := Some (Locks.Rwlock.make mem lock_addr)));
+  (match Sim.run sim () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  let l = Option.get !l in
+  let sim = Sim.create ~seed:6L topology in
+  (* writer keeps x = y, with a deliberate torn window inside the lock *)
+  ignore
+    (Sim.spawn sim ~socket:0 ~core:0 (fun () ->
+         for i = 1 to 100 do
+           Locks.Rwlock.write_acquire l;
+           Memory.write mem x i;
+           Sim.tick 100;
+           Memory.write mem y i;
+           Locks.Rwlock.write_release l
+         done));
+  for w = 1 to 6 do
+    let socket, core = Sim.Topology.place topology w in
+    ignore
+      (Sim.spawn sim ~socket ~core (fun () ->
+           for _ = 1 to 100 do
+             Locks.Rwlock.read_acquire l;
+             let xv = Memory.read mem x in
+             let yv = Memory.read mem y in
+             if xv <> yv then incr violations;
+             Locks.Rwlock.read_release l
+           done))
+  done;
+  (match Sim.run sim () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  check "no torn reads" 0 !violations
+
+(* The combiner trylock pattern: many contenders, exactly one combiner at
+   a time, everyone eventually becomes one. *)
+let test_trylock_combiner_pattern () =
+  let sim = Sim.create ~seed:8L topology in
+  let mem = Memory.make ~bg_period:0 ~sockets:2 () in
+  let aid = Memory.new_arena mem ~kind:Memory.Dram ~home:0 in
+  let l = ref None in
+  ignore (Sim.spawn sim ~socket:0 (fun () ->
+      l := Some (Locks.Trylock.make mem (Memory.addr_of ~aid ~offset:8))));
+  (match Sim.run sim () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  let l = Option.get !l in
+  let sim = Sim.create ~seed:9L topology in
+  let combines = Array.make 8 0 in
+  for w = 0 to 7 do
+    let socket, core = Sim.Topology.place topology w in
+    ignore
+      (Sim.spawn sim ~socket ~core (fun () ->
+           let remaining = ref 20 in
+           while !remaining > 0 do
+             if Locks.Trylock.try_acquire l then begin
+               Sim.tick 200;
+               combines.(w) <- combines.(w) + 1;
+               decr remaining;
+               Locks.Trylock.release l
+             end
+             else Sim.spin ()
+           done))
+  done;
+  (match Sim.run sim () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  Array.iteri
+    (fun w n -> check (Printf.sprintf "worker %d combined" w) 20 n)
+    combines
+
+let () =
+  Alcotest.run "locks"
+    [
+      ( "trylock",
+        [
+          Alcotest.test_case "basic" `Quick test_trylock_basic;
+          Alcotest.test_case "combiner pattern" `Quick test_trylock_combiner_pattern;
+        ] );
+      ( "rwlock",
+        [
+          Alcotest.test_case "readers share" `Quick test_rwlock_readers_share;
+          Alcotest.test_case "writer exclusion" `Quick test_rwlock_writer_exclusion;
+          Alcotest.test_case "consistent reads" `Quick
+            test_rwlock_readers_see_consistent_pairs;
+        ] );
+    ]

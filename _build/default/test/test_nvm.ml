@@ -1,0 +1,420 @@
+(* Tests for the simulated NVM: cache model, persistence instructions,
+   crash semantics, allocators, allocator-swap context, roots. *)
+
+open Nvm
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Fresh memory with background flushes disabled unless a test wants them. *)
+let fresh ?(bg_period = 0) () = Memory.make ~bg_period ()
+
+let in_sim f = Sim.run_one f
+
+(* ---- basic load/store ---- *)
+
+let test_read_write () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let aid = Memory.new_arena m ~kind:Memory.Dram ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 123;
+      check "read back" 123 (Memory.read m a);
+      check "uninitialised is zero" 0 (Memory.read m (a + 1)))
+
+let test_cas_semantics () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let aid = Memory.new_arena m ~kind:Memory.Dram ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 5;
+      check_bool "cas succeeds" true (Memory.cas m a ~expected:5 ~desired:9);
+      check "new value" 9 (Memory.read m a);
+      check_bool "cas fails" false (Memory.cas m a ~expected:5 ~desired:11);
+      check "unchanged" 9 (Memory.read m a))
+
+let test_faa () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let aid = Memory.new_arena m ~kind:Memory.Dram ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      check "faa returns old" 0 (Memory.faa m a 3);
+      check "faa returns old 2" 3 (Memory.faa m a 4);
+      check "value" 7 (Memory.read m a))
+
+(* ---- persistence semantics ---- *)
+
+let test_unflushed_write_lost_on_crash () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 77;
+      Memory.crash m;
+      check "lost" 0 (Memory.peek m a))
+
+let test_clwb_alone_not_durable () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 77;
+      Memory.clwb m a;
+      (* no fence: the write-back is still pending *)
+      Memory.crash m;
+      check "clwb without sfence lost" 0 (Memory.peek m a))
+
+let test_clwb_sfence_durable () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 77;
+      Memory.clwb m a;
+      Memory.sfence m;
+      Memory.crash m;
+      check "durable" 77 (Memory.peek m a))
+
+let test_clflush_durable_immediately () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 42;
+      Memory.clflush m a;
+      Memory.crash m;
+      check "durable" 42 (Memory.peek m a))
+
+let test_clwb_captures_at_call_time () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 1;
+      Memory.clwb m a;
+      Memory.write m a 2;
+      (* second write re-dirties the line after the clwb captured value 1 *)
+      Memory.sfence m;
+      Memory.crash m;
+      check "fence persists captured value" 1 (Memory.peek m a))
+
+let test_whole_line_flushed () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      let base = Memory.addr_of ~aid ~offset:16 in
+      (* two words on the same 8-word line *)
+      Memory.write m base 5;
+      Memory.write m (base + 3) 6;
+      Memory.clflush m base;
+      Memory.crash m;
+      check "word 0" 5 (Memory.peek m base);
+      check "word 3 same line" 6 (Memory.peek m (base + 3)))
+
+let test_wbinvd_flushes_own_socket_only () =
+  let m = fresh () in
+  let sim = Sim.create Sim.Topology.default in
+  let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+  let a0 = Memory.addr_of ~aid ~offset:8 in
+  let a1 = Memory.addr_of ~aid ~offset:1024 in
+  (* socket 0 dirties a0; socket 1 dirties a1 and runs WBINVD *)
+  ignore (Sim.spawn sim ~socket:0 (fun () -> Memory.write m a0 10));
+  ignore
+    (Sim.spawn sim ~socket:1 (fun () ->
+         Memory.write m a1 20;
+         Sim.tick 10_000 (* let socket 0's write land first *);
+         Memory.wbinvd m));
+  (match Sim.run sim () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  Memory.crash m;
+  check "other socket's line not flushed" 0 (Memory.peek m a0);
+  check "own line flushed" 20 (Memory.peek m a1)
+
+let test_dram_gone_after_crash () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let aid = Memory.new_arena m ~kind:Memory.Dram ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 99;
+      Memory.crash m;
+      check "dram zeroed" 0 (Memory.peek m a))
+
+let test_background_flush_persists_sometimes () =
+  in_sim (fun () ->
+      let m = fresh ~bg_period:10 () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      (* hammer many distinct lines; with mean period 10 some must land *)
+      for i = 0 to 499 do
+        Memory.write m (Memory.addr_of ~aid ~offset:(8 * (i + 1))) (i + 1)
+      done;
+      let stats = Memory.stats m in
+      check_bool "some background flushes happened" true
+        (stats.Memory.bg_flushes > 0);
+      Memory.crash m;
+      let survived = ref 0 in
+      for i = 0 to 499 do
+        if Memory.peek m (Memory.addr_of ~aid ~offset:(8 * (i + 1))) = i + 1
+        then incr survived
+      done;
+      check_bool "a strict subset survived" true
+        (!survived > 0 && !survived < 500))
+
+let test_crash_resets_coherent_view_to_media () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 1;
+      Memory.clflush m a;
+      Memory.write m a 2 (* newer, unflushed *);
+      check "coherent view sees 2" 2 (Memory.read m a);
+      Memory.crash m;
+      check "recovered view sees persisted 1" 1 (Memory.read m a))
+
+let test_flush_arena () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      for i = 1 to 100 do
+        Memory.write m (Memory.addr_of ~aid ~offset:(8 * i)) i
+      done;
+      Memory.flush_arena m aid;
+      Memory.sfence m;
+      Memory.crash m;
+      let ok = ref true in
+      for i = 1 to 100 do
+        if Memory.peek m (Memory.addr_of ~aid ~offset:(8 * i)) <> i then
+          ok := false
+      done;
+      check_bool "all persisted" true !ok)
+
+(* ---- allocator ---- *)
+
+let test_alloc_zeroed_and_disjoint () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let al = Alloc.create_volatile m ~home:0 in
+      let a = Alloc.alloc al 10 and b = Alloc.alloc al 10 in
+      check_bool "disjoint" true (abs (a - b) >= 10);
+      for i = 0 to 9 do
+        Memory.write m (a + i) (i + 1)
+      done;
+      check "b untouched" 0 (Memory.peek m b);
+      check_bool "never null" true (a <> Memory.null && b <> Memory.null))
+
+let test_alloc_free_reuse_scrubbed () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let al = Alloc.create_volatile m ~home:0 in
+      let a = Alloc.alloc al 4 in
+      Memory.write m a 999;
+      Alloc.free al a 4;
+      let b = Alloc.alloc al 4 in
+      check "same block reused" a b;
+      check "scrubbed" 0 (Memory.peek m b))
+
+let test_alloc_grows_arenas () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let al = Alloc.create_volatile m ~home:0 in
+      let before = Memory.arena_count m in
+      (* allocate more than one arena's worth *)
+      for _ = 1 to (2 * Memory.arena_words / 128) + 2 do
+        ignore (Alloc.alloc al 128)
+      done;
+      check_bool "new arenas created" true (Memory.arena_count m > before))
+
+let test_persistent_alloc_addresses_survive () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let al = Alloc.create_persistent m ~home:0 in
+      let a = Alloc.alloc al 4 in
+      Memory.write m a 31337;
+      Memory.clflush m a;
+      Memory.crash m;
+      check "persistent data still at same address" 31337 (Memory.peek m a))
+
+(* ---- context / allocator swap ---- *)
+
+let test_context_swap () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let vol = Alloc.create_volatile m ~home:0 in
+      let pers = Alloc.create_persistent m ~home:0 in
+      Context.bind ~default:vol ~persistent:pers ();
+      let a = Context.alloc 4 in
+      check_bool "default allocation is DRAM" false (Memory.is_nvm m a);
+      let b = Context.with_persistent (fun () -> Context.alloc 4) in
+      check_bool "swapped allocation is NVM" true (Memory.is_nvm m b);
+      let c = Context.alloc 4 in
+      check_bool "flag restored" false (Memory.is_nvm m c);
+      Context.reset ())
+
+let test_context_nested_restore () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let vol = Alloc.create_volatile m ~home:0 in
+      let pers = Alloc.create_persistent m ~home:0 in
+      Context.bind ~default:vol ~persistent:pers ();
+      Context.with_persistent (fun () ->
+          Context.with_persistent (fun () -> ());
+          let a = Context.alloc 4 in
+          check_bool "still persistent after inner exit" true
+            (Memory.is_nvm m a));
+      Context.reset ())
+
+(* ---- roots ---- *)
+
+let test_roots_survive_crash () =
+  in_sim (fun () ->
+      let m = fresh () in
+      let roots = Roots.make m in
+      Roots.set roots 1 4242;
+      Roots.set_unflushed roots 2 17;
+      Memory.crash m;
+      check "flushed root recovered" 4242 (Roots.get roots 1);
+      check "unflushed root lost" 0 (Roots.get roots 2))
+
+(* A CAS-based lock must provide mutual exclusion *in simulated time*:
+   critical-section intervals of different fibers never overlap. This
+   guards the scheduler's causality rule (a fiber only executes while it
+   is the earliest runnable one). *)
+let test_cas_mutual_exclusion_in_sim_time () =
+  let m = fresh () in
+  let topo = Sim.Topology.{ sockets = 2; cores_per_socket = 4 } in
+  let sim = Sim.create ~seed:9L topo in
+  let aid = Memory.new_arena m ~kind:Memory.Dram ~home:0 in
+  let lock = Memory.addr_of ~aid ~offset:8 in
+  let intervals = ref [] in
+  for w = 0 to 7 do
+    let socket, core = Sim.Topology.place topo w in
+    ignore
+      (Sim.spawn sim ~socket ~core (fun () ->
+           let rng = Sim.fiber_rng () in
+           for _ = 1 to 30 do
+             while not (Memory.cas m lock ~expected:0 ~desired:1) do
+               Sim.spin ()
+             done;
+             let enter = Sim.now () in
+             Sim.tick (50 + Sim.Rng.int rng 300);
+             let exit_ = Sim.now () in
+             Memory.write m lock 0;
+             intervals := (enter, exit_, w) :: !intervals
+           done))
+  done;
+  (match Sim.run sim () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  let sorted = List.sort compare !intervals in
+  let rec no_overlap = function
+    | (_, e1, _) :: ((s2, _, _) :: _ as rest) ->
+      if s2 < e1 then
+        Alcotest.failf "critical sections overlap: exit %d vs enter %d" e1 s2;
+      no_overlap rest
+    | _ -> ()
+  in
+  no_overlap sorted;
+  check "all critical sections recorded" 240 (List.length sorted)
+
+(* ---- property tests ---- *)
+
+let prop_flushed_equals_peek =
+  QCheck.Test.make ~count:50 ~name:"flush then crash preserves all writes"
+    QCheck.(small_list (pair (int_bound 500) (int_bound 10_000)))
+    (fun writes ->
+      Sim.run_one (fun () ->
+          let m = fresh () in
+          let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+          List.iter
+            (fun (off, v) ->
+              Memory.write m (Memory.addr_of ~aid ~offset:(off + 8)) v)
+            writes;
+          List.iter
+            (fun (off, _) ->
+              Memory.clwb m (Memory.addr_of ~aid ~offset:(off + 8)))
+            writes;
+          Memory.sfence m;
+          let expected =
+            List.map
+              (fun (off, _) -> Memory.peek m (Memory.addr_of ~aid ~offset:(off + 8)))
+              writes
+          in
+          Memory.crash m;
+          let got =
+            List.map
+              (fun (off, _) -> Memory.peek m (Memory.addr_of ~aid ~offset:(off + 8)))
+              writes
+          in
+          expected = got))
+
+let prop_alloc_blocks_disjoint =
+  QCheck.Test.make ~count:50 ~name:"allocated blocks never overlap"
+    QCheck.(small_list (int_range 1 64))
+    (fun sizes ->
+      Sim.run_one (fun () ->
+          let m = fresh () in
+          let al = Alloc.create_volatile m ~home:0 in
+          let blocks = List.map (fun s -> (Alloc.alloc al s, s)) sizes in
+          let rec disjoint = function
+            | [] -> true
+            | (a, sa) :: rest ->
+              List.for_all (fun (b, sb) -> a + sa <= b || b + sb <= a) rest
+              && disjoint rest
+          in
+          disjoint blocks))
+
+let () =
+  Alcotest.run "nvm"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "read/write" `Quick test_read_write;
+          Alcotest.test_case "cas" `Quick test_cas_semantics;
+          Alcotest.test_case "faa" `Quick test_faa;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "unflushed write lost" `Quick
+            test_unflushed_write_lost_on_crash;
+          Alcotest.test_case "clwb alone not durable" `Quick
+            test_clwb_alone_not_durable;
+          Alcotest.test_case "clwb+sfence durable" `Quick test_clwb_sfence_durable;
+          Alcotest.test_case "clflush durable" `Quick
+            test_clflush_durable_immediately;
+          Alcotest.test_case "clwb captures at call time" `Quick
+            test_clwb_captures_at_call_time;
+          Alcotest.test_case "whole line flushed" `Quick test_whole_line_flushed;
+          Alcotest.test_case "wbinvd own socket only" `Quick
+            test_wbinvd_flushes_own_socket_only;
+          Alcotest.test_case "dram gone after crash" `Quick
+            test_dram_gone_after_crash;
+          Alcotest.test_case "background flushes" `Quick
+            test_background_flush_persists_sometimes;
+          Alcotest.test_case "crash resets to media" `Quick
+            test_crash_resets_coherent_view_to_media;
+          Alcotest.test_case "flush arena" `Quick test_flush_arena;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "zeroed and disjoint" `Quick
+            test_alloc_zeroed_and_disjoint;
+          Alcotest.test_case "free/reuse scrubbed" `Quick
+            test_alloc_free_reuse_scrubbed;
+          Alcotest.test_case "grows arenas" `Quick test_alloc_grows_arenas;
+          Alcotest.test_case "persistent addresses survive" `Quick
+            test_persistent_alloc_addresses_survive;
+        ] );
+      ( "causality",
+        [
+          Alcotest.test_case "cas mutual exclusion in sim time" `Quick
+            test_cas_mutual_exclusion_in_sim_time;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "swap" `Quick test_context_swap;
+          Alcotest.test_case "nested restore" `Quick test_context_nested_restore;
+        ] );
+      ( "roots", [ Alcotest.test_case "survive crash" `Quick test_roots_survive_crash ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_flushed_equals_peek;
+          QCheck_alcotest.to_alcotest prop_alloc_blocks_disjoint;
+        ] );
+    ]

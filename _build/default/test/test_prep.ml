@@ -1,0 +1,533 @@
+(* Tests for the PREP-UC universal construction: all three modes, the
+   baselines, crash/recovery, and the paper's loss bounds. *)
+
+open Nvm
+open Prep
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_list = Alcotest.(check (list int))
+
+module Uc = Prep_uc.Make (Seqds.Hashmap)
+module H = Seqds.Hashmap
+
+let ins k v = (H.op_insert, [| k; v |])
+
+(* Build a simulation, a memory with roots, and run [body] as a fiber. *)
+let with_world ?(seed = 1L) ?(bg_period = 0)
+    ?(topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 }) body =
+  let sim = Sim.create ~seed topology in
+  let mem = Memory.make ~bg_period ~sockets:topology.Sim.Topology.sockets () in
+  let result = ref None in
+  ignore (Sim.spawn sim ~socket:0 (fun () ->
+      let roots = Roots.make mem in
+      result := Some (body sim mem roots)));
+  (match Sim.run sim () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  Option.get !result
+
+(* Spawn [workers] fibers that each run [ops_per_worker] random hashmap
+   ops through [uc], then return. Returns when all are spawned (they run
+   within the same Sim.run). *)
+let spawn_workers sim uc ~topology ~workers ~ops_per_worker ~keyspace
+    ~update_pct ~done_count =
+  for w = 0 to workers - 1 do
+    let socket, core = Sim.Topology.place topology w in
+    ignore
+      (Sim.spawn sim ~socket ~core (fun () ->
+           Uc.register_worker uc;
+           let rng = Sim.fiber_rng () in
+           for _ = 1 to ops_per_worker do
+             let k = Sim.Rng.int rng keyspace in
+             if Sim.Rng.int rng 100 < update_pct then
+               if Sim.Rng.bool rng then
+                 ignore (Uc.execute uc ~op:H.op_insert ~args:[| k; Sim.Rng.int rng 1000 |])
+               else ignore (Uc.execute uc ~op:H.op_remove ~args:[| k |])
+             else ignore (Uc.execute uc ~op:H.op_get ~args:[| k |])
+           done;
+           incr done_count))
+  done
+
+(* Replay the UC's prefill + trace prefix through the pure model. *)
+let model_of_ops ops =
+  List.fold_left
+    (fun m (op, args) -> fst (H.Model.apply m ~op ~args))
+    H.Model.empty ops
+
+let trace_ops trace idxs =
+  List.map
+    (fun i ->
+      let e = Trace.get trace i in
+      (e.Trace.op, e.Trace.args))
+    idxs
+
+(* ---- volatile (PREP-V / NR-UC) ---- *)
+
+let test_volatile_single_worker () =
+  with_world (fun _sim mem roots ->
+      let cfg = Config.make ~mode:Config.Volatile ~workers:1 () in
+      let uc = Uc.create mem roots cfg in
+      Uc.register_worker uc;
+      check "insert" 1 (Uc.execute uc ~op:H.op_insert ~args:[| 1; 10 |]);
+      check "insert2" 1 (Uc.execute uc ~op:H.op_insert ~args:[| 2; 20 |]);
+      check "get" 10 (Uc.execute uc ~op:H.op_get ~args:[| 1 |]);
+      check "replace" 0 (Uc.execute uc ~op:H.op_insert ~args:[| 1; 11 |]);
+      check "get2" 11 (Uc.execute uc ~op:H.op_get ~args:[| 1 |]);
+      check "remove" 1 (Uc.execute uc ~op:H.op_remove ~args:[| 2 |]);
+      check "gone" (-1) (Uc.execute uc ~op:H.op_get ~args:[| 2 |]);
+      check "size" 1 (Uc.execute uc ~op:H.op_size ~args:[||]))
+
+let test_volatile_prefill () =
+  with_world (fun _sim mem roots ->
+      let cfg = Config.make ~mode:Config.Volatile ~workers:1 () in
+      let uc = Uc.create ~prefill:[ ins 7 70; ins 8 80 ] mem roots cfg in
+      Uc.register_worker uc;
+      check "prefilled" 70 (Uc.execute uc ~op:H.op_get ~args:[| 7 |]);
+      check "prefilled2" 80 (Uc.execute uc ~op:H.op_get ~args:[| 8 |]))
+
+let concurrent_final_state_matches_trace mode =
+  let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 } in
+  with_world ~topology (fun sim mem roots ->
+      let workers = 6 in
+      let cfg =
+        Config.make ~mode ~log_size:256 ~epsilon:64 ~workers ()
+      in
+      let uc = Uc.create ~prefill:[ ins 0 1 ] mem roots cfg in
+      Uc.start_persistence uc;
+      let done_count = ref 0 in
+      spawn_workers sim uc ~topology ~workers ~ops_per_worker:120 ~keyspace:40
+        ~update_pct:60 ~done_count;
+      (* wait for the workers inside this orchestration fiber *)
+      while !done_count < workers do
+        Sim.tick 10_000
+      done;
+      Uc.stop uc;
+      Uc.sync uc;
+      (* final state must equal the model replay of the linearization *)
+      let trace = Uc.trace uc in
+      let all = List.init (Trace.length trace) (fun i -> i) in
+      let expected =
+        model_of_ops (Uc.prefill_ops uc @ trace_ops trace all)
+      in
+      check_list "final state = trace replay" (H.Model.snapshot expected)
+        (Uc.snapshot uc);
+      (* every logged update completed (quiescent run) *)
+      check "all ops completed" (Trace.length trace)
+        (List.length (Trace.completed_indexes trace)))
+
+let test_volatile_concurrent () = concurrent_final_state_matches_trace Config.Volatile
+let test_buffered_concurrent () = concurrent_final_state_matches_trace Config.Buffered
+let test_durable_concurrent () = concurrent_final_state_matches_trace Config.Durable
+
+let test_log_wraps () =
+  (* run enough ops through a tiny log to wrap it several times *)
+  with_world (fun _sim mem roots ->
+      let cfg = Config.make ~mode:Config.Volatile ~log_size:16 ~workers:1 () in
+      let uc = Uc.create mem roots cfg in
+      Uc.register_worker uc;
+      for i = 0 to 99 do
+        ignore (Uc.execute uc ~op:H.op_insert ~args:[| i mod 10; i |])
+      done;
+      for i = 0 to 9 do
+        check "wrapped state" (90 + i) (Uc.execute uc ~op:H.op_get ~args:[| i |])
+      done)
+
+(* ---- crash & recovery ---- *)
+
+(* Run a workload, cut the simulation at [crash_at] ns (a power failure),
+   crash the memory, then recover in a fresh simulation and return
+   (uc', report, old trace, old prefill, epsilon, beta). *)
+let crash_and_recover ~mode ~seed ~crash_at ~workers ~epsilon ~log_size
+    ?(bg_period = 2000) () =
+  let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 } in
+  let sim = Sim.create ~seed topology in
+  let mem = Memory.make ~bg_period ~sockets:2 () in
+  let uc_ref = ref None in
+  ignore (Sim.spawn sim ~socket:0 (fun () ->
+      let roots = Roots.make mem in
+      let cfg = Config.make ~mode ~log_size ~epsilon ~workers () in
+      let uc = Uc.create ~prefill:[ ins 1000 1 ] mem roots cfg in
+      Uc.start_persistence uc;
+      uc_ref := Some uc;
+      let done_count = ref 0 in
+      spawn_workers sim uc ~topology ~workers ~ops_per_worker:100_000
+        ~keyspace:50 ~update_pct:100 ~done_count));
+  (* the cut is the power failure: fibers are abandoned mid-operation *)
+  (match Sim.run ~until:crash_at sim () with
+   | `Cut _ -> ()
+   | `Done -> Alcotest.fail "workload finished before the crash point");
+  let uc = Option.get !uc_ref in
+  Memory.crash mem;
+  Context.reset ();
+  (* recover in a fresh simulation (fresh threads, same memory) *)
+  let sim2 = Sim.create ~seed:(Int64.add seed 1L) topology in
+  let out = ref None in
+  ignore (Sim.spawn sim2 ~socket:0 (fun () ->
+      out := Some (Uc.recover uc)));
+  (match Sim.run sim2 () with `Done -> () | `Cut _ -> Alcotest.fail "cut2");
+  let uc', report = Option.get !out in
+  (uc', report, Uc.trace uc, Uc.prefill_ops uc, epsilon)
+
+let beta = 4 (* cores per socket in these tests *)
+
+let test_buffered_crash_prefix_and_bound () =
+  List.iter
+    (fun seed ->
+      let uc', report, trace, prefill, epsilon =
+        crash_and_recover ~mode:Config.Buffered ~seed ~crash_at:3_000_000
+          ~workers:6 ~epsilon:32 ~log_size:128 ()
+      in
+      check_bool "recovered a contiguous prefix" true
+        report.Prep_uc.contiguous_prefix;
+      check_bool
+        (Printf.sprintf "loss %d within epsilon+beta-1 = %d"
+           report.Prep_uc.lost_completed (epsilon + beta - 1))
+        true
+        (report.Prep_uc.lost_completed <= epsilon + beta - 1);
+      (* the recovered state must be exactly the replay of the prefix *)
+      let expected =
+        model_of_ops (prefill @ trace_ops trace report.Prep_uc.applied)
+      in
+      check_list "recovered state = prefix replay" (H.Model.snapshot expected)
+        (Uc.snapshot uc'))
+    [ 11L; 12L; 13L; 14L ]
+
+let test_durable_crash_no_completed_loss () =
+  List.iter
+    (fun seed ->
+      let uc', report, trace, prefill, _ =
+        crash_and_recover ~mode:Config.Durable ~seed ~crash_at:3_000_000
+          ~workers:6 ~epsilon:32 ~log_size:128 ()
+      in
+      check "no completed op lost" 0 report.Prep_uc.lost_completed;
+      check "no completed op skipped as hole" 0 report.Prep_uc.skipped_completed;
+      let expected =
+        model_of_ops (prefill @ trace_ops trace report.Prep_uc.applied)
+      in
+      check_list "recovered state = applied replay" (H.Model.snapshot expected)
+        (Uc.snapshot uc'))
+    [ 21L; 22L; 23L; 24L ]
+
+let test_recovered_uc_still_works () =
+  let uc', _, _, _, _ =
+    crash_and_recover ~mode:Config.Durable ~seed:31L ~crash_at:2_000_000
+      ~workers:6 ~epsilon:32 ~log_size:128 ()
+  in
+  (* run more operations on the recovered instance *)
+  let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 } in
+  let sim = Sim.create ~seed:32L topology in
+  let passed = ref false in
+  ignore (Sim.spawn sim ~socket:0 (fun () ->
+      Uc.register_worker uc';
+      Uc.start_persistence uc';
+      check "insert after recovery" 1
+        (Uc.execute uc' ~op:H.op_insert ~args:[| 77777; 1 |]);
+      check "get after recovery" 1
+        (Uc.execute uc' ~op:H.op_get ~args:[| 77777 |]);
+      Uc.stop uc';
+      passed := true));
+  (match Sim.run sim () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  check_bool "ran" true !passed
+
+let test_double_crash () =
+  (* crash, recover, run more, crash again, recover again *)
+  let uc1, _, _, _, _ =
+    crash_and_recover ~mode:Config.Buffered ~seed:41L ~crash_at:2_000_000
+      ~workers:6 ~epsilon:32 ~log_size:128 ()
+  in
+  let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 } in
+  let sim = Sim.create ~seed:42L topology in
+  ignore (Sim.spawn sim ~socket:0 (fun () ->
+      Uc.start_persistence uc1;
+      let done_count = ref 0 in
+      spawn_workers sim uc1 ~topology ~workers:4 ~ops_per_worker:100_000
+        ~keyspace:50 ~update_pct:100 ~done_count));
+  (match Sim.run ~until:2_000_000 sim () with
+   | `Cut _ -> ()
+   | `Done -> Alcotest.fail "finished before second crash");
+  let mem = (fun (u : Uc.t) -> u.Uc.mem) uc1 in
+  Memory.crash mem;
+  Context.reset ();
+  let sim2 = Sim.create ~seed:43L topology in
+  let out = ref None in
+  ignore (Sim.spawn sim2 ~socket:0 (fun () -> out := Some (Uc.recover uc1)));
+  (match Sim.run sim2 () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  let uc2, report = Option.get !out in
+  check_bool "second recovery is a prefix" true report.Prep_uc.contiguous_prefix;
+  check_bool "loss bound holds again" true
+    (report.Prep_uc.lost_completed <= 32 + beta - 1);
+  let expected =
+    model_of_ops
+      (Uc.prefill_ops uc1 @ trace_ops (Uc.trace uc1) report.Prep_uc.applied)
+  in
+  check_list "second recovery state" (H.Model.snapshot expected) (Uc.snapshot uc2)
+
+(* Crash-time fuzzing: random crash points and seeds; the §5.1/§5.2
+   guarantees must hold at every cut. *)
+let test_crash_fuzz_buffered () =
+  let rng = Sim.Rng.create 777L in
+  for episode = 1 to 12 do
+    let seed = Int64.of_int (1000 + episode) in
+    let crash_at = 400_000 + Sim.Rng.int rng 4_000_000 in
+    let epsilon = 8 + Sim.Rng.int rng 56 in
+    let uc', report, trace, prefill, _ =
+      crash_and_recover ~mode:Config.Buffered ~seed ~crash_at ~workers:6
+        ~epsilon ~log_size:256 ()
+    in
+    check_bool
+      (Printf.sprintf "ep%d: prefix (crash %d, eps %d)" episode crash_at epsilon)
+      true report.Prep_uc.contiguous_prefix;
+    check_bool
+      (Printf.sprintf "ep%d: loss %d <= %d" episode
+         report.Prep_uc.lost_completed (epsilon + beta - 1))
+      true
+      (report.Prep_uc.lost_completed <= epsilon + beta - 1);
+    let expected =
+      model_of_ops (prefill @ trace_ops trace report.Prep_uc.applied)
+    in
+    check_list
+      (Printf.sprintf "ep%d: state replay" episode)
+      (H.Model.snapshot expected) (Uc.snapshot uc')
+  done
+
+let test_crash_fuzz_durable () =
+  let rng = Sim.Rng.create 888L in
+  for episode = 1 to 12 do
+    let seed = Int64.of_int (2000 + episode) in
+    let crash_at = 400_000 + Sim.Rng.int rng 4_000_000 in
+    let epsilon = 8 + Sim.Rng.int rng 56 in
+    let uc', report, trace, prefill, _ =
+      crash_and_recover ~mode:Config.Durable ~seed ~crash_at ~workers:6
+        ~epsilon ~log_size:256 ()
+    in
+    check (Printf.sprintf "ep%d: zero loss (crash %d)" episode crash_at) 0
+      report.Prep_uc.lost_completed;
+    check (Printf.sprintf "ep%d: zero skipped" episode) 0
+      report.Prep_uc.skipped_completed;
+    let expected =
+      model_of_ops (prefill @ trace_ops trace report.Prep_uc.applied)
+    in
+    check_list
+      (Printf.sprintf "ep%d: state replay" episode)
+      (H.Model.snapshot expected) (Uc.snapshot uc')
+  done
+
+(* ---- epsilon validation ---- *)
+
+let test_epsilon_validation () =
+  with_world (fun _sim mem roots ->
+      let cfg = Config.make ~mode:Config.Buffered ~log_size:64 ~epsilon:64 ~workers:2 () in
+      (try
+         ignore (Uc.create mem roots cfg);
+         Alcotest.fail "expected Invalid_argument"
+       with Invalid_argument _ -> ());
+      ())
+
+(* ---- GL baseline ---- *)
+
+module Gl = Gl_uc.Make (Seqds.Hashmap)
+
+let test_gl_uc () =
+  let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 } in
+  with_world ~topology (fun sim mem _roots ->
+      let gl = Gl.create ~prefill:[ ins 1 10 ] mem in
+      let done_count = ref 0 in
+      let total = Atomic.make 0 in
+      for w = 0 to 3 do
+        let socket, core = Sim.Topology.place topology w in
+        ignore (Sim.spawn sim ~socket ~core (fun () ->
+            Gl.register_worker gl;
+            for i = 0 to 49 do
+              ignore (Gl.execute gl ~op:H.op_insert ~args:[| (w * 100) + i; i |]);
+              Atomic.incr total
+            done;
+            incr done_count))
+      done;
+      while !done_count < 4 do Sim.tick 10_000 done;
+      check "gl size" 200 (Gl.execute gl ~op:H.op_size ~args:[||]);
+      check "all ops ran" 200 (Atomic.get total))
+
+(* ---- CX-PUC ---- *)
+
+module Cx = Cx_puc.Make (Seqds.Hashmap)
+
+let test_cx_sequential () =
+  with_world (fun _sim mem roots ->
+      let cx = Cx.create ~prefill:[ ins 5 50 ] mem roots ~workers:2 in
+      Cx.register_worker cx;
+      check "prefilled get" 50 (Cx.execute cx ~op:H.op_get ~args:[| 5 |]);
+      check "insert" 1 (Cx.execute cx ~op:H.op_insert ~args:[| 6; 60 |]);
+      check "get" 60 (Cx.execute cx ~op:H.op_get ~args:[| 6 |]);
+      check "remove" 1 (Cx.execute cx ~op:H.op_remove ~args:[| 5 |]);
+      check "gone" (-1) (Cx.execute cx ~op:H.op_get ~args:[| 5 |]))
+
+let test_cx_concurrent () =
+  let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 } in
+  with_world ~topology (fun sim mem roots ->
+      let workers = 4 in
+      let cx = Cx.create mem roots ~workers in
+      let done_count = ref 0 in
+      for w = 0 to workers - 1 do
+        let socket, core = Sim.Topology.place topology w in
+        ignore (Sim.spawn sim ~socket ~core (fun () ->
+            Cx.register_worker cx;
+            for i = 0 to 29 do
+              ignore (Cx.execute cx ~op:H.op_insert ~args:[| (w * 1000) + i; i |])
+            done;
+            incr done_count))
+      done;
+      while !done_count < workers do Sim.tick 10_000 done;
+      (* all 120 distinct inserts must be present in the published replica *)
+      Cx.register_worker cx;
+      let missing = ref 0 in
+      for w = 0 to workers - 1 do
+        for i = 0 to 29 do
+          if Cx.execute cx ~op:H.op_get ~args:[| (w * 1000) + i |] <> i then
+            incr missing
+        done
+      done;
+      check "no inserts lost" 0 !missing)
+
+let test_cx_crash_recovery () =
+  let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 } in
+  let sim = Sim.create ~seed:55L topology in
+  let mem = Memory.make ~bg_period:2000 ~sockets:2 () in
+  let cx_ref = ref None in
+  ignore (Sim.spawn sim ~socket:0 (fun () ->
+      let roots = Roots.make mem in
+      let cx = Cx.create mem roots ~workers:4 in
+      cx_ref := Some cx;
+      for w = 0 to 3 do
+        let socket, core = Sim.Topology.place topology w in
+        ignore (Sim.spawn sim ~socket ~core (fun () ->
+            Cx.register_worker cx;
+            for i = 0 to 10_000 do
+              ignore (Cx.execute cx ~op:H.op_insert ~args:[| (w * 100_000) + i; i |])
+            done))
+      done));
+  (match Sim.run ~until:5_000_000 sim () with
+   | `Cut _ -> ()
+   | `Done -> Alcotest.fail "cx finished before crash");
+  let cx = Option.get !cx_ref in
+  (* read the queue's coherent contents before the crash destroys it *)
+  let qtail = Memory.peek mem cx.Cx.qtail_addr in
+  let queue_ops =
+    List.init qtail (fun i ->
+        let a = Log.entry_addr cx.Cx.queue i in
+        let argc = Memory.peek mem (a + 2) in
+        ( Memory.peek mem (a + 1),
+          Array.init argc (fun j -> Memory.peek mem (a + 3 + j)) ))
+  in
+  Memory.crash mem;
+  Context.reset ();
+  let sim2 = Sim.create ~seed:56L topology in
+  let out = ref None in
+  ignore (Sim.spawn sim2 ~socket:0 (fun () ->
+      Context.bind ~default:(Alloc.create_volatile mem ~home:0) ();
+      out := Some (Cx.recover cx)));
+  (match Sim.run sim2 () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  let recovered, applied = Option.get !out in
+  (* recovered state must equal the replay of the first [applied] queue ops *)
+  let expected =
+    List.fold_left
+      (fun m (op, args) -> fst (H.Model.apply m ~op ~args))
+      H.Model.empty
+      (List.filteri (fun i _ -> i < applied) queue_ops)
+  in
+  check_list "cx recovered = queue prefix replay" (H.Model.snapshot expected)
+    (H.snapshot recovered)
+
+(* ---- SOFT hashtable ---- *)
+
+let test_soft_basic () =
+  with_world (fun _sim mem _roots ->
+      let s = Soft_hash.create ~nbuckets:64 mem in
+      check "insert" 1 (Soft_hash.execute s ~op:Soft_hash.op_insert ~args:[| 1; 10 |]);
+      check "get" 10 (Soft_hash.execute s ~op:Soft_hash.op_get ~args:[| 1 |]);
+      check "replace" 0 (Soft_hash.execute s ~op:Soft_hash.op_insert ~args:[| 1; 20 |]);
+      check "get2" 20 (Soft_hash.execute s ~op:Soft_hash.op_get ~args:[| 1 |]);
+      check "remove" 1 (Soft_hash.execute s ~op:Soft_hash.op_remove ~args:[| 1 |]);
+      check "gone" (-1) (Soft_hash.execute s ~op:Soft_hash.op_get ~args:[| 1 |]);
+      check "size" 0 (Soft_hash.execute s ~op:Soft_hash.op_size ~args:[||]))
+
+let test_soft_durability () =
+  (* every completed insert must survive a crash *)
+  let topology = Sim.Topology.default in
+  let sim = Sim.create ~seed:66L topology in
+  let mem = Memory.make ~bg_period:2000 ~sockets:2 () in
+  let s_ref = ref None in
+  let completed = Hashtbl.create 256 in
+  ignore (Sim.spawn sim ~socket:0 (fun () ->
+      let s = Soft_hash.create ~nbuckets:64 mem in
+      s_ref := Some s;
+      for w = 0 to 3 do
+        let socket, core = Sim.Topology.place topology w in
+        ignore (Sim.spawn sim ~socket ~core (fun () ->
+            Soft_hash.register_worker s;
+            for i = 0 to 100_000 do
+              let k = (w * 1_000_000) + i in
+              ignore (Soft_hash.execute s ~op:Soft_hash.op_insert ~args:[| k; k + 1 |]);
+              Hashtbl.replace completed k (k + 1)
+            done))
+      done));
+  (match Sim.run ~until:3_000_000 sim () with
+   | `Cut _ -> ()
+   | `Done -> Alcotest.fail "soft finished before crash");
+  let s = Option.get !s_ref in
+  Memory.crash mem;
+  Context.reset ();
+  let sim2 = Sim.create ~seed:67L topology in
+  let out = ref None in
+  ignore (Sim.spawn sim2 ~socket:0 (fun () ->
+      out := Some (Soft_hash.recover s ~nbuckets:64)));
+  (match Sim.run sim2 () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
+  let recovered = Option.get !out in
+  check_bool "some inserts completed before crash" true (Hashtbl.length completed > 0);
+  let lost = ref 0 in
+  Hashtbl.iter
+    (fun k v ->
+      let rec pairs = function
+        | a :: b :: rest -> if a = k && b = v then true else pairs rest
+        | _ -> false
+      in
+      if not (pairs (Soft_hash.snapshot recovered)) then incr lost)
+    completed;
+  check "no completed insert lost" 0 !lost
+
+let () =
+  Alcotest.run "prep"
+    [
+      ( "volatile",
+        [
+          Alcotest.test_case "single worker" `Quick test_volatile_single_worker;
+          Alcotest.test_case "prefill" `Quick test_volatile_prefill;
+          Alcotest.test_case "concurrent matches trace" `Quick test_volatile_concurrent;
+          Alcotest.test_case "log wraps" `Quick test_log_wraps;
+        ] );
+      ( "persistent-modes",
+        [
+          Alcotest.test_case "buffered concurrent" `Quick test_buffered_concurrent;
+          Alcotest.test_case "durable concurrent" `Quick test_durable_concurrent;
+          Alcotest.test_case "epsilon validation" `Quick test_epsilon_validation;
+        ] );
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "buffered: prefix + loss bound" `Quick
+            test_buffered_crash_prefix_and_bound;
+          Alcotest.test_case "durable: no completed loss" `Quick
+            test_durable_crash_no_completed_loss;
+          Alcotest.test_case "recovered uc still works" `Quick
+            test_recovered_uc_still_works;
+          Alcotest.test_case "double crash" `Quick test_double_crash;
+          Alcotest.test_case "buffered crash fuzz" `Slow test_crash_fuzz_buffered;
+          Alcotest.test_case "durable crash fuzz" `Slow test_crash_fuzz_durable;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "global lock" `Quick test_gl_uc;
+          Alcotest.test_case "cx sequential" `Quick test_cx_sequential;
+          Alcotest.test_case "cx concurrent" `Quick test_cx_concurrent;
+          Alcotest.test_case "cx crash recovery" `Quick test_cx_crash_recovery;
+          Alcotest.test_case "soft basic" `Quick test_soft_basic;
+          Alcotest.test_case "soft durability" `Quick test_soft_durability;
+        ] );
+    ]

@@ -1,0 +1,370 @@
+(* Tests for the sequential data structures: each is checked against its
+   pure model on random operation sequences, plus structure-specific
+   invariants, copy, and crash-recovery attach. *)
+
+open Nvm
+open Seqds
+
+let check = Alcotest.(check int)
+let _check_bool = Alcotest.(check bool)
+let check_list = Alcotest.(check (list int))
+
+(* Run [f handle mem] with a fresh DS instance bound to a fresh memory. *)
+let with_ds (type h) (module Ds : Seqds.Ds_intf.S with type handle = h)
+    ?(bg_period = 0) f =
+  Sim.run_one (fun () ->
+      let m = Memory.make ~bg_period () in
+      let al = Alloc.create_volatile m ~home:0 in
+      Context.bind ~default:al ();
+      let ds = Ds.create m in
+      let r = f ds m in
+      Context.reset ();
+      r)
+
+(* Drive the DS and its model with the same random ops; fail on divergence. *)
+let agree_with_model (type h)
+    (module Ds : Seqds.Ds_intf.S with type handle = h) ~gen_op ~steps seed =
+  with_ds (module Ds) (fun ds _m ->
+      let rng = Sim.Rng.create seed in
+      let model = ref Ds.Model.empty in
+      for step = 1 to steps do
+        let op, args = gen_op rng in
+        let got = Ds.execute ds ~op ~args in
+        let model', expected = Ds.Model.apply !model ~op ~args in
+        model := model';
+        if got <> expected then
+          Alcotest.failf "%s: step %d op %d: got %d, model says %d" Ds.name
+            step op got expected
+      done;
+      check_list (Ds.name ^ " snapshot agrees") (Ds.Model.snapshot !model)
+        (Ds.snapshot ds))
+
+(* op generators *)
+let map_op keyspace rng =
+  let k = Sim.Rng.int rng keyspace in
+  match Sim.Rng.int rng 10 with
+  | 0 | 1 | 2 -> (Hashmap.op_insert, [| k; Sim.Rng.int rng 1000 |])
+  | 3 | 4 -> (Hashmap.op_remove, [| k |])
+  | 5 | 6 | 7 -> (Hashmap.op_get, [| k |])
+  | 8 -> (Hashmap.op_contains, [| k |])
+  | _ -> (Hashmap.op_size, [||])
+
+let stack_op rng =
+  match Sim.Rng.int rng 4 with
+  | 0 | 1 -> (Stack_ds.op_push, [| Sim.Rng.int rng 1000 |])
+  | 2 -> (Stack_ds.op_pop, [||])
+  | _ -> (Stack_ds.op_peek, [||])
+
+let queue_op rng =
+  match Sim.Rng.int rng 4 with
+  | 0 | 1 -> (Queue_ds.op_enqueue, [| Sim.Rng.int rng 1000 |])
+  | 2 -> (Queue_ds.op_dequeue, [||])
+  | _ -> (Queue_ds.op_peek, [||])
+
+let pq_op rng =
+  match Sim.Rng.int rng 4 with
+  | 0 | 1 -> (Pqueue.op_enqueue, [| Sim.Rng.int rng 1000 |])
+  | 2 -> (Pqueue.op_dequeue, [||])
+  | _ -> (Pqueue.op_peek, [||])
+
+(* ---- model agreement ---- *)
+
+let test_hashmap_model () =
+  List.iter
+    (fun seed -> agree_with_model (module Hashmap) ~gen_op:(map_op 200) ~steps:3000 seed)
+    [ 1L; 2L; 3L ]
+
+let test_rbtree_model () =
+  List.iter
+    (fun seed -> agree_with_model (module Rbtree) ~gen_op:(map_op 200) ~steps:3000 seed)
+    [ 4L; 5L; 6L ]
+
+let test_stack_model () =
+  agree_with_model (module Stack_ds) ~gen_op:stack_op ~steps:3000 7L
+
+let test_queue_model () =
+  agree_with_model (module Queue_ds) ~gen_op:queue_op ~steps:3000 8L
+
+let test_pqueue_model () =
+  agree_with_model (module Pqueue) ~gen_op:pq_op ~steps:3000 9L
+
+let test_skiplist_model () =
+  List.iter
+    (fun seed ->
+      agree_with_model (module Skiplist) ~gen_op:(map_op 200) ~steps:3000 seed)
+    [ 10L; 11L; 12L ]
+
+let test_skiplist_invariants () =
+  with_ds (module Skiplist) (fun ds _m ->
+      let rng = Sim.Rng.create 99L in
+      for _ = 1 to 1500 do
+        let k = Sim.Rng.int rng 300 in
+        (if Sim.Rng.bool rng then
+           ignore (Skiplist.execute ds ~op:Skiplist.op_insert ~args:[| k; k |])
+         else ignore (Skiplist.execute ds ~op:Skiplist.op_remove ~args:[| k |]));
+        Skiplist.check_invariants ds
+      done)
+
+(* ---- hashmap specifics ---- *)
+
+let test_hashmap_resize () =
+  with_ds (module Hashmap) (fun ds _m ->
+      for k = 0 to 999 do
+        check "insert fresh" 1 (Hashmap.execute ds ~op:Hashmap.op_insert ~args:[| k; k * 2 |])
+      done;
+      check "size" 1000 (Hashmap.execute ds ~op:Hashmap.op_size ~args:[||]);
+      for k = 0 to 999 do
+        check "get after resize" (k * 2)
+          (Hashmap.execute ds ~op:Hashmap.op_get ~args:[| k |])
+      done)
+
+let test_hashmap_update_in_place () =
+  with_ds (module Hashmap) (fun ds _m ->
+      check "new" 1 (Hashmap.execute ds ~op:Hashmap.op_insert ~args:[| 5; 10 |]);
+      check "replace" 0 (Hashmap.execute ds ~op:Hashmap.op_insert ~args:[| 5; 20 |]);
+      check "value" 20 (Hashmap.execute ds ~op:Hashmap.op_get ~args:[| 5 |]);
+      check "size stays 1" 1 (Hashmap.execute ds ~op:Hashmap.op_size ~args:[||]))
+
+(* ---- rbtree specifics ---- *)
+
+let test_rbtree_invariants_random () =
+  with_ds (module Rbtree) (fun ds _m ->
+      let rng = Sim.Rng.create 77L in
+      for _ = 1 to 2000 do
+        let k = Sim.Rng.int rng 300 in
+        (if Sim.Rng.bool rng then
+           ignore (Rbtree.execute ds ~op:Rbtree.op_insert ~args:[| k; k |])
+         else ignore (Rbtree.execute ds ~op:Rbtree.op_remove ~args:[| k |]));
+        Rbtree.check_invariants ds
+      done)
+
+let test_rbtree_sorted_snapshot () =
+  with_ds (module Rbtree) (fun ds _m ->
+      List.iter
+        (fun k -> ignore (Rbtree.execute ds ~op:Rbtree.op_insert ~args:[| k; k |]))
+        [ 5; 3; 9; 1; 7 ];
+      check_list "sorted" [ 1; 1; 3; 3; 5; 5; 7; 7; 9; 9 ] (Rbtree.snapshot ds))
+
+(* ---- copy ---- *)
+
+let copy_preserves (type h) (module Ds : Seqds.Ds_intf.S with type handle = h)
+    ~gen_op () =
+  with_ds (module Ds) (fun ds _m ->
+      let rng = Sim.Rng.create 123L in
+      for _ = 1 to 500 do
+        let op, args = gen_op rng in
+        ignore (Ds.execute ds ~op ~args)
+      done;
+      let dup = Ds.copy ds in
+      check_list (Ds.name ^ " copy equal") (Ds.snapshot ds) (Ds.snapshot dup);
+      (* mutating the copy must not disturb the original *)
+      let before = Ds.snapshot ds in
+      let op, args = gen_op rng in
+      ignore (Ds.execute dup ~op ~args);
+      check_list (Ds.name ^ " original unchanged") before (Ds.snapshot ds))
+
+let test_copy_hashmap () = copy_preserves (module Hashmap) ~gen_op:(map_op 100) ()
+let test_copy_rbtree () = copy_preserves (module Rbtree) ~gen_op:(map_op 100) ()
+let test_copy_stack () = copy_preserves (module Stack_ds) ~gen_op:stack_op ()
+let test_copy_queue () = copy_preserves (module Queue_ds) ~gen_op:queue_op ()
+let test_copy_pqueue () = copy_preserves (module Pqueue) ~gen_op:pq_op ()
+let test_copy_skiplist () = copy_preserves (module Skiplist) ~gen_op:(map_op 100) ()
+
+(* ---- persistence through the DS: flushed structure recovers ---- *)
+
+let test_hashmap_in_nvm_recovers_when_flushed () =
+  Sim.run_one (fun () ->
+      let m = Memory.make ~bg_period:0 () in
+      let vol = Alloc.create_volatile m ~home:0 in
+      let pers = Alloc.create_persistent m ~home:0 in
+      Context.bind ~default:vol ~persistent:pers ();
+      let ds =
+        Context.with_persistent (fun () ->
+            let ds = Hashmap.create m in
+            for k = 0 to 99 do
+              ignore (Hashmap.execute ds ~op:Hashmap.op_insert ~args:[| k; k + 1 |])
+            done;
+            ds)
+      in
+      (* persist the whole NVM heap, as a PUC would for a checkpoint *)
+      Alloc.persist_heap pers;
+      let root = Hashmap.root_addr ds in
+      Memory.crash m;
+      let recovered = Hashmap.attach m root in
+      for k = 0 to 99 do
+        check "recovered get"
+          (k + 1)
+          (Hashmap.execute recovered ~op:Hashmap.op_get ~args:[| k |])
+      done;
+      Context.reset ())
+
+let test_unflushed_nvm_structure_corrupts_on_crash () =
+  Sim.run_one (fun () ->
+      let m = Memory.make ~bg_period:0 () in
+      let vol = Alloc.create_volatile m ~home:0 in
+      let pers = Alloc.create_persistent m ~home:0 in
+      Context.bind ~default:vol ~persistent:pers ();
+      let ds =
+        Context.with_persistent (fun () ->
+            let ds = Hashmap.create m in
+            for k = 0 to 99 do
+              ignore (Hashmap.execute ds ~op:Hashmap.op_insert ~args:[| k; k |])
+            done;
+            ds)
+      in
+      let root = Hashmap.root_addr ds in
+      Memory.crash m;
+      (* nothing was flushed: the recovered root block is all zeros *)
+      check "table pointer lost" 0 (Memory.peek m root);
+      Context.reset ())
+
+(* ---- qcheck properties ---- *)
+
+let ops_arbitrary =
+  (* encoded map ops: (kind, key, value) triples *)
+  QCheck.(small_list (triple (int_bound 4) (int_bound 50) (int_bound 100)))
+
+let run_encoded (type h) (module Ds : Seqds.Ds_intf.S with type handle = h)
+    ~insert ~remove ~get encoded =
+  with_ds (module Ds) (fun ds _m ->
+      let model = ref Ds.Model.empty in
+      List.for_all
+        (fun (kind, k, v) ->
+          let op, args =
+            if kind <= 1 then (insert, [| k; v |])
+            else if kind = 2 then (remove, [| k |])
+            else (get, [| k |])
+          in
+          let got = Ds.execute ds ~op ~args in
+          let model', expected = Ds.Model.apply !model ~op ~args in
+          model := model';
+          got = expected)
+        encoded)
+
+let prop_hashmap_model =
+  QCheck.Test.make ~count:100 ~name:"hashmap agrees with map model"
+    ops_arbitrary
+    (run_encoded (module Hashmap) ~insert:Hashmap.op_insert
+       ~remove:Hashmap.op_remove ~get:Hashmap.op_get)
+
+let prop_rbtree_model =
+  QCheck.Test.make ~count:100 ~name:"rbtree agrees with map model"
+    ops_arbitrary
+    (run_encoded (module Rbtree) ~insert:Rbtree.op_insert
+       ~remove:Rbtree.op_remove ~get:Rbtree.op_get)
+
+let prop_skiplist_model =
+  QCheck.Test.make ~count:100 ~name:"skiplist agrees with map model"
+    ops_arbitrary
+    (run_encoded (module Skiplist) ~insert:Skiplist.op_insert
+       ~remove:Skiplist.op_remove ~get:Skiplist.op_get)
+
+let prop_rbtree_invariants =
+  QCheck.Test.make ~count:100 ~name:"rbtree invariants hold"
+    ops_arbitrary
+    (fun encoded ->
+      with_ds (module Rbtree) (fun ds _m ->
+          List.iter
+            (fun (kind, k, v) ->
+              if kind <= 2 then
+                ignore (Rbtree.execute ds ~op:Rbtree.op_insert ~args:[| k; v |])
+              else ignore (Rbtree.execute ds ~op:Rbtree.op_remove ~args:[| k |]);
+              Rbtree.check_invariants ds)
+            encoded;
+          true))
+
+let prop_pqueue_dequeues_descending =
+  QCheck.Test.make ~count:100 ~name:"pqueue dequeues in descending order"
+    QCheck.(small_list (int_bound 10_000))
+    (fun keys ->
+      with_ds (module Pqueue) (fun ds _m ->
+          List.iter
+            (fun k -> ignore (Pqueue.execute ds ~op:Pqueue.op_enqueue ~args:[| k |]))
+            keys;
+          let rec drain acc =
+            let v = Pqueue.execute ds ~op:Pqueue.op_dequeue ~args:[||] in
+            if v = -1 then List.rev acc else drain (v :: acc)
+          in
+          let drained = drain [] in
+          drained = List.sort (fun a b -> compare b a) keys))
+
+let prop_stack_lifo =
+  QCheck.Test.make ~count:100 ~name:"stack is LIFO"
+    QCheck.(small_list (int_bound 10_000))
+    (fun keys ->
+      with_ds (module Stack_ds) (fun ds _m ->
+          List.iter
+            (fun k -> ignore (Stack_ds.execute ds ~op:Stack_ds.op_push ~args:[| k |]))
+            keys;
+          let rec drain acc =
+            let v = Stack_ds.execute ds ~op:Stack_ds.op_pop ~args:[||] in
+            if v = -1 then List.rev acc else drain (v :: acc)
+          in
+          drain [] = List.rev keys))
+
+let prop_queue_fifo =
+  QCheck.Test.make ~count:100 ~name:"queue is FIFO"
+    QCheck.(small_list (int_bound 10_000))
+    (fun keys ->
+      with_ds (module Queue_ds) (fun ds _m ->
+          List.iter
+            (fun k ->
+              ignore (Queue_ds.execute ds ~op:Queue_ds.op_enqueue ~args:[| k |]))
+            keys;
+          let rec drain acc =
+            let v = Queue_ds.execute ds ~op:Queue_ds.op_dequeue ~args:[||] in
+            if v = -1 then List.rev acc else drain (v :: acc)
+          in
+          drain [] = keys))
+
+let () =
+  Alcotest.run "seqds"
+    [
+      ( "model-agreement",
+        [
+          Alcotest.test_case "hashmap" `Quick test_hashmap_model;
+          Alcotest.test_case "rbtree" `Quick test_rbtree_model;
+          Alcotest.test_case "stack" `Quick test_stack_model;
+          Alcotest.test_case "queue" `Quick test_queue_model;
+          Alcotest.test_case "pqueue" `Quick test_pqueue_model;
+          Alcotest.test_case "skiplist" `Quick test_skiplist_model;
+        ] );
+      ( "skiplist",
+        [ Alcotest.test_case "invariants random" `Quick test_skiplist_invariants ] );
+      ( "hashmap",
+        [
+          Alcotest.test_case "resize" `Quick test_hashmap_resize;
+          Alcotest.test_case "update in place" `Quick test_hashmap_update_in_place;
+        ] );
+      ( "rbtree",
+        [
+          Alcotest.test_case "invariants random" `Quick test_rbtree_invariants_random;
+          Alcotest.test_case "sorted snapshot" `Quick test_rbtree_sorted_snapshot;
+        ] );
+      ( "copy",
+        [
+          Alcotest.test_case "hashmap" `Quick test_copy_hashmap;
+          Alcotest.test_case "rbtree" `Quick test_copy_rbtree;
+          Alcotest.test_case "stack" `Quick test_copy_stack;
+          Alcotest.test_case "queue" `Quick test_copy_queue;
+          Alcotest.test_case "pqueue" `Quick test_copy_pqueue;
+          Alcotest.test_case "skiplist" `Quick test_copy_skiplist;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "flushed structure recovers" `Quick
+            test_hashmap_in_nvm_recovers_when_flushed;
+          Alcotest.test_case "unflushed structure lost" `Quick
+            test_unflushed_nvm_structure_corrupts_on_crash;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_hashmap_model;
+          QCheck_alcotest.to_alcotest prop_rbtree_model;
+          QCheck_alcotest.to_alcotest prop_skiplist_model;
+          QCheck_alcotest.to_alcotest prop_rbtree_invariants;
+          QCheck_alcotest.to_alcotest prop_pqueue_dequeues_descending;
+          QCheck_alcotest.to_alcotest prop_stack_lifo;
+          QCheck_alcotest.to_alcotest prop_queue_fifo;
+        ] );
+    ]
