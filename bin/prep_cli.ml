@@ -4,12 +4,16 @@
      bench    run one figure (or all) of the paper's evaluation
      run      run a single throughput point with explicit parameters
      crash    run a crash/recovery episode and print the loss accounting
+     fuzz     crash-point fuzzing with durable-linearizability checking
 
    Examples:
      dune exec bin/prep_cli.exe -- bench --figure fig3
      dune exec bin/prep_cli.exe -- run --system prep-buffered --threads 8 \
        --epsilon 1024 --read-pct 90
-     dune exec bin/prep_cli.exe -- crash --mode buffered --epsilon 128 *)
+     dune exec bin/prep_cli.exe -- crash --mode buffered --epsilon 128
+     dune exec bin/prep_cli.exe -- fuzz --iters 200 --variant buffered
+     dune exec bin/prep_cli.exe -- fuzz --variant durable --ds rbtree \
+       --seed 57 --crash-op 81000        # replay one exact episode *)
 
 open Cmdliner
 open Harness
@@ -238,9 +242,185 @@ let crash_cmd =
     Term.(
       ret (const crash $ mode_arg $ epsilon_arg $ threads_arg $ crash_at_arg $ seed_arg))
 
+(* ---- fuzz ---- *)
+
+let iters_arg =
+  Arg.(value & opt int 100 & info [ "iters"; "n" ] ~docv:"N" ~doc:"Fuzzing episodes.")
+
+let variant_arg =
+  let doc = "Variant under test: volatile, buffered or durable." in
+  Arg.(value & opt string "buffered" & info [ "variant" ] ~docv:"VARIANT" ~doc)
+
+let fault_arg =
+  let doc = "Injected protocol fault: none or early-boundary." in
+  Arg.(value & opt string "none" & info [ "fault" ] ~docv:"FAULT" ~doc)
+
+let fuzz_threads_arg =
+  Arg.(value & opt int 6 & info [ "threads"; "t" ] ~docv:"N" ~doc:"Worker threads (1-7).")
+
+let fuzz_epsilon_arg =
+  Arg.(value & opt int 16 & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc:"Flush boundary step.")
+
+let fuzz_log_size_arg =
+  Arg.(value & opt int 256 & info [ "log-size" ] ~docv:"N" ~doc:"Shared log entries.")
+
+let fuzz_ops_arg =
+  Arg.(value & opt int 300 & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker.")
+
+let fuzz_seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
+
+let crash_op_arg =
+  let doc = "Replay one episode crashing before the Nth memory operation." in
+  Arg.(value & opt (some int) None & info [ "crash-op" ] ~docv:"N" ~doc)
+
+let crash_time_arg =
+  let doc = "Replay one episode crashing at the given simulated time (ns)." in
+  Arg.(value & opt (some int) None & info [ "crash-at" ] ~docv:"NS" ~doc)
+
+let no_crash_arg =
+  let doc = "Replay one crash-free episode (quiescent-state check only)." in
+  Arg.(value & flag & info [ "no-crash" ] ~doc)
+
+let bg_period_arg =
+  Arg.(value & opt int 2000 & info [ "bg-period" ] ~docv:"N"
+         ~doc:"Mean memory ops between background cache write-backs.")
+
+(* Op mixes for the fuzz workloads. The map structures share op codes. *)
+let map_gen rng =
+  let k = Sim.Rng.int rng 64 in
+  match Sim.Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> (Seqds.Hashmap.op_insert, [| k; Sim.Rng.int rng 1000 |])
+  | 4 | 5 -> (Seqds.Hashmap.op_remove, [| k |])
+  | 6 | 7 | 8 -> (Seqds.Hashmap.op_get, [| k |])
+  | _ -> (Seqds.Hashmap.op_size, [||])
+
+let pair_gen ~push ~pop rng =
+  if Sim.Rng.int rng 2 = 0 then (push, [| Sim.Rng.int rng 1000 |])
+  else (pop, [||])
+
+let fuzz_ds ds =
+  match ds with
+  | "hashmap" -> Ok ((module Seqds.Hashmap : Seqds.Ds_intf.S), map_gen)
+  | "rbtree" -> Ok ((module Seqds.Rbtree : Seqds.Ds_intf.S), map_gen)
+  | "skiplist" -> Ok ((module Seqds.Skiplist : Seqds.Ds_intf.S), map_gen)
+  | "queue" ->
+    Ok
+      ( (module Seqds.Queue_ds : Seqds.Ds_intf.S),
+        pair_gen ~push:Seqds.Queue_ds.op_enqueue ~pop:Seqds.Queue_ds.op_dequeue )
+  | "pqueue" ->
+    Ok
+      ( (module Seqds.Pqueue : Seqds.Ds_intf.S),
+        pair_gen ~push:Seqds.Pqueue.op_enqueue ~pop:Seqds.Pqueue.op_dequeue )
+  | "stack" ->
+    Ok
+      ( (module Seqds.Stack_ds : Seqds.Ds_intf.S),
+        pair_gen ~push:Seqds.Stack_ds.op_push ~pop:Seqds.Stack_ds.op_pop )
+  | other -> Error (Printf.sprintf "unknown data structure %S" other)
+
+let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
+    crash_time no_crash bg_period =
+  let variant_v =
+    match variant with
+    | "volatile" -> Ok Prep.Config.Volatile
+    | "buffered" -> Ok Prep.Config.Buffered
+    | "durable" -> Ok Prep.Config.Durable
+    | other -> Error (Printf.sprintf "unknown variant %S" other)
+  in
+  let fault_v =
+    match fault with
+    | "none" -> Ok Prep.Config.No_fault
+    | "early-boundary" -> Ok Prep.Config.Early_boundary_advance
+    | other -> Error (Printf.sprintf "unknown fault %S" other)
+  in
+  match (variant_v, fault_v, fuzz_ds ds) with
+  | Error m, _, _ | _, Error m, _ | _, _, Error m -> `Error (true, m)
+  | Ok mode, Ok fault, Ok ((module Ds), gen_op) ->
+    let module F = Check.Fuzz.Make (Ds) in
+    if threads < 1 || threads > F.max_threads then
+      `Error
+        ( true,
+          Printf.sprintf "--threads must be between 1 and %d (got %d)"
+            F.max_threads threads )
+    else if
+      mode = Prep.Config.Volatile && (crash_op <> None || crash_time <> None)
+    then
+      `Error (true, "volatile episodes cannot crash: drop the crash flag")
+    else
+    let template =
+      {
+        Check.Fuzz.workload_seed = seed;
+        threads;
+        epsilon;
+        log_size;
+        ops_per_worker = ops;
+        bg_period;
+        preempt_prob = 0.02;
+        crash = Check.Fuzz.No_crash;
+      }
+    in
+    let replay =
+      match (crash_op, crash_time, no_crash) with
+      | Some n, _, _ -> Some (Check.Fuzz.At_op n)
+      | None, Some ns, _ -> Some (Check.Fuzz.At_time ns)
+      | None, None, true -> Some Check.Fuzz.No_crash
+      | None, None, false -> None
+    in
+    (match replay with
+     | Some crash ->
+       (* replay a single, fully specified episode (shrunk repro) *)
+       let ep = { template with crash } in
+       let out = F.run_episode ~mode ~fault ~gen_op ep in
+       Printf.printf
+         "episode %s: crashed=%b logged=%d completed=%d applied=%d\n"
+         (Fmt.str "%a" Check.Fuzz.pp_episode ep)
+         out.Check.Fuzz.crashed out.Check.Fuzz.logged out.Check.Fuzz.completed
+         out.Check.Fuzz.applied;
+       if out.Check.Fuzz.violations = [] then begin
+         print_endline "no violations";
+         `Ok ()
+       end
+       else begin
+         List.iter
+           (fun v ->
+             Printf.printf "VIOLATION: %s\n"
+               (Check.Durable_lin.violation_to_string v))
+           out.Check.Fuzz.violations;
+         `Error (false, "durable-linearizability violations found")
+       end
+     | None ->
+       let res =
+         F.fuzz ~mode ~fault ~gen_op ~template ~iters ~log:print_endline ()
+       in
+       Printf.printf "%d episodes (%d crashed), %d failing\n"
+         res.Check.Fuzz.episodes res.Check.Fuzz.crashes
+         (List.length res.Check.Fuzz.failures);
+       (match res.Check.Fuzz.failures with
+        | [] -> `Ok ()
+        | first :: _ ->
+          print_endline "shrinking first failure...";
+          let small = F.shrink ~mode ~fault ~gen_op first.Check.Fuzz.episode in
+          Printf.printf "shrunk to: %s\nreplay with:\n  %s\n"
+            (Fmt.str "%a" Check.Fuzz.pp_episode small)
+            (Check.Fuzz.repro_command ~mode ~fault ~ds small);
+          `Error (false, "durable-linearizability violations found")))
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Crash-point fuzzing: random crash injection, durable-linearizability \
+          checking, counterexample shrinking")
+    Term.(
+      ret
+        (const fuzz $ iters_arg $ variant_arg $ ds_arg $ fuzz_threads_arg
+       $ fuzz_epsilon_arg $ fuzz_log_size_arg $ fuzz_ops_arg $ fuzz_seed_arg
+       $ fault_arg $ crash_op_arg $ crash_time_arg $ no_crash_arg
+       $ bg_period_arg))
+
 let () =
   let info =
     Cmd.info "prep-cli" ~version:"1.0.0"
       ~doc:"PREP-UC (SPAA 2022) reproduction driver"
   in
-  exit (Cmd.eval (Cmd.group info [ bench_cmd; run_cmd; crash_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ bench_cmd; run_cmd; crash_cmd; fuzz_cmd ]))

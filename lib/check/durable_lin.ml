@@ -1,0 +1,104 @@
+(** Durable-linearizability checker for crash/recovery episodes.
+
+    The ghost trace (lib/core/trace.ml) records the linearization order of
+    every update — the order operations were written to the shared log —
+    and which of them completed (their invoking thread saw the response).
+    After a crash, recovery reports which trace indexes the rebuilt state
+    contains. This module judges that report against the paper's
+    guarantees (§5.1, §5.2):
+
+    - **loss bound**: at most [loss_bound] *completed* operations may be
+      missing from the recovered state — ε+β−1 for PREP-Buffered, 0 for
+      PREP-Durable;
+    - **prefix consistency**: the surviving operations must form a prefix
+      of the linearization restricted to completed ops — a lost completed
+      op must never precede a surviving op in linearization order
+      (uncompleted ops may be skipped as log holes in durable mode);
+    - **order**: recovery must apply survivors in linearization order;
+    - **state**: the recovered structure must equal the pure model's
+      replay of prefill + surviving ops — this is what catches a
+      background cache write-back persisting a mid-update replica. *)
+
+type violation =
+  | Loss_bound_exceeded of { lost : int; bound : int }
+  | Prefix_violation of { lost_index : int; applied_later : int }
+      (** completed op [lost_index] is missing although the later op
+          [applied_later] survived *)
+  | Out_of_order of { before : int; after : int }
+      (** recovery applied [after] then [before] *)
+  | State_mismatch of { expected : int list; recovered : int list }
+
+let pp_violation ppf = function
+  | Loss_bound_exceeded { lost; bound } ->
+    Fmt.pf ppf "loss bound exceeded: %d completed ops lost, bound %d" lost
+      bound
+  | Prefix_violation { lost_index; applied_later } ->
+    Fmt.pf ppf
+      "prefix violation: completed op %d lost but later op %d survived"
+      lost_index applied_later
+  | Out_of_order { before; after } ->
+    Fmt.pf ppf "recovery order violation: op %d applied after op %d" before
+      after
+  | State_mismatch { expected; recovered } ->
+    Fmt.pf ppf "recovered state mismatch:@ expected [%a]@ got [%a]"
+      Fmt.(list ~sep:semi int)
+      expected
+      Fmt.(list ~sep:semi int)
+      recovered
+
+let violation_to_string v = Fmt.str "%a" pp_violation v
+
+module Make (Model : Seqds.Ds_intf.MODEL) = struct
+  (** Check one recovery. [applied] is the recovery report's list of trace
+      indexes (in application order); [completed] the trace's completed
+      indexes; [recovered_snapshot] the canonical observation of the
+      rebuilt structure. Returns every violation found (empty = pass). *)
+  let check ~trace ~prefill ~applied ~completed ~recovered_snapshot
+      ~loss_bound () =
+    let violations = ref [] in
+    let add v = violations := v :: !violations in
+    (* order: survivors must be applied in linearization order *)
+    ignore
+      (List.fold_left
+         (fun prev i ->
+           (match prev with
+            | Some p when i <= p -> add (Out_of_order { before = i; after = p })
+            | _ -> ());
+           Some i)
+         None applied);
+    let applied_set = Hashtbl.create 256 in
+    List.iter (fun i -> Hashtbl.replace applied_set i ()) applied;
+    let max_applied = List.fold_left max (-1) applied in
+    (* loss bound + prefix consistency over completed ops *)
+    let lost = List.filter (fun i -> not (Hashtbl.mem applied_set i)) completed in
+    if List.length lost > loss_bound then
+      add (Loss_bound_exceeded { lost = List.length lost; bound = loss_bound });
+    List.iter
+      (fun i ->
+        if i < max_applied then
+          (* some survivor is later in linearization order than this lost
+             completed op; find one for the report *)
+          let later =
+            List.find (fun j -> Hashtbl.mem applied_set j)
+              (List.init (max_applied - i) (fun k -> max_applied - k))
+          in
+          add (Prefix_violation { lost_index = i; applied_later = later }))
+      lost;
+    (* state: recovered structure = model replay of prefill + survivors *)
+    let state =
+      List.fold_left
+        (fun m (op, args) -> fst (Model.apply m ~op ~args))
+        Model.empty prefill
+    in
+    let state =
+      List.fold_left
+        (fun m i ->
+          let e = Prep.Trace.get trace i in
+          fst (Model.apply m ~op:e.Prep.Trace.op ~args:e.Prep.Trace.args))
+        state applied
+    in
+    let expected = Model.snapshot state in
+    if expected <> recovered_snapshot then
+      add (State_mismatch { expected; recovered = recovered_snapshot });
+    List.rev !violations
+end

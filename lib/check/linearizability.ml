@@ -9,7 +9,8 @@
     The checker is a DFS over "linearize next" choices with memoization
     on (set of linearized ops, model state). Exponential in the worst
     case — intended for the small histories the tests generate (tens of
-    operations). *)
+    operations). The linearized-set mask is a byte string, so histories
+    are not capped at the 62 ops an int mask would allow. *)
 
 module Make (Model : Seqds.Ds_intf.MODEL) = struct
   type verdict = Linearizable | Not_linearizable
@@ -17,12 +18,28 @@ module Make (Model : Seqds.Ds_intf.MODEL) = struct
   let check_from initial (history : History.event list) =
     let ops = Array.of_list history in
     let n = Array.length ops in
-    if n > 62 then invalid_arg "Linearizability.check: history too large";
-    let full_mask = if n = 0 then 0 else (1 lsl n) - 1 in
+    let nbytes = (n + 7) / 8 in
+    let test mask i =
+      Char.code (Bytes.unsafe_get mask (i lsr 3)) land (1 lsl (i land 7)) <> 0
+    in
+    let with_bit mask i =
+      let m = Bytes.copy mask in
+      Bytes.unsafe_set m (i lsr 3)
+        (Char.chr (Char.code (Bytes.unsafe_get m (i lsr 3)) lor (1 lsl (i land 7))));
+      m
+    in
+    let empty_mask = Bytes.make nbytes '\000' in
+    let full_mask =
+      let m = ref empty_mask in
+      for i = 0 to n - 1 do
+        m := with_bit !m i
+      done;
+      !m
+    in
     (* memo of explored-and-failed states *)
-    let failed : (int * int list, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let failed : (Bytes.t * int list, unit) Hashtbl.t = Hashtbl.create 1024 in
     let rec dfs mask model =
-      if mask = full_mask then true
+      if Bytes.equal mask full_mask then true
       else begin
         let key = (mask, Model.snapshot model) in
         if Hashtbl.mem failed key then false
@@ -31,22 +48,22 @@ module Make (Model : Seqds.Ds_intf.MODEL) = struct
              may be linearized next: anything invoked after it must wait *)
           let t_bound = ref max_int in
           for i = 0 to n - 1 do
-            if mask land (1 lsl i) = 0 && ops.(i).History.t_resp < !t_bound
-            then t_bound := ops.(i).History.t_resp
+            if (not (test mask i)) && ops.(i).History.t_resp < !t_bound then
+              t_bound := ops.(i).History.t_resp
           done;
           let ok = ref false in
           let i = ref 0 in
           while (not !ok) && !i < n do
             let idx = !i in
             incr i;
-            if mask land (1 lsl idx) = 0 then begin
+            if not (test mask idx) then begin
               let e = ops.(idx) in
               if e.History.t_inv <= !t_bound then begin
                 let model', resp =
                   Model.apply model ~op:e.History.op ~args:e.History.args
                 in
                 if resp = e.History.resp then
-                  if dfs (mask lor (1 lsl idx)) model' then ok := true
+                  if dfs (with_bit mask idx) model' then ok := true
               end
             end
           done;
@@ -55,7 +72,7 @@ module Make (Model : Seqds.Ds_intf.MODEL) = struct
         end
       end
     in
-    if dfs 0 initial then Linearizable else Not_linearizable
+    if dfs empty_mask initial then Linearizable else Not_linearizable
 
   let check history = check_from Model.empty history
 

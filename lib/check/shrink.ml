@@ -1,0 +1,25 @@
+(** Greedy counterexample minimization.
+
+    Given a failing configuration and a way to enumerate strictly-smaller
+    candidate configurations, repeatedly move to the first smaller
+    candidate that still fails, until none does. This is the classic
+    delta-debugging descent: it finds a *local* minimum, which is what a
+    human wants to stare at — the smallest thread count and earliest crash
+    point that still reproduce the bug.
+
+    [smaller] must only return configurations strictly smaller under some
+    well-founded measure, or the descent may not terminate. Candidates are
+    tried in the order given, so put the most aggressive reductions first
+    (e.g. "1 thread" before "n−1 threads"). *)
+
+let minimize ~(smaller : 'c -> 'c list) ~(fails : 'c -> bool) (c0 : 'c) : 'c =
+  let rec descend c steps =
+    (* hard cap: a [smaller] that is accidentally non-decreasing must not
+       spin forever *)
+    if steps > 10_000 then c
+    else
+      match List.find_opt fails (smaller c) with
+      | Some c' -> descend c' (steps + 1)
+      | None -> c
+  in
+  descend c0 0

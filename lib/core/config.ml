@@ -18,6 +18,22 @@ let mode_name = function
     "Priority Queue"). *)
 type flush_strategy = Wbinvd | Flush_heap
 
+(** Deliberate protocol faults, injectable for harness validation only.
+    A durability checker that cannot catch a known-broken variant proves
+    nothing; the fuzz harness (lib/check/fuzz.ml) runs these to make sure
+    its verdicts have teeth. *)
+type fault =
+  | No_fault
+  | Early_boundary_advance
+      (** advance the flushBoundary *before* persisting and swapping the
+          replicas — the exact ordering bug the module comment of
+          [Prep_uc] warns about, which widens the crash-loss window to
+          about 2ε and breaks the ε+β−1 bound *)
+
+let fault_name = function
+  | No_fault -> "none"
+  | Early_boundary_advance -> "early-boundary"
+
 type t = {
   mode : mode;
   log_size : int; (** LOG_SIZE: entries in the circular shared log *)
@@ -25,6 +41,7 @@ type t = {
   workers : int; (** worker threads; replicas are created only for the
                      sockets these occupy, as in the paper's pinning *)
   flush : flush_strategy;
+  fault : fault;
 }
 
 (** Validate against the constraint of §5.1: the persistence-cycle length
@@ -40,5 +57,5 @@ let validate t ~beta =
   if t.workers < 1 then invalid_arg "Config: need at least one worker"
 
 let make ?(mode = Buffered) ?(log_size = 65536) ?(epsilon = 1024)
-    ?(flush = Wbinvd) ~workers () =
-  { mode; log_size; epsilon; workers; flush }
+    ?(flush = Wbinvd) ?(fault = No_fault) ~workers () =
+  { mode; log_size; epsilon; workers; flush; fault }

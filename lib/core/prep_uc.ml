@@ -504,6 +504,11 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
   (* ---- persistence thread (Algorithm 2) ---- *)
 
   let flush_and_swap t =
+    (* injected fault: opening the next window before the checkpoint is
+       durable lets completed ops race two windows ahead of the stable
+       replica, so a crash mid-flush loses up to ~2ε ops *)
+    if t.cfg.Config.fault = Config.Early_boundary_advance then
+      write_flush_boundary t (read_flush_boundary t + t.cfg.Config.epsilon);
     (match t.cfg.Config.flush with
      | Config.Wbinvd -> Memory.wbinvd t.mem
      | Config.Flush_heap ->
@@ -518,7 +523,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
        window (see module comment on ordering) *)
     let active = Roots.get t.roots slot_active in
     Roots.set t.roots slot_active (1 - active);
-    write_flush_boundary t (read_flush_boundary t + t.cfg.Config.epsilon)
+    if t.cfg.Config.fault <> Config.Early_boundary_advance then
+      write_flush_boundary t (read_flush_boundary t + t.cfg.Config.epsilon)
 
   let persistence_loop t =
     Context.bind

@@ -20,15 +20,20 @@ type t = {
   mutable len : int;
 }
 
-let create () = { entries = Array.make 1024 { op = -1; args = [||]; completed = false }; len = 0 }
+(* Never-logged slots need *distinct* sentinel records: [completed] is
+   mutable, so a shared sentinel would let [completed] on one unlogged
+   index mark every unlogged slot completed. *)
+let sentinel () = { op = -1; args = [||]; completed = false }
+
+let create () = { entries = Array.init 1024 (fun _ -> sentinel ()); len = 0 }
 
 (** Record the op logged at index [idx] (combiner side, at log-write time). *)
 let logged t idx ~op ~args =
   if idx >= Array.length t.entries then begin
     let bigger =
-      Array.make
+      Array.init
         (max (2 * Array.length t.entries) (idx + 1))
-        { op = -1; args = [||]; completed = false }
+        (fun _ -> sentinel ())
     in
     Array.blit t.entries 0 bigger 0 t.len;
     t.entries <- bigger

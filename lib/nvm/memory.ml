@@ -63,6 +63,8 @@ type t = {
   m_bg_period : int;
   mutable m_countdown : int;
   m_stats : stats;
+  mutable m_op_index : int;
+  mutable m_crash_hook : (int -> unit) option;
 }
 
 let make ?(seed = 42L) ?(sockets = 2) ?(bg_period = 50_000) () =
@@ -76,11 +78,36 @@ let make ?(seed = 42L) ?(sockets = 2) ?(bg_period = 50_000) () =
       m_bg_period = bg_period;
       m_countdown = (if bg_period = 0 then max_int else bg_period);
       m_stats = new_stats ();
+      m_op_index = 0;
+      m_crash_hook = None;
     }
   in
   m
 
 let stats m = m.m_stats
+
+(* ---- crash-hook API (fuzzing instrumentation) ---- *)
+
+(** Number of fiber-facing memory operations issued so far. Every load,
+    store, CAS, FAA, scrub, flush and fence counts as one operation, so an
+    operation index names one precise point in the global (simulated-time-
+    ordered) sequence of memory events. *)
+let op_index m = m.m_op_index
+
+(** Install [hook], called with the operation index at the *start* of every
+    fiber-facing operation — before the operation takes any effect. A hook
+    that raises aborts the executing fiber mid-access, which models a
+    full-system power failure immediately before that operation: the crash
+    fuzzer uses this to cut a run at an exact memory-operation index rather
+    than at a simulated time. *)
+let set_crash_hook m hook = m.m_crash_hook <- Some hook
+
+let clear_crash_hook m = m.m_crash_hook <- None
+
+let op_point m =
+  let i = m.m_op_index in
+  m.m_op_index <- i + 1;
+  match m.m_crash_hook with None -> () | Some hook -> hook i
 
 (** Allocate a fresh arena homed on [home]. Returns the arena id. *)
 let new_arena m ~kind ~home =
@@ -173,6 +200,7 @@ let maybe_background_flush m arena line =
 (* ---- fiber-facing operations (charge simulated time) ---- *)
 
 let read m addr =
+  op_point m;
   let arena = arena_of_addr m addr in
   let off = offset_of_addr addr in
   let line = line_of_offset off in
@@ -182,6 +210,7 @@ let read m addr =
   arena.values.(off)
 
 let write m addr v =
+  op_point m;
   let arena = arena_of_addr m addr in
   let off = offset_of_addr addr in
   let line = line_of_offset off in
@@ -196,6 +225,7 @@ let write m addr v =
     cost is charged per line rather than per word. Used by the allocator
     when recycling blocks. *)
 let scrub m addr size =
+  op_point m;
   let arena = arena_of_addr m addr in
   let off = offset_of_addr addr in
   let first_line = line_of_offset off in
@@ -210,6 +240,7 @@ let scrub m addr size =
 (** Atomic compare-and-swap. The cost is charged (and a scheduling point
     taken) *before* the read-modify-write, which is then indivisible. *)
 let cas m addr ~expected ~desired =
+  op_point m;
   let arena = arena_of_addr m addr in
   let off = offset_of_addr addr in
   let line = line_of_offset off in
@@ -226,6 +257,7 @@ let cas m addr ~expected ~desired =
 
 (** Atomic fetch-and-add, used by reader counts in the reader-writer lock. *)
 let faa m addr delta =
+  op_point m;
   let arena = arena_of_addr m addr in
   let off = offset_of_addr addr in
   let line = line_of_offset off in
@@ -240,6 +272,7 @@ let faa m addr delta =
     line contents only reach media at the next [sfence] (or clflush /
     background flush), so a crash in between loses them. *)
 let clwb m addr =
+  op_point m;
   let arena = arena_of_addr m addr in
   if arena.kind <> Nvm then invalid_arg "Memory.clwb: not an NVM address";
   let line = line_of_offset (offset_of_addr addr) in
@@ -252,6 +285,7 @@ let clwb m addr =
 
 (** Blocking flush: the line is persisted before the call returns. *)
 let clflush m addr =
+  op_point m;
   let arena = arena_of_addr m addr in
   if arena.kind <> Nvm then invalid_arg "Memory.clflush: not an NVM address";
   let line = line_of_offset (offset_of_addr addr) in
@@ -262,6 +296,7 @@ let clflush m addr =
 
 (** Persistent fence: drains every pending [clwb]. *)
 let sfence m =
+  op_point m;
   Sim.tick (Sim.costs ()).Sim.Costs.sfence;
   m.m_stats.sfence <- m.m_stats.sfence + 1;
   List.iter
@@ -279,6 +314,7 @@ let sfence m =
     (DRAM). Cost scales with the number of dirty lines, making this the
     expensive hammer the paper says it is. *)
 let wbinvd m =
+  op_point m;
   let socket = Sim.socket () in
   let table = m.m_dirty_by_socket.(socket) in
   let keys = Hashtbl.fold (fun k () acc -> k :: acc) table [] in
@@ -305,6 +341,7 @@ let clean_line_flush_cost = 12
    expensive than WBINVD for large structures *)
 
 let flush_arena m aid =
+  op_point m;
   let arena = m.m_arenas.(aid) in
   if arena.kind <> Nvm then invalid_arg "Memory.flush_arena: not an NVM arena";
   let c = Sim.costs () in

@@ -32,6 +32,8 @@ type t = {
   costs : Costs.t;
   rng : Rng.t;                    (** scheduler stream (background flushes etc.) *)
   quantum : int;
+  preempt_prob : float;           (** chance per [tick] of a forced, jittered
+                                      preemption (schedule fuzzing) *)
   mutable heap : entry option array;
   mutable heap_len : int;
   mutable seq : int;
@@ -55,12 +57,20 @@ let self () =
   | Some f -> f
   | None -> failwith "Sim: not inside a fiber"
 
-let create ?(seed = 1L) ?(costs = Costs.default) ?(quantum = 150) topology =
+(** [preempt_prob] randomizes preemption: on each [tick], with that
+    probability, the fiber is charged up to one extra quantum of jitter and
+    forced to yield. This perturbs which fiber is globally earliest at
+    synchronization points, so different seeds explore different
+    interleavings — deterministic schedule fuzzing for the crash harness.
+    The default 0.0 keeps the exact seed behaviour. *)
+let create ?(seed = 1L) ?(costs = Costs.default) ?(quantum = 150)
+    ?(preempt_prob = 0.0) topology =
   {
     topology;
     costs;
     rng = Rng.create seed;
     quantum;
+    preempt_prob;
     heap = Array.make 1024 None;
     heap_len = 0;
     seq = 0;
@@ -187,6 +197,11 @@ let run ?(until = max_int) t () =
   if t.running then failwith "Sim.run: reentrant run";
   t.running <- true;
   the_sim := Some t;
+  let cleanup () =
+    t.running <- false;
+    the_sim := None;
+    the_fiber := None
+  in
   let rec loop () =
     match heap_peek t with
     | None -> `Done
@@ -196,11 +211,12 @@ let run ?(until = max_int) t () =
       e.resume ();
       loop ()
   in
-  let result = loop () in
-  t.running <- false;
-  the_sim := None;
-  the_fiber := None;
-  result
+  (* An exception escaping a fiber (e.g. a crash hook firing mid-access)
+     abandons the whole run, like a power failure; reset the globals so a
+     fresh simulation can be started for recovery. *)
+  match loop () with
+  | result -> cleanup (); result
+  | exception e -> cleanup (); raise e
 
 (* ---- fiber-facing API ---- *)
 
@@ -219,9 +235,15 @@ let costs () = (instance ()).costs
 let tick cost =
   let f = self () in
   f.clock <- f.clock + cost;
-  match heap_peek (instance ()) with
-  | Some e when e.time < f.clock -> Effect.perform Yield
-  | Some _ | None -> ()
+  let t = instance () in
+  if t.preempt_prob > 0.0 && Rng.float t.rng < t.preempt_prob then begin
+    f.clock <- f.clock + Rng.int t.rng t.quantum;
+    Effect.perform Yield
+  end
+  else
+    match heap_peek t with
+    | Some e when e.time < f.clock -> Effect.perform Yield
+    | Some _ | None -> ()
 
 (** Force a scheduling point without advancing time. *)
 let yield () = Effect.perform Yield

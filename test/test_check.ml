@@ -76,6 +76,30 @@ let test_prefill_respected () =
     (Lin.check_with_prefill ~prefill:[ (H.op_insert, [| 3; 33 |]) ] h
      = Lin.Linearizable)
 
+let test_large_history_beyond_int_mask () =
+  (* regression: the checker used to cap histories at 62 ops (int-mask
+     limit). 70 sequential ops must now pass, and the same history with a
+     stale read appended must still be rejected. *)
+  let n = 70 in
+  let ops =
+    List.init n (fun i ->
+        ev ~thread:0 ~t_inv:(i * 10)
+          ~t_resp:((i * 10) + 5)
+          ~op:H.op_insert ~args:[| i; i |] ~resp:1)
+  in
+  check_bool "70-op history linearizable" true (Lin.check ops = Lin.Linearizable);
+  let stale =
+    ops
+    @ [
+        ev ~thread:1
+          ~t_inv:(n * 10)
+          ~t_resp:((n * 10) + 5)
+          ~op:H.op_get ~args:[| 0 |] ~resp:(-1);
+      ]
+  in
+  check_bool "stale read at index 70 rejected" true
+    (Lin.check stale = Lin.Not_linearizable)
+
 (* ---- recorded histories from the real systems ---- *)
 
 let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 }
@@ -210,6 +234,8 @@ let () =
           Alcotest.test_case "double insert responses" `Quick
             test_double_insert_responses;
           Alcotest.test_case "prefill respected" `Quick test_prefill_respected;
+          Alcotest.test_case "history beyond 62 ops" `Quick
+            test_large_history_beyond_int_mask;
         ] );
       ( "systems",
         [

@@ -1,0 +1,262 @@
+(* Deterministic budget of crash-point fuzzing: every PR explores crash
+   points the seed tests never pinned down, with fixed seeds so CI cannot
+   flake. Also validates that the harness has teeth — a deliberately
+   broken variant must be caught and shrunk to a small repro — and that
+   episodes are exactly reproducible (the shrinker and the printed repro
+   commands depend on that). *)
+
+open Prep
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+module F = Check.Fuzz.Make (Seqds.Hashmap)
+module H = Seqds.Hashmap
+
+(* Same mix as the CLI fuzz workload: 60% updates over a small key range. *)
+let gen_op rng =
+  let k = Sim.Rng.int rng 64 in
+  match Sim.Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> (H.op_insert, [| k; Sim.Rng.int rng 1000 |])
+  | 4 | 5 -> (H.op_remove, [| k |])
+  | 6 | 7 | 8 -> (H.op_get, [| k |])
+  | _ -> (H.op_size, [||])
+
+let template ~seed ~epsilon ~ops =
+  {
+    Check.Fuzz.workload_seed = seed;
+    threads = 6;
+    epsilon;
+    log_size = 256;
+    ops_per_worker = ops;
+    bg_period = 2000;
+    preempt_prob = 0.02;
+    crash = Check.Fuzz.No_crash;
+  }
+
+let no_failures label (res : Check.Fuzz.result) =
+  List.iter
+    (fun { Check.Fuzz.episode; violations } ->
+      Alcotest.failf "%s: %s failed: %s" label
+        (Fmt.str "%a" Check.Fuzz.pp_episode episode)
+        (String.concat "; "
+           (List.map Check.Durable_lin.violation_to_string violations)))
+    res.Check.Fuzz.failures
+
+let test_fuzz_buffered () =
+  let res =
+    F.fuzz ~mode:Config.Buffered ~fault:Config.No_fault ~gen_op
+      ~template:(template ~seed:4200 ~epsilon:16 ~ops:120)
+      ~iters:10 ()
+  in
+  no_failures "buffered" res;
+  check "episodes run" 10 res.Check.Fuzz.episodes;
+  check_bool "crash points were explored" true (res.Check.Fuzz.crashes > 0)
+
+let test_fuzz_durable () =
+  let res =
+    F.fuzz ~mode:Config.Durable ~fault:Config.No_fault ~gen_op
+      ~template:(template ~seed:5200 ~epsilon:16 ~ops:120)
+      ~iters:10 ()
+  in
+  no_failures "durable" res;
+  check_bool "crash points were explored" true (res.Check.Fuzz.crashes > 0)
+
+let test_fuzz_volatile () =
+  (* volatile episodes never crash; the harness still checks quiescent
+     state against the full-trace replay under randomized preemption *)
+  let res =
+    F.fuzz ~mode:Config.Volatile ~fault:Config.No_fault ~gen_op
+      ~template:(template ~seed:6200 ~epsilon:16 ~ops:120)
+      ~iters:4 ()
+  in
+  no_failures "volatile" res;
+  check "no crashes in volatile mode" 0 res.Check.Fuzz.crashes
+
+let test_episode_deterministic () =
+  (* the same episode must produce bit-identical outcomes — repro commands
+     and the shrinker rely on this *)
+  let ep =
+    { (template ~seed:777 ~epsilon:16 ~ops:100) with
+      crash = Check.Fuzz.At_op 200_000 }
+  in
+  let run () = F.run_episode ~mode:Config.Buffered ~fault:Config.No_fault ~gen_op ep in
+  let a = run () and b = run () in
+  check_bool "crashed" true a.Check.Fuzz.crashed;
+  check "same logged" a.Check.Fuzz.logged b.Check.Fuzz.logged;
+  check "same completed" a.Check.Fuzz.completed b.Check.Fuzz.completed;
+  check "same applied" a.Check.Fuzz.applied b.Check.Fuzz.applied;
+  check "both clean" 0
+    (List.length a.Check.Fuzz.violations + List.length b.Check.Fuzz.violations)
+
+let test_crash_hook_cuts_at_op () =
+  (* an op-index crash must actually cut the run short *)
+  let quiescent =
+    F.run_episode ~mode:Config.Buffered ~fault:Config.No_fault ~gen_op
+      (template ~seed:888 ~epsilon:16 ~ops:100)
+  in
+  check_bool "baseline finishes" false quiescent.Check.Fuzz.crashed;
+  let ep =
+    { (template ~seed:888 ~epsilon:16 ~ops:100) with
+      crash = Check.Fuzz.At_op (quiescent.Check.Fuzz.runtime_ops / 2) }
+  in
+  let out = F.run_episode ~mode:Config.Buffered ~fault:Config.No_fault ~gen_op ep in
+  check_bool "crashed mid-run" true out.Check.Fuzz.crashed;
+  check_bool "partial trace" true
+    (out.Check.Fuzz.logged < quiescent.Check.Fuzz.logged);
+  check "clean" 0 (List.length out.Check.Fuzz.violations)
+
+let test_broken_variant_caught_and_shrunk () =
+  (* the known-bad ordering (flush boundary advanced before the persist +
+     swap) must be detected within a small budget and shrink to <= 4
+     threads with a replayable repro *)
+  let mode = Config.Buffered and fault = Config.Early_boundary_advance in
+  let tpl = template ~seed:9000 ~epsilon:8 ~ops:120 in
+  let res = F.fuzz ~mode ~fault ~gen_op ~template:tpl ~iters:8 () in
+  check_bool "broken variant caught" true (res.Check.Fuzz.failures <> []);
+  let first = List.hd res.Check.Fuzz.failures in
+  check_bool "caught as a loss-bound violation" true
+    (List.exists
+       (function Check.Durable_lin.Loss_bound_exceeded _ -> true | _ -> false)
+       first.Check.Fuzz.violations);
+  let small = F.shrink ~mode ~fault ~gen_op first.Check.Fuzz.episode in
+  check_bool
+    (Fmt.str "shrunk to <= 4 threads (%a)" Check.Fuzz.pp_episode small)
+    true
+    (small.Check.Fuzz.threads <= 4);
+  (* the shrunk episode, replayed from scratch, still reproduces *)
+  let out = F.run_episode ~mode ~fault ~gen_op small in
+  check_bool "shrunk repro still fails" true (out.Check.Fuzz.violations <> [])
+
+let test_fixed_variant_passes_where_broken_fails () =
+  (* same episodes, fault removed: the violations must disappear, pinning
+     the failure on the injected bug rather than on the harness *)
+  let tpl = template ~seed:9000 ~epsilon:8 ~ops:120 in
+  let res =
+    F.fuzz ~mode:Config.Buffered ~fault:Config.No_fault ~gen_op ~template:tpl
+      ~iters:8 ()
+  in
+  no_failures "fixed variant" res
+
+(* A second data structure through the same harness: the fuzzing oracle is
+   the pure model, so any Ds_intf.S implementation plugs in. *)
+module Fq = Check.Fuzz.Make (Seqds.Queue_ds)
+
+let queue_gen rng =
+  if Sim.Rng.int rng 2 = 0 then
+    (Seqds.Queue_ds.op_enqueue, [| Sim.Rng.int rng 1000 |])
+  else (Seqds.Queue_ds.op_dequeue, [||])
+
+let test_fuzz_queue_durable () =
+  let res =
+    Fq.fuzz ~mode:Config.Durable ~fault:Config.No_fault ~gen_op:queue_gen
+      ~template:(template ~seed:7300 ~epsilon:16 ~ops:120)
+      ~iters:6 ()
+  in
+  List.iter
+    (fun { Check.Fuzz.episode; violations } ->
+      Alcotest.failf "queue: %s failed: %s"
+        (Fmt.str "%a" Check.Fuzz.pp_episode episode)
+        (String.concat "; "
+           (List.map Check.Durable_lin.violation_to_string violations)))
+    res.Check.Fuzz.failures
+
+(* ---- durable_lin checker unit tests on synthetic reports ---- *)
+
+module Dl = Check.Durable_lin.Make (H.Model)
+
+let synthetic_trace ops =
+  let tr = Trace.create () in
+  List.iteri
+    (fun i (op, args, completed) ->
+      Trace.logged tr i ~op ~args;
+      if completed then Trace.completed tr i)
+    ops;
+  tr
+
+let ins k v completed = (H.op_insert, [| k; v |], completed)
+
+let test_checker_accepts_prefix () =
+  let tr = synthetic_trace [ ins 1 10 true; ins 2 20 true; ins 3 30 true ] in
+  let model =
+    List.fold_left
+      (fun m (op, args, _) -> fst (H.Model.apply m ~op ~args))
+      H.Model.empty
+      [ ins 1 10 true; ins 2 20 true ]
+  in
+  let v =
+    Dl.check ~trace:tr ~prefill:[] ~applied:[ 0; 1 ] ~completed:[ 0; 1; 2 ]
+      ~recovered_snapshot:(H.Model.snapshot model) ~loss_bound:1 ()
+  in
+  check "prefix loss within bound accepted" 0 (List.length v)
+
+let test_checker_rejects_lost_before_survivor () =
+  let tr = synthetic_trace [ ins 1 10 true; ins 2 20 true ] in
+  let model = fst (H.Model.apply H.Model.empty ~op:H.op_insert ~args:[| 2; 20 |]) in
+  let v =
+    Dl.check ~trace:tr ~prefill:[] ~applied:[ 1 ] ~completed:[ 0; 1 ]
+      ~recovered_snapshot:(H.Model.snapshot model) ~loss_bound:5 ()
+  in
+  check_bool "completed op lost before survivor rejected" true
+    (List.exists
+       (function Check.Durable_lin.Prefix_violation _ -> true | _ -> false)
+       v)
+
+let test_checker_allows_uncompleted_hole () =
+  (* a log hole that never completed may be skipped (durable mode) *)
+  let tr = synthetic_trace [ ins 1 10 true; ins 2 20 false; ins 3 30 true ] in
+  let model =
+    List.fold_left
+      (fun m (k, v) -> fst (H.Model.apply m ~op:H.op_insert ~args:[| k; v |]))
+      H.Model.empty [ (1, 10); (3, 30) ]
+  in
+  let v =
+    Dl.check ~trace:tr ~prefill:[] ~applied:[ 0; 2 ] ~completed:[ 0; 2 ]
+      ~recovered_snapshot:(H.Model.snapshot model) ~loss_bound:0 ()
+  in
+  check "uncompleted hole tolerated" 0 (List.length v)
+
+let test_checker_rejects_state_mismatch () =
+  let tr = synthetic_trace [ ins 1 10 true ] in
+  let v =
+    Dl.check ~trace:tr ~prefill:[] ~applied:[ 0 ] ~completed:[ 0 ]
+      ~recovered_snapshot:[ 1; 99 ] ~loss_bound:0 ()
+  in
+  check_bool "wrong recovered state rejected" true
+    (List.exists
+       (function Check.Durable_lin.State_mismatch _ -> true | _ -> false)
+       v)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "accepts prefix within bound" `Quick
+            test_checker_accepts_prefix;
+          Alcotest.test_case "rejects lost-before-survivor" `Quick
+            test_checker_rejects_lost_before_survivor;
+          Alcotest.test_case "allows uncompleted hole" `Quick
+            test_checker_allows_uncompleted_hole;
+          Alcotest.test_case "rejects state mismatch" `Quick
+            test_checker_rejects_state_mismatch;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "episode deterministic" `Quick
+            test_episode_deterministic;
+          Alcotest.test_case "crash hook cuts at op" `Quick
+            test_crash_hook_cuts_at_op;
+        ] );
+      ( "fuzzing",
+        [
+          Alcotest.test_case "buffered clean" `Slow test_fuzz_buffered;
+          Alcotest.test_case "durable clean" `Slow test_fuzz_durable;
+          Alcotest.test_case "volatile clean" `Slow test_fuzz_volatile;
+          Alcotest.test_case "queue durable clean" `Slow test_fuzz_queue_durable;
+          Alcotest.test_case "broken variant caught and shrunk" `Slow
+            test_broken_variant_caught_and_shrunk;
+          Alcotest.test_case "fixed variant passes same episodes" `Slow
+            test_fixed_variant_passes_where_broken_fails;
+        ] );
+    ]

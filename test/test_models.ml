@@ -1,0 +1,232 @@
+(* Long-horizon property tests: every lib/seqds implementation is driven
+   against its pure model for tens of thousands of operations under
+   adversarial workload shapes — tiny keyspaces (collision-heavy),
+   monotone key streams (worst case for tree balance), churn (interleaved
+   fill/drain), and duplicate-heavy input. The fuzzing harness uses these
+   models as its durability oracle, so their agreement with the real
+   implementations is load-bearing for the whole checker stack.
+
+   The three map implementations share op codes, so they are also run in
+   lockstep on identical sequences and must agree pairwise at every step. *)
+
+open Nvm
+open Seqds
+
+let check_list = Alcotest.(check (list int))
+
+let with_ds (type h) (module Ds : Seqds.Ds_intf.S with type handle = h) f =
+  Sim.run_one (fun () ->
+      let m = Memory.make ~bg_period:0 () in
+      let al = Alloc.create_volatile m ~home:0 in
+      Context.bind ~default:al ();
+      let ds = Ds.create m in
+      let r = f ds in
+      Context.reset ();
+      r)
+
+(* Drive the DS and its model in lockstep; also compare full snapshots
+   every [snapshot_every] steps, catching divergence that individual
+   return values hide (e.g. a phantom key that no later op touches). *)
+let agree (type h) (module Ds : Seqds.Ds_intf.S with type handle = h)
+    ~label ~gen_op ~steps ?(snapshot_every = 2500) seed =
+  with_ds (module Ds) (fun ds ->
+      let rng = Sim.Rng.create seed in
+      let model = ref Ds.Model.empty in
+      for step = 1 to steps do
+        let op, args = gen_op rng step in
+        let got = Ds.execute ds ~op ~args in
+        let model', expected = Ds.Model.apply !model ~op ~args in
+        model := model';
+        if got <> expected then
+          Alcotest.failf "%s/%s: step %d op %d: got %d, model says %d" Ds.name
+            label step op got expected;
+        if step mod snapshot_every = 0 then
+          check_list
+            (Printf.sprintf "%s/%s snapshot @%d" Ds.name label step)
+            (Ds.Model.snapshot !model) (Ds.snapshot ds)
+      done;
+      check_list
+        (Printf.sprintf "%s/%s final snapshot" Ds.name label)
+        (Ds.Model.snapshot !model) (Ds.snapshot ds))
+
+(* ---- workload shapes ---- *)
+
+(* collision-heavy: 8 keys, mostly updates *)
+let tiny_keyspace rng _step =
+  let k = Sim.Rng.int rng 8 in
+  match Sim.Rng.int rng 8 with
+  | 0 | 1 | 2 -> (Hashmap.op_insert, [| k; Sim.Rng.int rng 100 |])
+  | 3 | 4 -> (Hashmap.op_remove, [| k |])
+  | 5 | 6 -> (Hashmap.op_get, [| k |])
+  | _ -> (Hashmap.op_size, [||])
+
+(* monotone keys: ascending for the first half, descending after — the
+   classic unbalancing input for naive BSTs and skiplists *)
+let monotone half rng step =
+  let k = if step <= half then step else (2 * half) - step in
+  match Sim.Rng.int rng 6 with
+  | 0 | 1 | 2 | 3 -> (Hashmap.op_insert, [| k; step |])
+  | 4 -> (Hashmap.op_remove, [| k |])
+  | _ -> (Hashmap.op_contains, [| k |])
+
+(* churn: phases of pure insertion then pure removal over one keyspace *)
+let churn rng step =
+  let k = Sim.Rng.int rng 512 in
+  if step / 512 mod 2 = 0 then (Hashmap.op_insert, [| k; step |])
+  else (Hashmap.op_remove, [| k |])
+
+(* wide uniform mix *)
+let uniform rng _step =
+  let k = Sim.Rng.int rng 4096 in
+  match Sim.Rng.int rng 10 with
+  | 0 | 1 | 2 -> (Hashmap.op_insert, [| k; Sim.Rng.int rng 10_000 |])
+  | 3 | 4 -> (Hashmap.op_remove, [| k |])
+  | 5 | 6 | 7 -> (Hashmap.op_get, [| k |])
+  | 8 -> (Hashmap.op_contains, [| k |])
+  | _ -> (Hashmap.op_size, [||])
+
+(* duplicate-heavy values for the ordered containers *)
+let pq_dups rng _step =
+  match Sim.Rng.int rng 8 with
+  | 0 | 1 | 2 -> (Pqueue.op_enqueue, [| Sim.Rng.int rng 16 |])
+  | 3 | 4 -> (Pqueue.op_dequeue, [||])
+  | 5 | 6 -> (Pqueue.op_peek, [||])
+  | _ -> (Pqueue.op_size, [||])
+
+(* long runs of pushes then long runs of pops *)
+let stack_bursty rng step =
+  if step / 64 mod 2 = 0 then
+    (Stack_ds.op_push, [| Sim.Rng.int rng 1000 |])
+  else if Sim.Rng.int rng 4 = 0 then (Stack_ds.op_peek, [||])
+  else (Stack_ds.op_pop, [||])
+
+let queue_bursty rng step =
+  if step / 64 mod 2 = 0 then
+    (Queue_ds.op_enqueue, [| Sim.Rng.int rng 1000 |])
+  else if Sim.Rng.int rng 4 = 0 then (Queue_ds.op_peek, [||])
+  else (Queue_ds.op_dequeue, [||])
+
+(* ---- per-implementation long runs ---- *)
+
+let map_impls : (module Seqds.Ds_intf.S) list =
+  [ (module Hashmap); (module Rbtree); (module Skiplist) ]
+
+let test_maps_tiny_keyspace () =
+  List.iter
+    (fun (module Ds : Seqds.Ds_intf.S) ->
+      agree (module Ds) ~label:"tiny" ~gen_op:tiny_keyspace ~steps:10_000 101L)
+    map_impls
+
+let test_maps_monotone () =
+  List.iter
+    (fun (module Ds : Seqds.Ds_intf.S) ->
+      agree (module Ds) ~label:"monotone" ~gen_op:(monotone 5_000) ~steps:10_000
+        102L)
+    map_impls
+
+let test_maps_churn () =
+  List.iter
+    (fun (module Ds : Seqds.Ds_intf.S) ->
+      agree (module Ds) ~label:"churn" ~gen_op:churn ~steps:10_000 103L)
+    map_impls
+
+let test_maps_uniform () =
+  List.iter
+    (fun (module Ds : Seqds.Ds_intf.S) ->
+      agree (module Ds) ~label:"uniform" ~gen_op:uniform ~steps:10_000 104L)
+    map_impls
+
+let test_pqueue_duplicates () =
+  agree (module Pqueue) ~label:"dups" ~gen_op:pq_dups ~steps:10_000 105L
+
+let test_stack_bursty () =
+  agree (module Stack_ds) ~label:"bursty" ~gen_op:stack_bursty ~steps:10_000 106L
+
+let test_queue_bursty () =
+  agree (module Queue_ds) ~label:"bursty" ~gen_op:queue_bursty ~steps:10_000 107L
+
+(* ---- cross-implementation agreement ----
+
+   Hashmap, Rbtree and Skiplist implement the same map contract with the
+   same op codes; on identical sequences every return value must match
+   pairwise. This catches a bug in any one of the three even if its own
+   model shares the mistake. Snapshots are compared sorted: the hashmap
+   snapshot is not ordered, the tree/skiplist ones are. *)
+
+let test_cross_map_agreement () =
+  Sim.run_one (fun () ->
+      let m = Memory.make ~bg_period:0 () in
+      let al = Alloc.create_volatile m ~home:0 in
+      Context.bind ~default:al ();
+      let hm = Hashmap.create m in
+      let rb = Rbtree.create m in
+      let sl = Skiplist.create m in
+      let rng = Sim.Rng.create 108L in
+      for step = 1 to 10_000 do
+        let op, args = uniform rng step in
+        let a = Hashmap.execute hm ~op ~args in
+        let b = Rbtree.execute rb ~op ~args in
+        let c = Skiplist.execute sl ~op ~args in
+        if a <> b || b <> c then
+          Alcotest.failf
+            "cross-map: step %d op %d: hashmap=%d rbtree=%d skiplist=%d" step op
+            a b c
+      done;
+      let sorted snap = List.sort compare snap in
+      check_list "hashmap vs rbtree snapshots"
+        (sorted (Hashmap.snapshot hm))
+        (sorted (Rbtree.snapshot rb));
+      check_list "rbtree vs skiplist snapshots"
+        (sorted (Rbtree.snapshot rb))
+        (sorted (Skiplist.snapshot sl));
+      Context.reset ())
+
+(* pqueue must agree with sorting the surviving multiset even when many
+   priorities collide *)
+let test_pqueue_vs_sorted_drain () =
+  with_ds (module Pqueue) (fun ds ->
+      let rng = Sim.Rng.create 109L in
+      let live = ref [] in
+      for _ = 1 to 5_000 do
+        if Sim.Rng.int rng 3 = 0 then begin
+          let got = Pqueue.execute ds ~op:Pqueue.op_dequeue ~args:[||] in
+          match List.sort (fun a b -> compare b a) !live with
+          | [] -> Alcotest.(check int) "dequeue empty" (-1) got
+          | best :: _ ->
+            Alcotest.(check int) "dequeue max" best got;
+            (* remove one instance of [best] *)
+            let rec drop = function
+              | [] -> []
+              | x :: tl -> if x = best then tl else x :: drop tl
+            in
+            live := drop !live
+        end
+        else begin
+          let v = Sim.Rng.int rng 32 in
+          ignore (Pqueue.execute ds ~op:Pqueue.op_enqueue ~args:[| v |]);
+          live := v :: !live
+        end
+      done)
+
+let () =
+  Alcotest.run "models"
+    [
+      ( "long-runs",
+        [
+          Alcotest.test_case "maps: tiny keyspace" `Quick test_maps_tiny_keyspace;
+          Alcotest.test_case "maps: monotone keys" `Quick test_maps_monotone;
+          Alcotest.test_case "maps: churn" `Quick test_maps_churn;
+          Alcotest.test_case "maps: uniform" `Quick test_maps_uniform;
+          Alcotest.test_case "pqueue: duplicate priorities" `Quick
+            test_pqueue_duplicates;
+          Alcotest.test_case "stack: bursty" `Quick test_stack_bursty;
+          Alcotest.test_case "queue: bursty" `Quick test_queue_bursty;
+        ] );
+      ( "cross-impl",
+        [
+          Alcotest.test_case "three maps agree pairwise" `Quick
+            test_cross_map_agreement;
+          Alcotest.test_case "pqueue vs sorted drain" `Quick
+            test_pqueue_vs_sorted_drain;
+        ] );
+    ]

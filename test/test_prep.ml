@@ -493,6 +493,23 @@ let test_soft_durability () =
     completed;
   check "no completed insert lost" 0 !lost
 
+(* ---- trace ---- *)
+
+let test_trace_sentinels_independent () =
+  (* regression: [create]/grow used [Array.make] with one shared sentinel
+     record, so marking any never-logged index completed marked them all —
+     silently weakening every completed-op durability check *)
+  let tr = Trace.create () in
+  Trace.logged tr 0 ~op:1 ~args:[| 42 |];
+  Trace.completed tr 5;
+  check_bool "other unlogged slot not completed" false (Trace.get tr 7).Trace.completed;
+  check_bool "logged slot not completed" false (Trace.get tr 0).Trace.completed;
+  (* same property across the grow path (capacity doubles to 2048) *)
+  Trace.logged tr 2000 ~op:2 ~args:[||];
+  Trace.completed tr 2020;
+  check_bool "post-grow slots independent" false (Trace.get tr 2021).Trace.completed;
+  check_bool "marked slot is completed" true (Trace.get tr 2020).Trace.completed
+
 let () =
   Alcotest.run "prep"
     [
@@ -520,6 +537,11 @@ let () =
           Alcotest.test_case "double crash" `Quick test_double_crash;
           Alcotest.test_case "buffered crash fuzz" `Slow test_crash_fuzz_buffered;
           Alcotest.test_case "durable crash fuzz" `Slow test_crash_fuzz_durable;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "sentinels independent" `Quick
+            test_trace_sentinels_independent;
         ] );
       ( "baselines",
         [
