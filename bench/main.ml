@@ -45,7 +45,7 @@ module St = Experiment.Systems (Seqds.Stack_ds)
 let prep mk mode eps =
   mk
     ?log_size:(Some micro_scale.Figures.log_size)
-    ?flush:None ?name:None ~mode ~epsilon:eps ()
+    ?flush:None ?flit:None ?name:None ~mode ~epsilon:eps ()
 
 (* One Bechamel test per table/figure of the paper. *)
 let bechamel_tests =
@@ -121,6 +121,86 @@ let run_micro () =
         (Test.elements test))
     bechamel_tests
 
+(* ---- bench smoke: baseline vs FliT PREP-Durable, JSON artifact ----
+
+   A small fixed config runs the same update-heavy hashmap point with the
+   flush-elimination layer off and on, writes both results (with the full
+   flush-traffic counters) as JSON, and fails if the optimized variant's
+   simulated throughput regresses below the baseline's or its elision
+   counters are zero — the CI guard for this repo's first performance
+   optimization. *)
+
+let smoke_scale =
+  {
+    Figures.quick with
+    Figures.label = "smoke";
+    threads = [ 12 ];
+    key_range = 2048;
+    log_size = 16384;
+    eps_large = 4096;
+    duration_ns = 1_500_000;
+    warmup_ns = 300_000;
+  }
+
+let json_of_result (r : Experiment.result) =
+  Printf.sprintf
+    {|{"system": %S, "workload": %S, "workers": %d, "ops": %d, "duration_ns": %d, "throughput": %.1f, "wbinvd": %d, "clwb": %d, "clwb_elided": %d, "clwb_coalesced": %d, "clflush": %d, "clflush_elided": %d, "sfence": %d, "sfence_elided": %d, "bg_flushes": %d}|}
+    r.Experiment.system r.Experiment.workload r.Experiment.workers
+    r.Experiment.ops r.Experiment.duration_ns r.Experiment.throughput
+    r.Experiment.wbinvd r.Experiment.clwb r.Experiment.clwb_elided
+    r.Experiment.clwb_coalesced r.Experiment.clflush
+    r.Experiment.clflush_elided r.Experiment.sfence r.Experiment.sfence_elided
+    r.Experiment.bg_flushes
+
+let run_smoke path =
+  let scale = smoke_scale in
+  let threads = 12 in
+  let workload =
+    Workload.map_workload ~read_pct:50 ~key_range:scale.Figures.key_range
+      ~prefill_n:(scale.Figures.key_range / 2)
+  in
+  let run_variant flit =
+    Experiment.run ~topology:scale.Figures.topology
+      ~duration_ns:scale.Figures.duration_ns
+      ~warmup_ns:scale.Figures.warmup_ns
+      ~system:
+        (Hm.prep ~log_size:scale.Figures.log_size ~flit
+           ~mode:Prep.Config.Durable ~epsilon:scale.Figures.eps_large ())
+      ~workload ~workers:threads ()
+  in
+  let base = run_variant false in
+  let flit = run_variant true in
+  let speedup = flit.Experiment.throughput /. base.Experiment.throughput in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"config\": {\"threads\": %d, \"key_range\": %d, \"log_size\": %d, \
+     \"epsilon\": %d, \"read_pct\": 50, \"duration_ns\": %d},\n\
+    \  \"baseline\": %s,\n  \"flit\": %s,\n  \"speedup\": %.4f\n}\n"
+    threads scale.Figures.key_range scale.Figures.log_size
+    scale.Figures.eps_large scale.Figures.duration_ns (json_of_result base)
+    (json_of_result flit) speedup;
+  close_out oc;
+  Printf.printf
+    "bench smoke: baseline %.0f ops/s, flit %.0f ops/s (%.1f%% %s); \
+     elided+coalesced = %d; artifact: %s\n%!"
+    base.Experiment.throughput flit.Experiment.throughput
+    (abs_float (speedup -. 1.0) *. 100.)
+    (if speedup >= 1.0 then "faster" else "SLOWER")
+    (flit.Experiment.clwb_elided + flit.Experiment.clwb_coalesced
+     + flit.Experiment.clflush_elided + flit.Experiment.sfence_elided)
+    path;
+  if flit.Experiment.throughput < base.Experiment.throughput then begin
+    prerr_endline "bench smoke FAILED: flit variant slower than baseline";
+    exit 1
+  end;
+  if
+    flit.Experiment.clwb_elided + flit.Experiment.clwb_coalesced
+    + flit.Experiment.clflush_elided + flit.Experiment.sfence_elided = 0
+  then begin
+    prerr_endline "bench smoke FAILED: no flushes elided or coalesced";
+    exit 1
+  end
+
 let () =
   let scale = Figures.scale_of_env () in
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -133,8 +213,12 @@ let () =
   | "fig5" -> Figures.fig5 scale
   | "fig6" -> Figures.fig6 scale
   | "ablation" -> Figures.ablation scale
+  | "flushstats" -> Figures.flushstats scale
   | "micro" -> run_micro ()
+  | "smoke" ->
+    run_smoke (if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench-smoke.json")
   | other ->
     Printf.eprintf
-      "unknown command %S (expected all|table1|fig1..fig6|ablation|micro)\n" other;
+      "unknown command %S (expected \
+       all|table1|fig1..fig6|ablation|flushstats|micro|smoke)\n" other;
     exit 1

@@ -21,7 +21,7 @@ open Harness
 (* ---- bench ---- *)
 
 let figure_arg =
-  let doc = "Figure to regenerate: all, table1, fig1..fig6." in
+  let doc = "Figure to regenerate: all, table1, fig1..fig6, flushstats." in
   Arg.(value & opt string "all" & info [ "figure"; "f" ] ~docv:"FIG" ~doc)
 
 let full_arg =
@@ -39,6 +39,8 @@ let bench figure full =
   | "fig4" -> `Ok (Figures.fig4 scale)
   | "fig5" -> `Ok (Figures.fig5 scale)
   | "fig6" -> `Ok (Figures.fig6 scale)
+  | "ablation" -> `Ok (Figures.ablation scale)
+  | "flushstats" -> `Ok (Figures.flushstats scale)
   | other -> `Error (true, Printf.sprintf "unknown figure %S" other)
 
 let bench_cmd =
@@ -85,6 +87,7 @@ module type SYSTEMS = sig
   val prep :
     ?log_size:int ->
     ?flush:Prep.Config.flush_strategy ->
+    ?flit:bool ->
     ?name:string ->
     mode:Prep.Config.mode ->
     epsilon:int ->
@@ -95,7 +98,14 @@ module type SYSTEMS = sig
   val cx : ?queue_capacity:int -> unit -> Experiment.system
 end
 
-let run_point system ds threads epsilon read_pct keys duration seed =
+let flit_arg =
+  let doc =
+    "Enable the FliT flush-elimination layer (PREP systems only): per-line \
+     flush tracking plus batched single-fence log persistence."
+  in
+  Arg.(value & flag & info [ "flit" ] ~doc)
+
+let run_point system ds threads epsilon read_pct keys duration seed flit =
   let workload_map, workload_pairs =
     ( (fun () -> Workload.map_workload ~read_pct ~key_range:keys ~prefill_n:(keys / 2)),
       fun pairs -> pairs ~prefill_n:(keys / 2) )
@@ -110,15 +120,25 @@ let run_point system ds threads epsilon read_pct keys duration seed =
       r.Experiment.system r.Experiment.workload r.Experiment.workers
       r.Experiment.throughput r.Experiment.ops;
     Printf.printf "memory: %d wbinvd, %d clwb, %d clflush, %d fences, %d bg-flushes\n"
-      r.Experiment.wbinvd r.Experiment.clwb 0 0 r.Experiment.bg_flushes;
+      r.Experiment.wbinvd r.Experiment.clwb r.Experiment.clflush
+      r.Experiment.sfence r.Experiment.bg_flushes;
+    if
+      r.Experiment.clwb_elided + r.Experiment.clwb_coalesced
+      + r.Experiment.clflush_elided + r.Experiment.sfence_elided > 0
+    then
+      Printf.printf
+        "flit:   %d clwb elided, %d clwb coalesced, %d clflush elided, %d \
+         fences elided\n"
+        r.Experiment.clwb_elided r.Experiment.clwb_coalesced
+        r.Experiment.clflush_elided r.Experiment.sfence_elided;
     `Ok ()
   in
   let prep_sys (module Sy : SYSTEMS) =
     match system with
     | "gl" -> Ok Sy.global_lock
     | "prep-v" -> Ok (Sy.prep ~log_size ~mode:Prep.Config.Volatile ~epsilon:1 ())
-    | "prep-buffered" -> Ok (Sy.prep ~log_size ~mode:Prep.Config.Buffered ~epsilon ())
-    | "prep-durable" -> Ok (Sy.prep ~log_size ~mode:Prep.Config.Durable ~epsilon ())
+    | "prep-buffered" -> Ok (Sy.prep ~log_size ~flit ~mode:Prep.Config.Buffered ~epsilon ())
+    | "prep-durable" -> Ok (Sy.prep ~log_size ~flit ~mode:Prep.Config.Durable ~epsilon ())
     | "cx" -> Ok (Sy.cx ())
     | "soft-1k" -> Ok (Experiment.soft ~nbuckets:1000)
     | "soft-10k" -> Ok (Experiment.soft ~nbuckets:10_000)
@@ -163,7 +183,7 @@ let run_cmd =
     Term.(
       ret
         (const run_point $ system_arg $ ds_arg $ threads_arg $ epsilon_arg
-       $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg))
+       $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg $ flit_arg))
 
 (* ---- crash ---- *)
 
@@ -252,7 +272,7 @@ let variant_arg =
   Arg.(value & opt string "buffered" & info [ "variant" ] ~docv:"VARIANT" ~doc)
 
 let fault_arg =
-  let doc = "Injected protocol fault: none or early-boundary." in
+  let doc = "Injected protocol fault: none, early-boundary or elide-ct-flush." in
   Arg.(value & opt string "none" & info [ "fault" ] ~docv:"FAULT" ~doc)
 
 let fuzz_threads_arg =
@@ -319,7 +339,7 @@ let fuzz_ds ds =
   | other -> Error (Printf.sprintf "unknown data structure %S" other)
 
 let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
-    crash_time no_crash bg_period =
+    crash_time no_crash bg_period flit =
   let variant_v =
     match variant with
     | "volatile" -> Ok Prep.Config.Volatile
@@ -331,6 +351,7 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
     match fault with
     | "none" -> Ok Prep.Config.No_fault
     | "early-boundary" -> Ok Prep.Config.Early_boundary_advance
+    | "elide-ct-flush" -> Ok Prep.Config.Elide_ct_flush
     | other -> Error (Printf.sprintf "unknown fault %S" other)
   in
   match (variant_v, fault_v, fuzz_ds ds) with
@@ -370,7 +391,7 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
      | Some crash ->
        (* replay a single, fully specified episode (shrunk repro) *)
        let ep = { template with crash } in
-       let out = F.run_episode ~mode ~fault ~gen_op ep in
+       let out = F.run_episode ~flit ~mode ~fault ~gen_op ep in
        Printf.printf
          "episode %s: crashed=%b logged=%d completed=%d applied=%d\n"
          (Fmt.str "%a" Check.Fuzz.pp_episode ep)
@@ -390,7 +411,8 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
        end
      | None ->
        let res =
-         F.fuzz ~mode ~fault ~gen_op ~template ~iters ~log:print_endline ()
+         F.fuzz ~flit ~mode ~fault ~gen_op ~template ~iters
+           ~log:print_endline ()
        in
        Printf.printf "%d episodes (%d crashed), %d failing\n"
          res.Check.Fuzz.episodes res.Check.Fuzz.crashes
@@ -399,10 +421,12 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
         | [] -> `Ok ()
         | first :: _ ->
           print_endline "shrinking first failure...";
-          let small = F.shrink ~mode ~fault ~gen_op first.Check.Fuzz.episode in
+          let small =
+            F.shrink ~flit ~mode ~fault ~gen_op first.Check.Fuzz.episode
+          in
           Printf.printf "shrunk to: %s\nreplay with:\n  %s\n"
             (Fmt.str "%a" Check.Fuzz.pp_episode small)
-            (Check.Fuzz.repro_command ~mode ~fault ~ds small);
+            (Check.Fuzz.repro_command ~flit ~mode ~fault ~ds small);
           `Error (false, "durable-linearizability violations found")))
 
 let fuzz_cmd =
@@ -416,7 +440,7 @@ let fuzz_cmd =
         (const fuzz $ iters_arg $ variant_arg $ ds_arg $ fuzz_threads_arg
        $ fuzz_epsilon_arg $ fuzz_log_size_arg $ fuzz_ops_arg $ fuzz_seed_arg
        $ fault_arg $ crash_op_arg $ crash_time_arg $ no_crash_arg
-       $ bg_period_arg))
+       $ bg_period_arg $ flit_arg))
 
 let () =
   let info =

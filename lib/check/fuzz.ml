@@ -68,12 +68,14 @@ let variant_name = function
   | Prep.Config.Durable -> "durable"
 
 (** A copy-pasteable replay of [ep]: runs exactly one episode. *)
-let repro_command ~mode ~fault ~ds ep =
+let repro_command ?(flit = false) ~mode ~fault ~ds ep =
   Printf.sprintf
     "dune exec bin/prep_cli.exe -- fuzz --variant %s --ds %s --threads %d \
-     --epsilon %d --log-size %d --ops %d --seed %d --fault %s %s"
+     --epsilon %d --log-size %d --ops %d --seed %d --fault %s%s %s"
     (variant_name mode) ds ep.threads ep.epsilon ep.log_size ep.ops_per_worker
-    ep.workload_seed (Prep.Config.fault_name fault) (crash_flag ep.crash)
+    ep.workload_seed (Prep.Config.fault_name fault)
+    (if flit then " --flit" else "")
+    (crash_flag ep.crash)
 
 let pp_episode ppf ep =
   Fmt.pf ppf "seed=%d threads=%d epsilon=%d ops=%d %s" ep.workload_seed
@@ -91,8 +93,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
   let max_threads = Sim.Topology.total_cores topology - 1
 
   (** Run one episode: workload, optional crash, recovery, checks.
-      [gen_op] draws one (op, args) pair from the fiber's rng. *)
-  let run_episode ~mode ~fault ~gen_op ep =
+      [gen_op] draws one (op, args) pair from the fiber's rng. [flit]
+      fuzzes the flush-elimination variant instead of the baseline. *)
+  let run_episode ?(flit = false) ~mode ~fault ~gen_op ep =
     if ep.threads < 1 || ep.threads > max_threads then
       invalid_arg "Fuzz: thread count out of range";
     let sim =
@@ -113,7 +116,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
            let roots = Roots.make mem in
            let cfg =
              Prep.Config.make ~mode ~log_size:ep.log_size ~epsilon:ep.epsilon
-               ~fault ~workers:ep.threads ()
+               ~flit ~fault ~workers:ep.threads ()
            in
            let uc = Uc.create mem roots cfg in
            uc_ref := Some uc;
@@ -242,9 +245,10 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       episode gets a fresh workload seed and a random crash point —
       alternating between memory-operation-index and simulated-time
       injection. Deterministic in [template]. *)
-  let fuzz ~mode ~fault ~gen_op ~template ~iters ?(log = fun _ -> ()) () =
+  let fuzz ?(flit = false) ~mode ~fault ~gen_op ~template ~iters
+      ?(log = fun _ -> ()) () =
     let calib =
-      run_episode ~mode ~fault ~gen_op { template with crash = No_crash }
+      run_episode ~flit ~mode ~fault ~gen_op { template with crash = No_crash }
     in
     log
       (Fmt.str "calibration: %d ops logged, %d mem-ops, %d ns"
@@ -264,7 +268,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       let ep =
         { template with workload_seed = template.workload_seed + i; crash }
       in
-      let out = run_episode ~mode ~fault ~gen_op ep in
+      let out = run_episode ~flit ~mode ~fault ~gen_op ep in
       if out.crashed then incr crashes;
       if out.violations <> [] then begin
         failures := { episode = ep; violations = out.violations } :: !failures;
@@ -279,8 +283,10 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
   (** Minimize a failing episode: fewest threads first (re-probing several
       crash points, since fewer threads shift the schedule), then an
       earlier crash point, then less work per worker. *)
-  let shrink ~mode ~fault ~gen_op ep =
-    let fails ep = (run_episode ~mode ~fault ~gen_op ep).violations <> [] in
+  let shrink ?(flit = false) ~mode ~fault ~gen_op ep =
+    let fails ep =
+      (run_episode ~flit ~mode ~fault ~gen_op ep).violations <> []
+    in
     let scale_crash ep num den =
       match ep.crash with
       | At_op c -> { ep with crash = At_op (max 1 (c * num / den)) }

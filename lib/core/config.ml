@@ -29,10 +29,17 @@ type fault =
           replicas — the exact ordering bug the module comment of
           [Prep_uc] warns about, which widens the crash-loss window to
           about 2ε and breaks the ε+β−1 bound *)
+  | Elide_ct_flush
+      (** skip the completedTail CLFLUSH entirely in durable mode — a
+          plausibly-wrong version of this repo's flush-elimination layer
+          (eliding the flush without checking the line is persisted), which
+          leaves the durable completedTail stale on media and breaks the
+          zero-loss guarantee of §5.2 *)
 
 let fault_name = function
   | No_fault -> "none"
   | Early_boundary_advance -> "early-boundary"
+  | Elide_ct_flush -> "elide-ct-flush"
 
 type t = {
   mode : mode;
@@ -41,6 +48,11 @@ type t = {
   workers : int; (** worker threads; replicas are created only for the
                      sockets these occupy, as in the paper's pinning *)
   flush : flush_strategy;
+  flit : bool;
+      (** enable the FliT-style flush-elimination layer: per-line flush
+          tracking in [Nvm.Memory] plus the batched single-fence log
+          persistence path in [Prep_uc]. Off by default so the baseline
+          variant stays byte-for-byte the paper's protocol. *)
   fault : fault;
 }
 
@@ -57,5 +69,5 @@ let validate t ~beta =
   if t.workers < 1 then invalid_arg "Config: need at least one worker"
 
 let make ?(mode = Buffered) ?(log_size = 65536) ?(epsilon = 1024)
-    ?(flush = Wbinvd) ?(fault = No_fault) ~workers () =
-  { mode; log_size; epsilon; workers; flush; fault }
+    ?(flush = Wbinvd) ?(flit = false) ?(fault = No_fault) ~workers () =
+  { mode; log_size; epsilon; workers; flush; flit; fault }

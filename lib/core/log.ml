@@ -58,6 +58,32 @@ let write_payload t idx ~op ~args =
 (** Queue the entry's line for write-back (durable mode only). *)
 let persist_entry t idx = if t.durable then Memory.clwb t.mem (entry_addr t idx)
 
+(** Line-coalesced CLWB sweep over entries [first, first + n): one CLWB per
+    distinct cache line covered by the batch, not one per entry (durable
+    mode only; with FliT tracking enabled, re-sweeping the same range after
+    publishing coalesces into the queued write-backs instead of re-issuing
+    them). A wrapping batch is swept as its two contiguous halves. *)
+let persist_range t ~first ~n =
+  if t.durable && n > 0 then begin
+    let sweep first n =
+      let lo = entry_addr t first in
+      let hi = lo + ((n - 1) * entry_words) in
+      let step = Memory.line_words in
+      let l = ref (lo - (lo mod step)) in
+      while !l <= hi do
+        Memory.clwb t.mem !l;
+        l := !l + step
+      done
+    in
+    let idx = first mod t.size in
+    if idx + n <= t.size then sweep first n
+    else begin
+      let head = t.size - idx in
+      sweep first head;
+      sweep (first + head) (n - head)
+    end
+  end
+
 let fence t = if t.durable then Memory.sfence t.mem
 
 (** Flip the emptyBit, making the entry visible to consumers. *)

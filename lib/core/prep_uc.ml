@@ -132,6 +132,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     let topo = Sim.topology () in
     let beta = topo.Sim.Topology.cores_per_socket in
     Config.validate cfg ~beta;
+    if cfg.Config.flit then Memory.set_flit mem true;
     let workers = min cfg.Config.workers (Sim.Topology.total_cores topo - 1) in
     let n_replicas =
       min topo.Sim.Topology.sockets ((workers + beta - 1) / beta)
@@ -351,11 +352,20 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       done
 
   (** Algorithm 4: reserve [n] log entries, blocking while the persistence
-      thread is behind the flush boundary. Returns the start index. *)
+      thread is behind the flush boundary. Returns the start index.
+
+      The gate must be strict: a batch reserved at [tail = boundary] would
+      put completed entries at indexes [boundary .. boundary + n - 1],
+      i.e. up to ε+β completed ops past the last durable checkpoint — one
+      more than the ε+β−1 loss bound PREP-Buffered promises. Reserving
+      only while [tail < boundary] caps the straddle at β−1 entries.
+      (Found by differential crash-point fuzzing of the flush-elimination
+      layer: the faster variant reached a schedule where a full batch
+      landed exactly on the boundary.) *)
   let reserve_log_entries t r n =
     let rec attempt () =
       let tail = read_log_tail t in
-      if has_persistence t && read_flush_boundary t < tail then begin
+      if has_persistence t && read_flush_boundary t <= tail then begin
         (* the log has outrun the checkpoint: block until the persistence
            thread swaps, helping our own replica if asked *)
         help_if_asked t r;
@@ -375,17 +385,25 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     attempt ()
 
   (** CAS completedTail forward to at least [target]; in durable mode the
-      successful CAS is followed by a CLFLUSH (§5.2). *)
+      CAS (ours or a racing combiner's that overtook [target]) is followed
+      by a CLFLUSH (§5.2). The flush is issued even when another combiner
+      already advanced past [target]: that combiner's own CLFLUSH may not
+      have executed yet, and responding to clients on the strength of a
+      completedTail that is only coherently — not durably — advanced would
+      lose those completions on a crash. With FliT tracking the extra flush
+      is elided whenever the completedTail line is in fact already
+      persisted, which is the common case. [Elide_ct_flush] deliberately
+      skips the flush altogether so the fuzzer can prove it notices. *)
   let advance_completed_tail t target =
     let rec loop () =
       let ct = read_ct t in
       if ct >= target then ()
-      else if Memory.cas t.mem t.ct_addr ~expected:ct ~desired:target then begin
-        if durable t then Memory.clflush t.mem t.ct_addr
-      end
+      else if Memory.cas t.mem t.ct_addr ~expected:ct ~desired:target then ()
       else loop ()
     in
-    loop ()
+    loop ();
+    if durable t && t.cfg.Config.fault <> Config.Elide_ct_flush then
+      Memory.clflush t.mem t.ct_addr
 
   let slot_addr r core = r.slots + (core * slot_words)
 
@@ -409,21 +427,44 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     if n > 0 then begin
       let tail = reserve_log_entries t r n in
       let new_tail = tail + n in
-      (* phase 1: payloads (arguments then op), write-backs, one fence *)
-      List.iteri
-        (fun i (_, op, args) ->
-          Log.write_payload t.log (tail + i) ~op ~args;
-          Log.persist_entry t.log (tail + i);
-          Trace.logged t.trace (tail + i) ~op ~args)
-        batch;
-      Log.fence t.log;
-      (* phase 2: publish emptyBits, write-backs, one fence *)
-      List.iteri
-        (fun i _ ->
-          Log.publish t.log (tail + i);
-          Log.persist_entry t.log (tail + i))
-        batch;
-      Log.fence t.log;
+      if not t.cfg.Config.flit then begin
+        (* phase 1: payloads (arguments then op), write-backs, one fence *)
+        List.iteri
+          (fun i (_, op, args) ->
+            Log.write_payload t.log (tail + i) ~op ~args;
+            Log.persist_entry t.log (tail + i);
+            Trace.logged t.trace (tail + i) ~op ~args)
+          batch;
+        Log.fence t.log;
+        (* phase 2: publish emptyBits, write-backs, one fence *)
+        List.iteri
+          (fun i _ ->
+            Log.publish t.log (tail + i);
+            Log.persist_entry t.log (tail + i))
+          batch;
+        Log.fence t.log
+      end
+      else begin
+        (* Batched persistence: write every payload, sweep the batch's lines
+           once, publish every emptyBit, re-sweep (each CLWB coalesces into
+           the write-back queued by the first sweep), then a single fence.
+           Dropping the intermediate fence is safe in this model because an
+           entry is exactly one cache line: a write-back reaching media
+           carries payload and emptyBit together, so media can never hold a
+           published emptyBit with a torn payload — the invariant the
+           two-fence protocol exists to protect. Unfenced publish-then-crash
+           only produces holes, which recovery already skips as uncompleted
+           operations (§5.2). *)
+        List.iteri
+          (fun i (_, op, args) ->
+            Log.write_payload t.log (tail + i) ~op ~args;
+            Trace.logged t.trace (tail + i) ~op ~args)
+          batch;
+        Log.persist_range t.log ~first:tail ~n;
+        List.iteri (fun i _ -> Log.publish t.log (tail + i)) batch;
+        Log.persist_range t.log ~first:tail ~n;
+        Log.fence t.log
+      end;
       Locks.Rwlock.write_acquire r.rw;
       update_from_log t r ~upto:tail;
       Memory.write t.mem r.lt_addr new_tail;

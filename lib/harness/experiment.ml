@@ -36,7 +36,14 @@ type result = {
   throughput : float; (* simulated ops/sec *)
   wbinvd : int;
   clwb : int;
+  clflush : int;
+  sfence : int;
   bg_flushes : int;
+  (* flush-elimination accounting (nonzero only for FliT-enabled systems) *)
+  clwb_elided : int;
+  clwb_coalesced : int;
+  clflush_elided : int;
+  sfence_elided : int;
 }
 
 let run ?(seed = 7L) ?(topology = Sim.Topology.default)
@@ -95,7 +102,13 @@ let run ?(seed = 7L) ?(topology = Sim.Topology.default)
     throughput = float_of_int ops *. 1e9 /. float_of_int duration_ns;
     wbinvd = stats.Memory.wbinvd;
     clwb = stats.Memory.clwb;
+    clflush = stats.Memory.clflush;
+    sfence = stats.Memory.sfence;
     bg_flushes = stats.Memory.bg_flushes;
+    clwb_elided = stats.Memory.clwb_elided;
+    clwb_coalesced = stats.Memory.clwb_coalesced;
+    clflush_elided = stats.Memory.clflush_elided;
+    sfence_elided = stats.Memory.sfence_elided;
   }
 
 (* ---- system constructors ---- *)
@@ -105,16 +118,19 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
   module G = Prep.Gl_uc.Make (Ds)
   module C = Prep.Cx_puc.Make (Ds)
 
-  let prep ?(log_size = 65536) ?(flush = Prep.Config.Wbinvd) ?name ~mode
-      ~epsilon () =
+  let prep ?(log_size = 65536) ?(flush = Prep.Config.Wbinvd) ?(flit = false)
+      ?name ~mode ~epsilon () =
     let name =
       match name with
       | Some n -> n
-      | None -> (
-        match mode with
-        | Prep.Config.Volatile -> "PREP-V"
-        | Prep.Config.Buffered -> "PREP-Buffered"
-        | Prep.Config.Durable -> "PREP-Durable")
+      | None ->
+        let base =
+          match mode with
+          | Prep.Config.Volatile -> "PREP-V"
+          | Prep.Config.Buffered -> "PREP-Buffered"
+          | Prep.Config.Durable -> "PREP-Durable"
+        in
+        if flit then base ^ "/flit" else base
     in
     {
       sys_name = name;
@@ -122,7 +138,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
       make =
         (fun mem roots ~workers ~prefill ->
           let cfg =
-            Prep.Config.make ~mode ~log_size ~epsilon ~flush ~workers ()
+            Prep.Config.make ~mode ~log_size ~epsilon ~flush ~flit ~workers ()
           in
           let uc = P.create ~prefill mem roots cfg in
           P.start_persistence uc;

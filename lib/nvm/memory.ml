@@ -34,17 +34,23 @@ type stats = {
   mutable reads : int;
   mutable writes : int;
   mutable cas_ops : int;
-  mutable clwb : int;
-  mutable clflush : int;
-  mutable sfence : int;
+  mutable clwb : int;          (** CLWBs that queued a real media write-back *)
+  mutable clflush : int;       (** CLFLUSHes that performed a real media write *)
+  mutable sfence : int;        (** SFENCEs that drained a non-empty WPQ *)
   mutable wbinvd : int;
   mutable wbinvd_lines : int;
   mutable bg_flushes : int;
+  (* FliT flush-elimination accounting (all 0 unless [set_flit m true]): *)
+  mutable clwb_elided : int;    (** CLWB on a clean, already-persisted line *)
+  mutable clwb_coalesced : int; (** CLWB merged into an existing WPQ entry *)
+  mutable clflush_elided : int; (** CLFLUSH on a clean line with current media *)
+  mutable sfence_elided : int;  (** SFENCE with an empty write-pending queue *)
 }
 
 let new_stats () =
   { reads = 0; writes = 0; cas_ops = 0; clwb = 0; clflush = 0; sfence = 0;
-    wbinvd = 0; wbinvd_lines = 0; bg_flushes = 0 }
+    wbinvd = 0; wbinvd_lines = 0; bg_flushes = 0;
+    clwb_elided = 0; clwb_coalesced = 0; clflush_elided = 0; sfence_elided = 0 }
 
 type pending = { p_arena : int; p_line : int; p_words : int array }
 
@@ -59,6 +65,9 @@ type t = {
   mutable m_count : int;
   m_dirty_by_socket : (int, unit) Hashtbl.t array;
   mutable m_pending : pending list;
+  mutable m_flit : bool;
+  m_pending_tbl : (int, int array) Hashtbl.t;
+      (* flit-mode WPQ: dirty_key -> captured line words (newest capture wins) *)
   m_rng : Sim.Rng.t;
   m_bg_period : int;
   mutable m_countdown : int;
@@ -67,13 +76,15 @@ type t = {
   mutable m_crash_hook : (int -> unit) option;
 }
 
-let make ?(seed = 42L) ?(sockets = 2) ?(bg_period = 50_000) () =
+let make ?(seed = 42L) ?(sockets = 2) ?(bg_period = 50_000) ?(flit = false) () =
   let m =
     {
       m_arenas = Array.make 64 dummy_arena;
       m_count = 0;
       m_dirty_by_socket = Array.init sockets (fun _ -> Hashtbl.create 4096);
       m_pending = [];
+      m_flit = flit;
+      m_pending_tbl = Hashtbl.create 256;
       m_rng = Sim.Rng.create seed;
       m_bg_period = bg_period;
       m_countdown = (if bg_period = 0 then max_int else bg_period);
@@ -85,6 +96,33 @@ let make ?(seed = 42L) ?(sockets = 2) ?(bg_period = 50_000) () =
   m
 
 let stats m = m.m_stats
+
+(** Whether FliT-style flush elimination is active. *)
+let flit_enabled m = m.m_flit
+
+(** Enable/disable FliT-style flush tracking. In flit mode the write-pending
+    queue is keyed by cache line, so a CLWB on a line that is already queued
+    coalesces into the existing WPQ entry, a CLWB/CLFLUSH on a clean line
+    whose media is current is a counted no-op, and an SFENCE with an empty
+    WPQ charges no drain cost. Any in-flight pending write-backs survive the
+    switch in either direction. *)
+let set_flit m on =
+  if on && not m.m_flit then begin
+    (* list -> table, oldest first so the newest capture of a line wins *)
+    List.iter
+      (fun p -> Hashtbl.replace m.m_pending_tbl (dirty_key p.p_arena p.p_line) p.p_words)
+      (List.rev m.m_pending);
+    m.m_pending <- []
+  end
+  else if (not on) && m.m_flit then begin
+    Hashtbl.iter
+      (fun key words ->
+        let aid = key / lines_per_arena and line = key mod lines_per_arena in
+        m.m_pending <- { p_arena = aid; p_line = line; p_words = words } :: m.m_pending)
+      m.m_pending_tbl;
+    Hashtbl.reset m.m_pending_tbl
+  end;
+  m.m_flit <- on
 
 (* ---- crash-hook API (fuzzing instrumentation) ---- *)
 
@@ -183,9 +221,16 @@ let mark_dirty m arena line socket =
     Hashtbl.replace m.m_dirty_by_socket.(socket) (dirty_key arena.aid line) ()
   end
 
+(* In flit mode a committed line's WPQ entry is dropped: its capture is now
+   stale-or-equal, and replaying it at the next fence could regress media
+   behind a newer write-back (the stale-WPQ artifact FliT tracking avoids). *)
+let flit_prune m arena line =
+  if m.m_flit then Hashtbl.remove m.m_pending_tbl (dirty_key arena.aid line)
+
 let background_flush m arena line =
   m.m_stats.bg_flushes <- m.m_stats.bg_flushes + 1;
   commit_line_to_media arena line;
+  flit_prune m arena line;
   clear_dirty m arena line
 
 let maybe_background_flush m arena line =
@@ -276,12 +321,41 @@ let clwb m addr =
   let arena = arena_of_addr m addr in
   if arena.kind <> Nvm then invalid_arg "Memory.clwb: not an NVM address";
   let line = line_of_offset (offset_of_addr addr) in
-  Sim.tick (Sim.costs ()).Sim.Costs.clwb_line;
-  m.m_stats.clwb <- m.m_stats.clwb + 1;
   let base = line * line_words in
-  let words = Array.sub arena.values base line_words in
-  m.m_pending <- { p_arena = arena.aid; p_line = line; p_words = words } :: m.m_pending;
-  clear_dirty m arena line
+  if not m.m_flit then begin
+    Sim.tick (Sim.costs ()).Sim.Costs.clwb_line;
+    m.m_stats.clwb <- m.m_stats.clwb + 1;
+    let words = Array.sub arena.values base line_words in
+    m.m_pending <- { p_arena = arena.aid; p_line = line; p_words = words } :: m.m_pending;
+    clear_dirty m arena line
+  end
+  else begin
+    let c = Sim.costs () in
+    if Bytes.get_uint8 arena.dirty line = 0 then begin
+      (* clean line: media or the WPQ already holds the current contents —
+         the flush tag says there is nothing to write back *)
+      Sim.tick c.Sim.Costs.flush_tag_check;
+      m.m_stats.clwb_elided <- m.m_stats.clwb_elided + 1
+    end
+    else begin
+      let key = dirty_key arena.aid line in
+      if Hashtbl.mem m.m_pending_tbl key then begin
+        (* same line already queued: update the WPQ entry in place *)
+        Sim.tick c.Sim.Costs.clwb_merge;
+        m.m_stats.clwb_coalesced <- m.m_stats.clwb_coalesced + 1
+      end
+      else begin
+        Sim.tick c.Sim.Costs.clwb_line;
+        m.m_stats.clwb <- m.m_stats.clwb + 1
+      end;
+      (* capture after the tick (a yield point): a concurrent fence may have
+         drained and pruned the looked-up entry meanwhile, so always
+         (re-)queue the line's current contents rather than mutating a
+         possibly-orphaned capture *)
+      Hashtbl.replace m.m_pending_tbl key (Array.sub arena.values base line_words);
+      clear_dirty m arena line
+    end
+  end
 
 (** Blocking flush: the line is persisted before the call returns. *)
 let clflush m addr =
@@ -289,25 +363,57 @@ let clflush m addr =
   let arena = arena_of_addr m addr in
   if arena.kind <> Nvm then invalid_arg "Memory.clflush: not an NVM address";
   let line = line_of_offset (offset_of_addr addr) in
-  Sim.tick (Sim.costs ()).Sim.Costs.clflush_line;
-  m.m_stats.clflush <- m.m_stats.clflush + 1;
-  commit_line_to_media arena line;
-  clear_dirty m arena line
+  if m.m_flit
+     && Bytes.get_uint8 arena.dirty line = 0
+     && not (Hashtbl.mem m.m_pending_tbl (dirty_key arena.aid line))
+  then begin
+    (* clean and nothing queued: media already holds the line *)
+    Sim.tick (Sim.costs ()).Sim.Costs.flush_tag_check;
+    m.m_stats.clflush_elided <- m.m_stats.clflush_elided + 1
+  end
+  else begin
+    Sim.tick (Sim.costs ()).Sim.Costs.clflush_line;
+    m.m_stats.clflush <- m.m_stats.clflush + 1;
+    commit_line_to_media arena line;
+    flit_prune m arena line;
+    clear_dirty m arena line
+  end
 
 (** Persistent fence: drains every pending [clwb]. *)
 let sfence m =
   op_point m;
-  Sim.tick (Sim.costs ()).Sim.Costs.sfence;
-  m.m_stats.sfence <- m.m_stats.sfence + 1;
-  List.iter
-    (fun p ->
-      let arena = m.m_arenas.(p.p_arena) in
-      if arena.kind = Nvm then begin
-        let base = p.p_line * line_words in
-        Array.blit p.p_words 0 arena.media base line_words
-      end)
-    (List.rev m.m_pending);
-  m.m_pending <- []
+  if m.m_flit then begin
+    if Hashtbl.length m.m_pending_tbl = 0 then
+      (* empty WPQ: the fence retires immediately, no drain cost *)
+      m.m_stats.sfence_elided <- m.m_stats.sfence_elided + 1
+    else begin
+      Sim.tick (Sim.costs ()).Sim.Costs.sfence;
+      m.m_stats.sfence <- m.m_stats.sfence + 1;
+      Hashtbl.iter
+        (fun key words ->
+          let aid = key / lines_per_arena and line = key mod lines_per_arena in
+          let arena = m.m_arenas.(aid) in
+          if arena.kind = Nvm then begin
+            let base = line * line_words in
+            Array.blit words 0 arena.media base line_words
+          end)
+        m.m_pending_tbl;
+      Hashtbl.reset m.m_pending_tbl
+    end
+  end
+  else begin
+    Sim.tick (Sim.costs ()).Sim.Costs.sfence;
+    m.m_stats.sfence <- m.m_stats.sfence + 1;
+    List.iter
+      (fun p ->
+        let arena = m.m_arenas.(p.p_arena) in
+        if arena.kind = Nvm then begin
+          let base = p.p_line * line_words in
+          Array.blit p.p_words 0 arena.media base line_words
+        end)
+      (List.rev m.m_pending);
+    m.m_pending <- []
+  end
 
 (** Write back and invalidate the executing socket's entire cache: every
     line dirtied by this socket is persisted (NVM) or merely cleaned
@@ -328,6 +434,7 @@ let wbinvd m =
       let aid = key / lines_per_arena and line = key mod lines_per_arena in
       let arena = m.m_arenas.(aid) in
       commit_line_to_media arena line;
+      flit_prune m arena line;
       Bytes.set_uint8 arena.dirty line 0;
       Hashtbl.remove table key)
     keys
@@ -351,6 +458,7 @@ let flush_arena m aid =
       Sim.tick c.Sim.Costs.clwb_line;
       m.m_stats.clwb <- m.m_stats.clwb + 1;
       commit_line_to_media arena line;
+      flit_prune m arena line;
       clear_dirty m arena line
     end
   done
@@ -369,7 +477,8 @@ let crash m =
     Bytes.fill arena.dirty 0 (Bytes.length arena.dirty) '\000'
   done;
   Array.iter Hashtbl.reset m.m_dirty_by_socket;
-  m.m_pending <- []
+  m.m_pending <- [];
+  Hashtbl.reset m.m_pending_tbl
 
 (** Read a word without charging simulated time (test/assertion helper). *)
 let peek m addr = (arena_of_addr m addr).values.(offset_of_addr addr)
@@ -386,6 +495,10 @@ let poke m addr v = (arena_of_addr m addr).values.(offset_of_addr addr) <- v
 
 let arena_kind m aid = m.m_arenas.(aid).kind
 let arena_count m = m.m_count
+
+(** Number of write-backs currently queued in the write-pending queue. *)
+let pending_write_backs m =
+  if m.m_flit then Hashtbl.length m.m_pending_tbl else List.length m.m_pending
 
 (** Count of currently dirty (unpersisted) lines across all NVM arenas. *)
 let dirty_nvm_lines m =

@@ -18,6 +18,12 @@ type t = {
   wbinvd_base : int;      (** fixed stall of a whole-cache write-back-and-invalidate *)
   wbinvd_per_line : int;  (** additional WBINVD cost per dirty line written back *)
   spin : int;             (** one iteration of a spin-wait loop *)
+  flush_tag_check : int;  (** consulting a per-line persistence tag (FliT) and
+                              finding the flush redundant — an L1-resident
+                              counter read, so priced like a cache hit *)
+  clwb_merge : int;       (** a CLWB whose line already sits in the write-pending
+                              queue: the WPQ entry is updated in place instead of
+                              a new media write-back being queued *)
 }
 
 let default = {
@@ -32,4 +38,6 @@ let default = {
   wbinvd_base = 450_000;
   wbinvd_per_line = 90;
   spin = 40;
+  flush_tag_check = 15;
+  clwb_merge = 40;
 }

@@ -138,6 +138,107 @@ let test_fixed_variant_passes_where_broken_fails () =
   in
   no_failures "fixed variant" res
 
+(* ---- differential fuzzing of the flush-elimination layer ---- *)
+
+let test_fuzz_flit_differential () =
+  (* same seeded crash-point budget with the flush-elimination layer off
+     and on: the durable-linearizability checker must find the two
+     variants indistinguishable (zero violations on both sides). The
+     schedules themselves may diverge — elided flushes change simulated
+     time — so the comparison is at the level of the checked guarantees,
+     not raw traces. *)
+  let tpl = template ~seed:5200 ~epsilon:16 ~ops:120 in
+  let base =
+    F.fuzz ~mode:Config.Durable ~fault:Config.No_fault ~gen_op ~template:tpl
+      ~iters:10 ()
+  in
+  let flit =
+    F.fuzz ~flit:true ~mode:Config.Durable ~fault:Config.No_fault ~gen_op
+      ~template:tpl ~iters:10 ()
+  in
+  no_failures "baseline" base;
+  no_failures "flit" flit;
+  check "same episode budget" base.Check.Fuzz.episodes flit.Check.Fuzz.episodes;
+  check_bool "flit crash points explored" true (flit.Check.Fuzz.crashes > 0);
+  (* calibration: with one worker, no crash and no randomized preemption
+     the op stream is a pure function of the seed (preemption draws from
+     the scheduler rng on every tick, and flit changes the tick count, so
+     it would shift the fiber rng seeding), so both variants must log and
+     complete the exact same operations *)
+  let calib =
+    { tpl with
+      Check.Fuzz.threads = 1;
+      ops_per_worker = 80;
+      preempt_prob = 0.0 }
+  in
+  let a = F.run_episode ~mode:Config.Durable ~fault:Config.No_fault ~gen_op calib in
+  let b =
+    F.run_episode ~flit:true ~mode:Config.Durable ~fault:Config.No_fault
+      ~gen_op calib
+  in
+  check "calibration: same logged" a.Check.Fuzz.logged b.Check.Fuzz.logged;
+  check "calibration: same completed" a.Check.Fuzz.completed
+    b.Check.Fuzz.completed;
+  check "calibration: same applied" a.Check.Fuzz.applied b.Check.Fuzz.applied
+
+let test_fuzz_flit_buffered () =
+  let res =
+    F.fuzz ~flit:true ~mode:Config.Buffered ~fault:Config.No_fault ~gen_op
+      ~template:(template ~seed:4200 ~epsilon:16 ~ops:120)
+      ~iters:10 ()
+  in
+  no_failures "flit buffered" res;
+  check_bool "crash points were explored" true (res.Check.Fuzz.crashes > 0)
+
+let test_flit_elide_ct_flush_caught_and_shrunk () =
+  (* the planted fault skips the completedTail flush that the flit
+     combiner otherwise relies on the flush-tracking layer to elide
+     safely; the fuzzer must catch the resulting post-crash loss of
+     completed operations and shrink it to a small replayable repro *)
+  let mode = Config.Durable and fault = Config.Elide_ct_flush in
+  let tpl = template ~seed:9100 ~epsilon:16 ~ops:120 in
+  let res = F.fuzz ~flit:true ~mode ~fault ~gen_op ~template:tpl ~iters:8 () in
+  check_bool "planted fault caught" true (res.Check.Fuzz.failures <> []);
+  let first = List.hd res.Check.Fuzz.failures in
+  check_bool "caught as durable loss" true
+    (List.exists
+       (function
+         | Check.Durable_lin.Loss_bound_exceeded _
+         | Check.Durable_lin.Prefix_violation _ -> true
+         | _ -> false)
+       first.Check.Fuzz.violations);
+  let small = F.shrink ~flit:true ~mode ~fault ~gen_op first.Check.Fuzz.episode in
+  check_bool
+    (Fmt.str "shrunk to <= 4 threads (%a)" Check.Fuzz.pp_episode small)
+    true
+    (small.Check.Fuzz.threads <= 4);
+  let out = F.run_episode ~flit:true ~mode ~fault ~gen_op small in
+  check_bool "shrunk repro still fails" true (out.Check.Fuzz.violations <> []);
+  (* the printed repro must carry both the fault and the flit flag *)
+  let cmd = Check.Fuzz.repro_command ~flit:true ~mode ~fault ~ds:"hashmap" small in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "repro names the fault" true (contains cmd "elide-ct-flush");
+  check_bool "repro passes --flit" true (contains cmd "--flit")
+
+let test_flit_fault_needs_flit_combiner () =
+  (* without the flush-elimination layer the baseline combiner issues
+     per-entry CLFLUSHes that also persist the log payloads, so the same
+     fault still loses the completedTail but recovery replays the full
+     durable log: the episodes that fail under flit must fail here too —
+     the fault elides a flush the durable guarantee depends on in both
+     combiners. Running it pins the fault's blast radius. *)
+  let res =
+    F.fuzz ~mode:Config.Durable ~fault:Config.Elide_ct_flush ~gen_op
+      ~template:(template ~seed:9100 ~epsilon:16 ~ops:120)
+      ~iters:8 ()
+  in
+  check_bool "fault observable without flit too" true
+    (res.Check.Fuzz.failures <> [])
+
 (* A second data structure through the same harness: the fuzzing oracle is
    the pure model, so any Ds_intf.S implementation plugs in. *)
 module Fq = Check.Fuzz.Make (Seqds.Queue_ds)
@@ -258,5 +359,15 @@ let () =
             test_broken_variant_caught_and_shrunk;
           Alcotest.test_case "fixed variant passes same episodes" `Slow
             test_fixed_variant_passes_where_broken_fails;
+        ] );
+      ( "flit",
+        [
+          Alcotest.test_case "differential: flit indistinguishable" `Slow
+            test_fuzz_flit_differential;
+          Alcotest.test_case "flit buffered clean" `Slow test_fuzz_flit_buffered;
+          Alcotest.test_case "elide-ct-flush caught and shrunk" `Slow
+            test_flit_elide_ct_flush_caught_and_shrunk;
+          Alcotest.test_case "elide-ct-flush observable without flit" `Slow
+            test_flit_fault_needs_flit_combiner;
         ] );
     ]

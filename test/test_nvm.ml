@@ -313,6 +313,141 @@ let test_cas_mutual_exclusion_in_sim_time () =
   no_overlap sorted;
   check "all critical sections recorded" 240 (List.length sorted)
 
+(* ---- FliT flush elimination ---- *)
+
+let fresh_flit ?(bg_period = 0) () = Memory.make ~bg_period ~flit:true ()
+
+let test_flit_clean_clwb_elided () =
+  in_sim (fun () ->
+      let m = fresh_flit () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 42;
+      Memory.clwb m a;
+      Memory.sfence m;
+      let s = Memory.stats m in
+      check "first clwb issued" 1 s.Memory.clwb;
+      let media_before = Array.init 8 (fun i -> Memory.peek_media m (a - (a mod 8) + i)) in
+      let t0 = Sim.now () in
+      Memory.clwb m a;
+      let dt = Sim.now () - t0 in
+      let media_after = Array.init 8 (fun i -> Memory.peek_media m (a - (a mod 8) + i)) in
+      check "clwb on clean line elided" 1 s.Memory.clwb_elided;
+      check "no new write-back issued" 1 s.Memory.clwb;
+      check_bool "media unchanged" true (media_before = media_after);
+      check "tag check is cheap" (Sim.costs ()).Sim.Costs.flush_tag_check dt;
+      Memory.crash m;
+      check "still durable" 42 (Memory.peek m a))
+
+let test_flit_clwb_coalesces () =
+  in_sim (fun () ->
+      let m = fresh_flit () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 1;
+      Memory.clwb m a;
+      Memory.write m a 2;
+      Memory.clwb m a;
+      let s = Memory.stats m in
+      check "one real write-back" 1 s.Memory.clwb;
+      check "second coalesced into WPQ entry" 1 s.Memory.clwb_coalesced;
+      Memory.sfence m;
+      Memory.crash m;
+      check "newest capture wins" 2 (Memory.peek m a))
+
+let test_flit_empty_sfence_free () =
+  in_sim (fun () ->
+      let m = fresh_flit () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      let t0 = Sim.now () in
+      Memory.sfence m;
+      check "empty WPQ: no drain cost" 0 (Sim.now () - t0);
+      check "counted as elided" 1 (Memory.stats m).Memory.sfence_elided;
+      (* a fence with work still pays *)
+      Memory.write m a 9;
+      Memory.clwb m a;
+      let t1 = Sim.now () in
+      Memory.sfence m;
+      check_bool "non-empty WPQ charges" true (Sim.now () - t1 > 0);
+      check "real fence counted" 1 (Memory.stats m).Memory.sfence)
+
+let test_flit_clflush_elided_when_persisted () =
+  in_sim (fun () ->
+      let m = fresh_flit () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 5;
+      Memory.clflush m a;
+      Memory.clflush m a;
+      let s = Memory.stats m in
+      check "one real clflush" 1 s.Memory.clflush;
+      check "second elided" 1 s.Memory.clflush_elided;
+      Memory.crash m;
+      check "durable" 5 (Memory.peek m a))
+
+let test_flit_no_stale_writeback_regression () =
+  (* clwb captures v1; the line is then rewritten and clflushed (v2 on
+     media). The stale queued capture must NOT be replayed by the fence —
+     flit prunes a line's WPQ entry when the line is committed. *)
+  in_sim (fun () ->
+      let m = fresh_flit () in
+      let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+      let a = Memory.addr_of ~aid ~offset:8 in
+      Memory.write m a 1;
+      Memory.clwb m a;
+      Memory.write m a 2;
+      Memory.clflush m a;
+      Memory.sfence m;
+      Memory.crash m;
+      check "media not regressed to stale capture" 2 (Memory.peek m a))
+
+(* Differential property: the same write/flush/fence sequence on a flit
+   memory and a baseline memory must persist identical media, and every
+   flush instruction must be accounted exactly once (issued, elided or
+   coalesced). Rounds write a few words, write back touched lines (with
+   duplicates, exercising elision) and fence only sometimes (leaving
+   pending write-backs for the next round's clwb to coalesce with). *)
+let prop_flit_media_matches_baseline =
+  QCheck.Test.make ~count:100
+    ~name:"flit: media and accounting match baseline across random rounds"
+    QCheck.(
+      small_list
+        (triple (small_list (pair (int_bound 63) (int_bound 1000))) bool bool))
+    (fun rounds ->
+      Sim.run_one (fun () ->
+          let run flit =
+            let m = Memory.make ~bg_period:0 ~flit () in
+            let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
+            let addr off = Memory.addr_of ~aid ~offset:(8 + off) in
+            List.iter
+              (fun (writes, dup_clwb, fence) ->
+                List.iter (fun (off, v) -> Memory.write m (addr off) v) writes;
+                let reps = if dup_clwb then 2 else 1 in
+                for _ = 1 to reps do
+                  List.iter (fun (off, _) -> Memory.clwb m (addr off)) writes
+                done;
+                if fence then Memory.sfence m)
+              rounds;
+            Memory.crash m;
+            let media =
+              List.concat_map
+                (fun (writes, _, _) ->
+                  List.map (fun (off, _) -> Memory.peek m (addr off)) writes)
+                rounds
+            in
+            (media, Memory.stats m)
+          in
+          let media_b, sb = run false in
+          let media_f, sf = run true in
+          media_b = media_f
+          && sf.Memory.clwb + sf.Memory.clwb_elided + sf.Memory.clwb_coalesced
+             = sb.Memory.clwb
+          && sf.Memory.sfence + sf.Memory.sfence_elided = sb.Memory.sfence
+          && sb.Memory.clwb_elided = 0
+          && sb.Memory.clwb_coalesced = 0
+          && sb.Memory.sfence_elided = 0))
+
 (* ---- property tests ---- *)
 
 let prop_flushed_equals_peek =
@@ -412,9 +547,23 @@ let () =
           Alcotest.test_case "nested restore" `Quick test_context_nested_restore;
         ] );
       ( "roots", [ Alcotest.test_case "survive crash" `Quick test_roots_survive_crash ] );
+      ( "flit",
+        [
+          Alcotest.test_case "clean clwb elided, media invariant" `Quick
+            test_flit_clean_clwb_elided;
+          Alcotest.test_case "clwb coalesces into pending entry" `Quick
+            test_flit_clwb_coalesces;
+          Alcotest.test_case "empty sfence free" `Quick
+            test_flit_empty_sfence_free;
+          Alcotest.test_case "clflush elided when persisted" `Quick
+            test_flit_clflush_elided_when_persisted;
+          Alcotest.test_case "no stale write-back after clflush" `Quick
+            test_flit_no_stale_writeback_regression;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_flushed_equals_peek;
           QCheck_alcotest.to_alcotest prop_alloc_blocks_disjoint;
+          QCheck_alcotest.to_alcotest prop_flit_media_matches_baseline;
         ] );
     ]

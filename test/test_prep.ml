@@ -137,14 +137,14 @@ let test_log_wraps () =
    crash the memory, then recover in a fresh simulation and return
    (uc', report, old trace, old prefill, epsilon, beta). *)
 let crash_and_recover ~mode ~seed ~crash_at ~workers ~epsilon ~log_size
-    ?(bg_period = 2000) () =
+    ?(bg_period = 2000) ?(flit = false) () =
   let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 } in
   let sim = Sim.create ~seed topology in
   let mem = Memory.make ~bg_period ~sockets:2 () in
   let uc_ref = ref None in
   ignore (Sim.spawn sim ~socket:0 (fun () ->
       let roots = Roots.make mem in
-      let cfg = Config.make ~mode ~log_size ~epsilon ~workers () in
+      let cfg = Config.make ~mode ~log_size ~epsilon ~workers ~flit () in
       let uc = Uc.create ~prefill:[ ins 1000 1 ] mem roots cfg in
       Uc.start_persistence uc;
       uc_ref := Some uc;
@@ -197,6 +197,86 @@ let test_durable_crash_no_completed_loss () =
       let uc', report, trace, prefill, _ =
         crash_and_recover ~mode:Config.Durable ~seed ~crash_at:3_000_000
           ~workers:6 ~epsilon:32 ~log_size:128 ()
+      in
+      check "no completed op lost" 0 report.Prep_uc.lost_completed;
+      check "no completed op skipped as hole" 0 report.Prep_uc.skipped_completed;
+      let expected =
+        model_of_ops (prefill @ trace_ops trace report.Prep_uc.applied)
+      in
+      check_list "recovered state = applied replay" (H.Model.snapshot expected)
+        (Uc.snapshot uc'))
+    [ 21L; 22L; 23L; 24L ]
+
+(* ---- FliT flush-elimination equivalence ---- *)
+
+(* The flush-elimination layer must be semantically invisible: with a
+   single worker the op stream is a deterministic function of the seed
+   (fiber RNG streams do not depend on simulated time), so a baseline and
+   a flit run of the same seed must produce bit-identical linearizations,
+   responses and final states. Run the comparison over all three
+   sequential maps (they share op codes) to exercise different replica
+   write patterns under the optimized combiner. *)
+module Flit_equiv (D : Seqds.Ds_intf.S) = struct
+  module U = Prep_uc.Make (D)
+
+  let run ~flit =
+    with_world ~seed:17L ~bg_period:2000 (fun _sim mem roots ->
+        let cfg =
+          Config.make ~mode:Config.Durable ~log_size:128 ~epsilon:32
+            ~workers:1 ~flit ()
+        in
+        let uc = U.create mem roots cfg in
+        U.start_persistence uc;
+        U.register_worker uc;
+        let rng = Sim.fiber_rng () in
+        let responses = ref [] in
+        for _ = 1 to 400 do
+          let k = Sim.Rng.int rng 40 in
+          let op, args =
+            (* op codes shared by hashmap / rbtree / skiplist *)
+            match Sim.Rng.int rng 10 with
+            | 0 | 1 | 2 | 3 -> (H.op_insert, [| k; Sim.Rng.int rng 1000 |])
+            | 4 | 5 -> (H.op_remove, [| k |])
+            | 6 | 7 | 8 -> (H.op_get, [| k |])
+            | _ -> (H.op_size, [||])
+          in
+          responses := U.execute uc ~op ~args :: !responses
+        done;
+        U.stop uc;
+        U.sync uc;
+        let trace = U.trace uc in
+        let lin =
+          List.init (Trace.length trace) (fun i ->
+              let e = Trace.get trace i in
+              (e.Trace.op, Array.to_list e.Trace.args))
+        in
+        (List.rev !responses, lin, U.snapshot uc))
+
+  let test () =
+    let resp_b, lin_b, snap_b = run ~flit:false in
+    let resp_f, lin_f, snap_f = run ~flit:true in
+    check_bool "identical linearization" true (lin_b = lin_f);
+    check_list "identical responses" resp_b resp_f;
+    check_list "identical final state" snap_b snap_f;
+    check_bool "nonempty run" true (List.length lin_b > 0)
+end
+
+module Eq_hm = Flit_equiv (Seqds.Hashmap)
+module Eq_rb = Flit_equiv (Seqds.Rbtree)
+module Eq_sl = Flit_equiv (Seqds.Skiplist)
+
+let test_flit_equiv_hashmap () = Eq_hm.test ()
+let test_flit_equiv_rbtree () = Eq_rb.test ()
+let test_flit_equiv_skiplist () = Eq_sl.test ()
+
+let test_durable_flit_crash_no_completed_loss () =
+  (* durable guarantees are mode properties, not flush-layer properties:
+     with flit on, a crash must still lose no completed operation *)
+  List.iter
+    (fun seed ->
+      let uc', report, trace, prefill, _ =
+        crash_and_recover ~mode:Config.Durable ~flit:true ~seed
+          ~crash_at:3_000_000 ~workers:6 ~epsilon:32 ~log_size:128 ()
       in
       check "no completed op lost" 0 report.Prep_uc.lost_completed;
       check "no completed op skipped as hole" 0 report.Prep_uc.skipped_completed;
@@ -537,6 +617,16 @@ let () =
           Alcotest.test_case "double crash" `Quick test_double_crash;
           Alcotest.test_case "buffered crash fuzz" `Slow test_crash_fuzz_buffered;
           Alcotest.test_case "durable crash fuzz" `Slow test_crash_fuzz_durable;
+        ] );
+      ( "flit",
+        [
+          Alcotest.test_case "hashmap equivalence" `Quick
+            test_flit_equiv_hashmap;
+          Alcotest.test_case "rbtree equivalence" `Quick test_flit_equiv_rbtree;
+          Alcotest.test_case "skiplist equivalence" `Quick
+            test_flit_equiv_skiplist;
+          Alcotest.test_case "durable crash: no completed loss" `Quick
+            test_durable_flit_crash_no_completed_loss;
         ] );
       ( "trace",
         [
