@@ -45,7 +45,8 @@ module St = Experiment.Systems (Seqds.Stack_ds)
 let prep mk mode eps =
   mk
     ?log_size:(Some micro_scale.Figures.log_size)
-    ?flush:None ?flit:None ?name:None ~mode ~epsilon:eps ()
+    ?flush:None ?flit:None ?dist_rw:None ?log_mirror:None ?slot_bitmap:None
+    ?name:None ~mode ~epsilon:eps ()
 
 (* One Bechamel test per table/figure of the paper. *)
 let bechamel_tests =
@@ -142,15 +143,22 @@ let smoke_scale =
     warmup_ns = 300_000;
   }
 
+let json_of_counters extra =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) extra)
+  ^ "}"
+
 let json_of_result (r : Experiment.result) =
   Printf.sprintf
-    {|{"system": %S, "workload": %S, "workers": %d, "ops": %d, "duration_ns": %d, "throughput": %.1f, "wbinvd": %d, "clwb": %d, "clwb_elided": %d, "clwb_coalesced": %d, "clflush": %d, "clflush_elided": %d, "sfence": %d, "sfence_elided": %d, "bg_flushes": %d}|}
+    {|{"system": %S, "workload": %S, "workers": %d, "ops": %d, "duration_ns": %d, "throughput": %.1f, "wbinvd": %d, "clwb": %d, "clwb_elided": %d, "clwb_coalesced": %d, "clflush": %d, "clflush_elided": %d, "sfence": %d, "sfence_elided": %d, "bg_flushes": %d, "counters": %s}|}
     r.Experiment.system r.Experiment.workload r.Experiment.workers
     r.Experiment.ops r.Experiment.duration_ns r.Experiment.throughput
     r.Experiment.wbinvd r.Experiment.clwb r.Experiment.clwb_elided
     r.Experiment.clwb_coalesced r.Experiment.clflush
     r.Experiment.clflush_elided r.Experiment.sfence r.Experiment.sfence_elided
     r.Experiment.bg_flushes
+    (json_of_counters r.Experiment.extra)
 
 let run_smoke path =
   let scale = smoke_scale in
@@ -171,14 +179,38 @@ let run_smoke path =
   let base = run_variant false in
   let flit = run_variant true in
   let speedup = flit.Experiment.throughput /. base.Experiment.throughput in
+  (* second guard: the NUMA hot-path package (distributed reader lock +
+     DRAM log mirror + slot bitmap) must not regress a 90%-read point at
+     the top quick-scale thread count, on top of flit *)
+  let threads90 = 23 in
+  let workload90 =
+    Workload.map_workload ~read_pct:90 ~key_range:scale.Figures.key_range
+      ~prefill_n:(scale.Figures.key_range / 2)
+  in
+  let run_variant90 opt =
+    Experiment.run ~topology:scale.Figures.topology
+      ~duration_ns:scale.Figures.duration_ns
+      ~warmup_ns:scale.Figures.warmup_ns
+      ~system:
+        (Hm.prep ~log_size:scale.Figures.log_size ~flit:true ~dist_rw:opt
+           ~log_mirror:opt ~slot_bitmap:opt ~mode:Prep.Config.Durable
+           ~epsilon:scale.Figures.eps_large ())
+      ~workload:workload90 ~workers:threads90 ()
+  in
+  let base90 = run_variant90 false in
+  let numa90 = run_variant90 true in
+  let speedup90 = numa90.Experiment.throughput /. base90.Experiment.throughput in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n  \"config\": {\"threads\": %d, \"key_range\": %d, \"log_size\": %d, \
      \"epsilon\": %d, \"read_pct\": 50, \"duration_ns\": %d},\n\
-    \  \"baseline\": %s,\n  \"flit\": %s,\n  \"speedup\": %.4f\n}\n"
+    \  \"baseline\": %s,\n  \"flit\": %s,\n  \"speedup\": %.4f,\n\
+    \  \"read90\": {\"threads\": %d, \"read_pct\": 90,\n\
+    \    \"baseline\": %s,\n    \"numa\": %s,\n    \"speedup\": %.4f\n  }\n}\n"
     threads scale.Figures.key_range scale.Figures.log_size
     scale.Figures.eps_large scale.Figures.duration_ns (json_of_result base)
-    (json_of_result flit) speedup;
+    (json_of_result flit) speedup threads90 (json_of_result base90)
+    (json_of_result numa90) speedup90;
   close_out oc;
   Printf.printf
     "bench smoke: baseline %.0f ops/s, flit %.0f ops/s (%.1f%% %s); \
@@ -189,6 +221,12 @@ let run_smoke path =
     (flit.Experiment.clwb_elided + flit.Experiment.clwb_coalesced
      + flit.Experiment.clflush_elided + flit.Experiment.sfence_elided)
     path;
+  Printf.printf
+    "bench smoke (90%% read, %d threads): flit %.0f ops/s, \
+     flit+dist+mir+bmp %.0f ops/s (%.1f%% %s)\n%!"
+    threads90 base90.Experiment.throughput numa90.Experiment.throughput
+    (abs_float (speedup90 -. 1.0) *. 100.)
+    (if speedup90 >= 1.0 then "faster" else "SLOWER");
   if flit.Experiment.throughput < base.Experiment.throughput then begin
     prerr_endline "bench smoke FAILED: flit variant slower than baseline";
     exit 1
@@ -199,7 +237,78 @@ let run_smoke path =
   then begin
     prerr_endline "bench smoke FAILED: no flushes elided or coalesced";
     exit 1
+  end;
+  if numa90.Experiment.throughput < base90.Experiment.throughput then begin
+    prerr_endline
+      "bench smoke FAILED: dist-rw+log-mirror+slot-bitmap slower than flit \
+       alone at the 90%-read point";
+    exit 1
   end
+
+(* ---- bench readscale: read-ratio sweep, flags off vs on ----
+
+   Sweeps read ratio {0, 50, 90, 99}% x the quick-scale thread counts on
+   the PREP-Durable hashmap, comparing `--flit` alone against
+   `--flit --dist-rw --log-mirror --slot-bitmap`, and writes every point
+   (with the lock/mirror/bitmap counters) in the same JSON schema as
+   `smoke`. *)
+
+let run_readscale path =
+  let scale = Figures.quick in
+  let workload read_pct =
+    Workload.map_workload ~read_pct ~key_range:scale.Figures.key_range
+      ~prefill_n:(scale.Figures.key_range / 2)
+  in
+  let system opt =
+    Hm.prep ~log_size:scale.Figures.log_size ~flit:true ~dist_rw:opt
+      ~log_mirror:opt ~slot_bitmap:opt ~mode:Prep.Config.Durable
+      ~epsilon:scale.Figures.eps_large ()
+  in
+  let points = ref [] in
+  Printf.printf "%8s %8s %14s %14s %9s\n%!" "read%" "threads" "flit"
+    "flit+numa" "speedup";
+  List.iter
+    (fun read_pct ->
+      List.iter
+        (fun threads ->
+          let run opt =
+            try
+              Some
+                (Experiment.run ~topology:scale.Figures.topology
+                   ~duration_ns:scale.Figures.duration_ns
+                   ~warmup_ns:scale.Figures.warmup_ns ~system:(system opt)
+                   ~workload:(workload read_pct) ~workers:threads ())
+            with Failure msg ->
+              Printf.eprintf "[point failed: %s]\n%!" msg;
+              None
+          in
+          match (run false, run true) with
+          | Some base, Some numa ->
+            let speedup =
+              numa.Experiment.throughput /. base.Experiment.throughput
+            in
+            Printf.printf "%8d %8d %14.0f %14.0f %8.2fx\n%!" read_pct threads
+              base.Experiment.throughput numa.Experiment.throughput speedup;
+            points :=
+              Printf.sprintf
+                "    {\"read_pct\": %d, \"threads\": %d,\n\
+                \     \"baseline\": %s,\n     \"numa\": %s,\n\
+                \     \"speedup\": %.4f}"
+                read_pct threads (json_of_result base) (json_of_result numa)
+                speedup
+              :: !points
+          | _ -> ())
+        scale.Figures.threads)
+    [ 0; 50; 90; 99 ];
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"config\": {\"key_range\": %d, \"log_size\": %d, \"epsilon\": %d, \
+     \"duration_ns\": %d},\n  \"points\": [\n%s\n  ]\n}\n"
+    scale.Figures.key_range scale.Figures.log_size scale.Figures.eps_large
+    scale.Figures.duration_ns
+    (String.concat ",\n" (List.rev !points));
+  close_out oc;
+  Printf.printf "artifact: %s\n%!" path
 
 let () =
   let scale = Figures.scale_of_env () in
@@ -217,8 +326,11 @@ let () =
   | "micro" -> run_micro ()
   | "smoke" ->
     run_smoke (if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench-smoke.json")
+  | "readscale" ->
+    run_readscale
+      (if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench-readscale.json")
   | other ->
     Printf.eprintf
       "unknown command %S (expected \
-       all|table1|fig1..fig6|ablation|flushstats|micro|smoke)\n" other;
+       all|table1|fig1..fig6|ablation|flushstats|micro|smoke|readscale)\n" other;
     exit 1

@@ -88,6 +88,9 @@ module type SYSTEMS = sig
     ?log_size:int ->
     ?flush:Prep.Config.flush_strategy ->
     ?flit:bool ->
+    ?dist_rw:bool ->
+    ?log_mirror:bool ->
+    ?slot_bitmap:bool ->
     ?name:string ->
     mode:Prep.Config.mode ->
     epsilon:int ->
@@ -105,7 +108,29 @@ let flit_arg =
   in
   Arg.(value & flag & info [ "flit" ] ~doc)
 
-let run_point system ds threads epsilon read_pct keys duration seed flit =
+let dist_rw_arg =
+  let doc =
+    "Protect each replica with the distributed per-core reader-writer lock \
+     (PREP systems only): readers touch only their own cache line."
+  in
+  Arg.(value & flag & info [ "dist-rw" ] ~doc)
+
+let log_mirror_arg =
+  let doc =
+    "Shadow the durable log into a DRAM mirror and serve replica catch-up \
+     reads from it (PREP-Durable only; recovery still reads NVM)."
+  in
+  Arg.(value & flag & info [ "log-mirror" ] ~doc)
+
+let slot_bitmap_arg =
+  let doc =
+    "Maintain a per-replica slot-occupancy bitmap so the combiner scans \
+     only occupied flat-combining slots (PREP systems only)."
+  in
+  Arg.(value & flag & info [ "slot-bitmap" ] ~doc)
+
+let run_point system ds threads epsilon read_pct keys duration seed flit
+    dist_rw log_mirror slot_bitmap =
   let workload_map, workload_pairs =
     ( (fun () -> Workload.map_workload ~read_pct ~key_range:keys ~prefill_n:(keys / 2)),
       fun pairs -> pairs ~prefill_n:(keys / 2) )
@@ -131,14 +156,24 @@ let run_point system ds threads epsilon read_pct keys duration seed flit =
          fences elided\n"
         r.Experiment.clwb_elided r.Experiment.clwb_coalesced
         r.Experiment.clflush_elided r.Experiment.sfence_elided;
+    let nonzero = List.filter (fun (_, v) -> v <> 0) r.Experiment.extra in
+    if nonzero <> [] then begin
+      print_string "counters:";
+      List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) nonzero;
+      print_newline ()
+    end;
     `Ok ()
   in
   let prep_sys (module Sy : SYSTEMS) =
     match system with
     | "gl" -> Ok Sy.global_lock
     | "prep-v" -> Ok (Sy.prep ~log_size ~mode:Prep.Config.Volatile ~epsilon:1 ())
-    | "prep-buffered" -> Ok (Sy.prep ~log_size ~flit ~mode:Prep.Config.Buffered ~epsilon ())
-    | "prep-durable" -> Ok (Sy.prep ~log_size ~flit ~mode:Prep.Config.Durable ~epsilon ())
+    | "prep-buffered" ->
+      Ok (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap
+            ~mode:Prep.Config.Buffered ~epsilon ())
+    | "prep-durable" ->
+      Ok (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap
+            ~mode:Prep.Config.Durable ~epsilon ())
     | "cx" -> Ok (Sy.cx ())
     | "soft-1k" -> Ok (Experiment.soft ~nbuckets:1000)
     | "soft-10k" -> Ok (Experiment.soft ~nbuckets:10_000)
@@ -183,7 +218,8 @@ let run_cmd =
     Term.(
       ret
         (const run_point $ system_arg $ ds_arg $ threads_arg $ epsilon_arg
-       $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg $ flit_arg))
+       $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg $ flit_arg
+       $ dist_rw_arg $ log_mirror_arg $ slot_bitmap_arg))
 
 (* ---- crash ---- *)
 
@@ -272,7 +308,10 @@ let variant_arg =
   Arg.(value & opt string "buffered" & info [ "variant" ] ~docv:"VARIANT" ~doc)
 
 let fault_arg =
-  let doc = "Injected protocol fault: none, early-boundary or elide-ct-flush." in
+  let doc =
+    "Injected protocol fault: none, early-boundary, elide-ct-flush or \
+     mirror-read-recovery."
+  in
   Arg.(value & opt string "none" & info [ "fault" ] ~docv:"FAULT" ~doc)
 
 let fuzz_threads_arg =
@@ -339,7 +378,7 @@ let fuzz_ds ds =
   | other -> Error (Printf.sprintf "unknown data structure %S" other)
 
 let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
-    crash_time no_crash bg_period flit =
+    crash_time no_crash bg_period flit dist_rw log_mirror slot_bitmap =
   let variant_v =
     match variant with
     | "volatile" -> Ok Prep.Config.Volatile
@@ -352,6 +391,7 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
     | "none" -> Ok Prep.Config.No_fault
     | "early-boundary" -> Ok Prep.Config.Early_boundary_advance
     | "elide-ct-flush" -> Ok Prep.Config.Elide_ct_flush
+    | "mirror-read-recovery" -> Ok Prep.Config.Mirror_read_on_recovery
     | other -> Error (Printf.sprintf "unknown fault %S" other)
   in
   match (variant_v, fault_v, fuzz_ds ds) with
@@ -391,7 +431,10 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
      | Some crash ->
        (* replay a single, fully specified episode (shrunk repro) *)
        let ep = { template with crash } in
-       let out = F.run_episode ~flit ~mode ~fault ~gen_op ep in
+       let out =
+         F.run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~mode ~fault
+           ~gen_op ep
+       in
        Printf.printf
          "episode %s: crashed=%b logged=%d completed=%d applied=%d\n"
          (Fmt.str "%a" Check.Fuzz.pp_episode ep)
@@ -411,8 +454,8 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
        end
      | None ->
        let res =
-         F.fuzz ~flit ~mode ~fault ~gen_op ~template ~iters
-           ~log:print_endline ()
+         F.fuzz ~flit ~dist_rw ~log_mirror ~slot_bitmap ~mode ~fault ~gen_op
+           ~template ~iters ~log:print_endline ()
        in
        Printf.printf "%d episodes (%d crashed), %d failing\n"
          res.Check.Fuzz.episodes res.Check.Fuzz.crashes
@@ -422,11 +465,13 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
         | first :: _ ->
           print_endline "shrinking first failure...";
           let small =
-            F.shrink ~flit ~mode ~fault ~gen_op first.Check.Fuzz.episode
+            F.shrink ~flit ~dist_rw ~log_mirror ~slot_bitmap ~mode ~fault
+              ~gen_op first.Check.Fuzz.episode
           in
           Printf.printf "shrunk to: %s\nreplay with:\n  %s\n"
             (Fmt.str "%a" Check.Fuzz.pp_episode small)
-            (Check.Fuzz.repro_command ~flit ~mode ~fault ~ds small);
+            (Check.Fuzz.repro_command ~flit ~dist_rw ~log_mirror ~slot_bitmap
+               ~mode ~fault ~ds small);
           `Error (false, "durable-linearizability violations found")))
 
 let fuzz_cmd =
@@ -440,7 +485,8 @@ let fuzz_cmd =
         (const fuzz $ iters_arg $ variant_arg $ ds_arg $ fuzz_threads_arg
        $ fuzz_epsilon_arg $ fuzz_log_size_arg $ fuzz_ops_arg $ fuzz_seed_arg
        $ fault_arg $ crash_op_arg $ crash_time_arg $ no_crash_arg
-       $ bg_period_arg $ flit_arg))
+       $ bg_period_arg $ flit_arg $ dist_rw_arg $ log_mirror_arg
+       $ slot_bitmap_arg))
 
 let () =
   let info =

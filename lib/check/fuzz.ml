@@ -68,13 +68,17 @@ let variant_name = function
   | Prep.Config.Durable -> "durable"
 
 (** A copy-pasteable replay of [ep]: runs exactly one episode. *)
-let repro_command ?(flit = false) ~mode ~fault ~ds ep =
+let repro_command ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
+    ?(slot_bitmap = false) ~mode ~fault ~ds ep =
   Printf.sprintf
     "dune exec bin/prep_cli.exe -- fuzz --variant %s --ds %s --threads %d \
-     --epsilon %d --log-size %d --ops %d --seed %d --fault %s%s %s"
+     --epsilon %d --log-size %d --ops %d --seed %d --fault %s%s%s%s%s %s"
     (variant_name mode) ds ep.threads ep.epsilon ep.log_size ep.ops_per_worker
     ep.workload_seed (Prep.Config.fault_name fault)
     (if flit then " --flit" else "")
+    (if dist_rw then " --dist-rw" else "")
+    (if log_mirror then " --log-mirror" else "")
+    (if slot_bitmap then " --slot-bitmap" else "")
     (crash_flag ep.crash)
 
 let pp_episode ppf ep =
@@ -93,9 +97,11 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
   let max_threads = Sim.Topology.total_cores topology - 1
 
   (** Run one episode: workload, optional crash, recovery, checks.
-      [gen_op] draws one (op, args) pair from the fiber's rng. [flit]
-      fuzzes the flush-elimination variant instead of the baseline. *)
-  let run_episode ?(flit = false) ~mode ~fault ~gen_op ep =
+      [gen_op] draws one (op, args) pair from the fiber's rng. [flit],
+      [dist_rw], [log_mirror] and [slot_bitmap] fuzz the corresponding
+      gated optimisation instead of the baseline. *)
+  let run_episode ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
+      ?(slot_bitmap = false) ~mode ~fault ~gen_op ep =
     if ep.threads < 1 || ep.threads > max_threads then
       invalid_arg "Fuzz: thread count out of range";
     let sim =
@@ -116,7 +122,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
            let roots = Roots.make mem in
            let cfg =
              Prep.Config.make ~mode ~log_size:ep.log_size ~epsilon:ep.epsilon
-               ~flit ~fault ~workers:ep.threads ()
+               ~flit ~dist_rw ~log_mirror ~slot_bitmap ~fault
+               ~workers:ep.threads ()
            in
            let uc = Uc.create mem roots cfg in
            uc_ref := Some uc;
@@ -245,10 +252,12 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       episode gets a fresh workload seed and a random crash point —
       alternating between memory-operation-index and simulated-time
       injection. Deterministic in [template]. *)
-  let fuzz ?(flit = false) ~mode ~fault ~gen_op ~template ~iters
+  let fuzz ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
+      ?(slot_bitmap = false) ~mode ~fault ~gen_op ~template ~iters
       ?(log = fun _ -> ()) () =
+    let run_episode = run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap in
     let calib =
-      run_episode ~flit ~mode ~fault ~gen_op { template with crash = No_crash }
+      run_episode ~mode ~fault ~gen_op { template with crash = No_crash }
     in
     log
       (Fmt.str "calibration: %d ops logged, %d mem-ops, %d ns"
@@ -268,7 +277,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       let ep =
         { template with workload_seed = template.workload_seed + i; crash }
       in
-      let out = run_episode ~flit ~mode ~fault ~gen_op ep in
+      let out = run_episode ~mode ~fault ~gen_op ep in
       if out.crashed then incr crashes;
       if out.violations <> [] then begin
         failures := { episode = ep; violations = out.violations } :: !failures;
@@ -283,9 +292,12 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
   (** Minimize a failing episode: fewest threads first (re-probing several
       crash points, since fewer threads shift the schedule), then an
       earlier crash point, then less work per worker. *)
-  let shrink ?(flit = false) ~mode ~fault ~gen_op ep =
+  let shrink ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
+      ?(slot_bitmap = false) ~mode ~fault ~gen_op ep =
     let fails ep =
-      (run_episode ~flit ~mode ~fault ~gen_op ep).violations <> []
+      (run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~mode ~fault
+         ~gen_op ep).violations
+      <> []
     in
     let scale_crash ep num den =
       match ep.crash with

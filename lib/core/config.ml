@@ -35,11 +35,19 @@ type fault =
           (eliding the flush without checking the line is persisted), which
           leaves the durable completedTail stale on media and breaks the
           zero-loss guarantee of §5.2 *)
+  | Mirror_read_on_recovery
+      (** serve recovery's log replay from the DRAM log mirror instead of
+          the NVM copy — the obvious wrong version of this repo's
+          [~log_mirror] optimisation. The mirror is volatile, so after a
+          power failure it reads back zeroed; any durably completed
+          operations sitting between the stable replica's tail and the
+          completedTail are silently dropped from the recovered prefix *)
 
 let fault_name = function
   | No_fault -> "none"
   | Early_boundary_advance -> "early-boundary"
   | Elide_ct_flush -> "elide-ct-flush"
+  | Mirror_read_on_recovery -> "mirror-read-recovery"
 
 type t = {
   mode : mode;
@@ -53,6 +61,20 @@ type t = {
           tracking in [Nvm.Memory] plus the batched single-fence log
           persistence path in [Prep_uc]. Off by default so the baseline
           variant stays byte-for-byte the paper's protocol. *)
+  dist_rw : bool;
+      (** protect each replica with the distributed per-core reader-writer
+          lock ([Locks.Dist_rwlock]) instead of the single-word lock:
+          readers touch only their own cache line. Semantically invisible;
+          off by default to keep the baseline the paper's protocol. *)
+  log_mirror : bool;
+      (** durable mode only: shadow every log entry into a DRAM mirror and
+          serve replica catch-up / persistence-thread reads from it at DRAM
+          cost. CLWB and recovery keep using the NVM copy as the sole
+          durability source. No effect outside [Durable] mode. *)
+  slot_bitmap : bool;
+      (** per-replica slot-occupancy summary word: [execute_update] sets
+          its core's bit when publishing a slot and the combiner collects
+          only set bits, turning the O(β) slot sweep into O(occupied). *)
   fault : fault;
 }
 
@@ -66,8 +88,13 @@ let validate t ~beta =
     invalid_arg "Config: epsilon must be at most LOG_SIZE - beta - 1";
   if t.mode <> Volatile && t.epsilon < 1 then
     invalid_arg "Config: epsilon must be positive";
-  if t.workers < 1 then invalid_arg "Config: need at least one worker"
+  if t.workers < 1 then invalid_arg "Config: need at least one worker";
+  if t.slot_bitmap && beta > 62 then
+    invalid_arg "Config: slot bitmap supports at most 62 slots per replica"
 
 let make ?(mode = Buffered) ?(log_size = 65536) ?(epsilon = 1024)
-    ?(flush = Wbinvd) ?(flit = false) ?(fault = No_fault) ~workers () =
-  { mode; log_size; epsilon; workers; flush; flit; fault }
+    ?(flush = Wbinvd) ?(flit = false) ?(dist_rw = false)
+    ?(log_mirror = false) ?(slot_bitmap = false) ?(fault = No_fault)
+    ~workers () =
+  { mode; log_size; epsilon; workers; flush; flit; dist_rw; log_mirror;
+    slot_bitmap; fault }

@@ -51,3 +51,125 @@ module Rwlock = struct
 
   let write_release t = Memory.write t.mem t.a 0
 end
+
+(** Distributed reader-writer lock (the NR design this repo's replicas
+    call for): one cache-line-padded reader flag per core of the socket,
+    plus a writer word. A reader touches only its own core's line — a
+    plain store to raise the flag and a load of the writer word, no CAS
+    and no shared-line FAA — so concurrent readers on one socket no
+    longer serialize on a single cache line. A writer CASes the writer
+    word and then sweeps the per-core flags, waiting for each raised flag
+    to drop.
+
+    Correctness relies on the store-load ordering the simulator's
+    sequentially-consistent memory provides (the same Dekker-style
+    argument the real lock makes under an mfence): a reader stores its
+    flag *then* loads the writer word; the writer CASes the writer word
+    *then* loads the flags. If the reader's load saw the writer word
+    free, its flag store precedes the writer's sweep, so the writer
+    waits; if the reader saw the writer, it retracts its flag and
+    retries.
+
+    The [read_acquires]/[writer_sweeps] fields are harness-side counters
+    (no simulated cost), surfaced through [Prep_uc.counters] so the
+    bench JSON can show how often each path ran. *)
+module Dist_rwlock = struct
+  type t = {
+    mem : Memory.t;
+    a : int; (* writer word; reader flag for core i lives on its own line *)
+    ncores : int;
+    mutable read_acquires : int;
+    mutable writer_sweeps : int;
+  }
+
+  let size_words ~ncores = (ncores + 1) * Memory.line_words
+
+  let flag_addr t i = t.a + ((i + 1) * Memory.line_words)
+
+  let make mem a ~ncores =
+    Memory.write mem a 0;
+    let t = { mem; a; ncores; read_acquires = 0; writer_sweeps = 0 } in
+    for i = 0 to ncores - 1 do
+      Memory.write mem (flag_addr t i) 0
+    done;
+    t
+
+  let my_flag t = flag_addr t ((Sim.self ()).Sim.core mod t.ncores)
+
+  let try_read_acquire t =
+    let f = my_flag t in
+    if Memory.read t.mem t.a <> 0 then false
+    else begin
+      Memory.write t.mem f 1;
+      (* store flag, then re-check the writer word (Dekker) *)
+      if Memory.read t.mem t.a = 0 then begin
+        t.read_acquires <- t.read_acquires + 1;
+        true
+      end
+      else begin
+        Memory.write t.mem f 0;
+        false
+      end
+    end
+
+  let read_acquire t =
+    while not (try_read_acquire t) do
+      Sim.spin ()
+    done
+
+  let read_release t = Memory.write t.mem (my_flag t) 0
+
+  let write_acquire t =
+    while not (Memory.cas t.mem t.a ~expected:0 ~desired:(-1)) do
+      Sim.spin ()
+    done;
+    t.writer_sweeps <- t.writer_sweeps + 1;
+    for i = 0 to t.ncores - 1 do
+      while Memory.read t.mem (flag_addr t i) <> 0 do
+        Sim.spin ()
+      done
+    done
+
+  let write_release t = Memory.write t.mem t.a 0
+
+  (* test/inspection helpers (no simulated cost) *)
+  let peek_writer t = Memory.peek t.mem t.a
+  let peek_flag t i = Memory.peek t.mem (flag_addr t i)
+end
+
+(** Dispatcher over the two reader-writer locks, so the replica code can
+    hold either behind one type ([Config.make ~dist_rw] selects which). *)
+module Rw = struct
+  type t = Single of Rwlock.t | Dist of Dist_rwlock.t
+
+  let size_words ~dist ~ncores =
+    if dist then Dist_rwlock.size_words ~ncores else Rwlock.size_words
+
+  let make ~dist ~ncores mem a =
+    if dist then Dist (Dist_rwlock.make mem a ~ncores)
+    else Single (Rwlock.make mem a)
+
+  let read_acquire = function
+    | Single l -> Rwlock.read_acquire l
+    | Dist l -> Dist_rwlock.read_acquire l
+
+  let read_release = function
+    | Single l -> Rwlock.read_release l
+    | Dist l -> Dist_rwlock.read_release l
+
+  let write_acquire = function
+    | Single l -> Rwlock.write_acquire l
+    | Dist l -> Dist_rwlock.write_acquire l
+
+  let write_release = function
+    | Single l -> Rwlock.write_release l
+    | Dist l -> Dist_rwlock.write_release l
+
+  let read_acquires = function
+    | Single _ -> 0
+    | Dist l -> l.Dist_rwlock.read_acquires
+
+  let writer_sweeps = function
+    | Single _ -> 0
+    | Dist l -> l.Dist_rwlock.writer_sweeps
+end

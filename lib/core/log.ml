@@ -24,27 +24,81 @@ type t = {
   base : int; (* address of entry 0 *)
   size : int; (* entries *)
   durable : bool;
+  mirror : int option;
+      (* address of entry 0 of the DRAM shadow copy, if the log-mirror
+         optimisation is on: every entry store is duplicated there and all
+         consumer reads (replica catch-up, persistence thread, readonly
+         catch-up) are served from it at DRAM cost. CLWB/SFENCE and
+         recovery keep using [base] — the NVM copy stays the sole
+         durability source, and the mirror is rebuilt from it after a
+         crash. *)
+  (* harness-side counters (no simulated cost), surfaced in bench JSON *)
+  mutable primary_reads : int;
+  mutable mirror_reads : int;
+  mutable mirror_stores : int;
 }
 
-(** Allocate the log as dedicated consecutive arenas homed on socket 0. *)
-let create mem ~size ~durable =
+let alloc_arenas mem ~size ~kind =
   let words = size * entry_words in
   let arenas = (words + Memory.arena_words - 1) / Memory.arena_words in
-  let kind = if durable then Memory.Nvm else Memory.Dram in
   let first = Memory.new_arena mem ~kind ~home:0 in
   for i = 1 to arenas - 1 do
     let aid = Memory.new_arena mem ~kind ~home:0 in
     if aid <> first + i then failwith "Log.create: arenas not consecutive"
   done;
-  { mem; base = Memory.addr_of ~aid:first ~offset:0; size; durable }
+  Memory.addr_of ~aid:first ~offset:0
+
+(** Allocate the log as dedicated consecutive arenas homed on socket 0.
+    [mirror] additionally allocates a same-sized DRAM shadow (durable
+    mode only: in buffered/volatile mode the log itself is already in
+    DRAM and a mirror would buy nothing). *)
+let create ?(mirror = false) mem ~size ~durable =
+  let base = alloc_arenas mem ~size ~kind:(if durable then Memory.Nvm else Memory.Dram) in
+  let mirror =
+    if mirror && durable then Some (alloc_arenas mem ~size ~kind:Memory.Dram)
+    else None
+  in
+  { mem; base; size; durable; mirror;
+    primary_reads = 0; mirror_reads = 0; mirror_stores = 0 }
+
+(** Re-wrap an existing log allocation (recovery): same layout, fresh
+    counters. [mirror] is the shadow's base address, if consumer reads
+    should be served from one — recovery passes [None] so replay reads
+    the NVM media truth (except under the planted
+    [Config.Mirror_read_on_recovery] fault). *)
+let attach mem ~base ~size ~durable ~mirror =
+  { mem; base; size; durable; mirror;
+    primary_reads = 0; mirror_reads = 0; mirror_stores = 0 }
+
+let mirror_base t = t.mirror
 
 let entry_addr t idx = t.base + (idx mod t.size * entry_words)
+
+(* Address of entry [idx] for *consumer reads*: the DRAM mirror when one
+   is attached, the primary copy otherwise. *)
+let read_addr t idx =
+  match t.mirror with
+  | None ->
+      t.primary_reads <- t.primary_reads + 1;
+      entry_addr t idx
+  | Some mbase ->
+      t.mirror_reads <- t.mirror_reads + 1;
+      mbase + (idx mod t.size * entry_words)
+
+(* Duplicate a just-written entry word into the mirror, if one is on. *)
+let mirror_store t idx ~word v =
+  match t.mirror with
+  | None -> ()
+  | Some mbase ->
+      t.mirror_stores <- t.mirror_stores + 1;
+      Memory.mirror_write t.mem (mbase + (idx mod t.size * entry_words) + word) v
+
 
 (** emptyBit value that means "full" for index [idx]'s lap. *)
 let full_parity t idx = if idx / t.size mod 2 = 0 then 1 else 0
 
 let is_full t idx =
-  Memory.read t.mem (entry_addr t idx) = full_parity t idx
+  Memory.read t.mem (read_addr t idx) = full_parity t idx
 
 (** Write an entry's payload — arguments first, then the operation, exactly
     as §4.1 prescribes — without publishing it. *)
@@ -52,8 +106,14 @@ let write_payload t idx ~op ~args =
   if Array.length args > max_args then invalid_arg "Log: too many args";
   let a = entry_addr t idx in
   Memory.write t.mem (a + 2) (Array.length args);
-  Array.iteri (fun i v -> Memory.write t.mem (a + 3 + i) v) args;
-  Memory.write t.mem (a + 1) op
+  mirror_store t idx ~word:2 (Array.length args);
+  Array.iteri
+    (fun i v ->
+      Memory.write t.mem (a + 3 + i) v;
+      mirror_store t idx ~word:(3 + i) v)
+    args;
+  Memory.write t.mem (a + 1) op;
+  mirror_store t idx ~word:1 op
 
 (** Queue the entry's line for write-back (durable mode only). *)
 let persist_entry t idx = if t.durable then Memory.clwb t.mem (entry_addr t idx)
@@ -86,14 +146,17 @@ let persist_range t ~first ~n =
 
 let fence t = if t.durable then Memory.sfence t.mem
 
-(** Flip the emptyBit, making the entry visible to consumers. *)
+(** Flip the emptyBit, making the entry visible to consumers. The payload
+    must reach the mirror before the emptyBit does — consumers poll the
+    mirror's emptyBit — so the mirror store order repeats the primary's. *)
 let publish t idx =
-  Memory.write t.mem (entry_addr t idx) (full_parity t idx)
+  Memory.write t.mem (entry_addr t idx) (full_parity t idx);
+  mirror_store t idx ~word:0 (full_parity t idx)
 
 (** Read a published entry's payload. Callers must have checked [is_full]
     (or otherwise know the entry is published). *)
 let read_payload t idx =
-  let a = entry_addr t idx in
+  let a = read_addr t idx in
   let op = Memory.read t.mem (a + 1) in
   let argc = Memory.read t.mem (a + 2) in
   let args = Array.init argc (fun i -> Memory.read t.mem (a + 3 + i)) in

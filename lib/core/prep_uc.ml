@@ -73,8 +73,12 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     alloc : Alloc.t;
     lt_addr : int; (* localTail *)
     combiner : Locks.Trylock.t;
-    rw : Locks.Rwlock.t;
+    rw : Locks.Rw.t;
     slots : int; (* base address of beta slots *)
+    occ : int;
+        (* slot-occupancy summary word ([Config.slot_bitmap]): bit [core]
+           is raised after the core's slot is published, so the combiner
+           collects only set bits instead of sweeping all beta slots *)
   }
 
   type preplica = {
@@ -100,6 +104,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         (* ops establishing the initial state, for the checkers *)
     mutable stop_flag : bool;
     mutable p_thread_running : bool;
+    (* harness-side optimisation counters (no simulated cost) *)
+    mutable bmp_empty_exits : int;
+    mutable bmp_slots_skipped : int;
   }
 
   let durable t = t.cfg.Config.mode = Config.Durable
@@ -141,7 +148,10 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     let ctrl_aid = Memory.new_arena mem ~kind:Memory.Dram ~home:0 in
     let ctrl = Memory.addr_of ~aid:ctrl_aid ~offset:0 in
     let mode = cfg.Config.mode in
-    let log = Log.create mem ~size:cfg.Config.log_size ~durable:(mode = Config.Durable) in
+    let log =
+      Log.create mem ~mirror:cfg.Config.log_mirror ~size:cfg.Config.log_size
+        ~durable:(mode = Config.Durable)
+    in
     Memory.write mem (ctrl + off_log_tail) 0;
     Memory.write mem (ctrl + off_log_min) (cfg.Config.log_size - 1);
     Memory.write mem (ctrl + off_flush_boundary)
@@ -164,11 +174,23 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       let ds = Ds.copy master_ds in
       let lt_addr = Alloc.alloc alloc 8 in
       let combiner = Locks.Trylock.make mem (Alloc.alloc alloc 8) in
-      let rw = Locks.Rwlock.make mem (Alloc.alloc alloc 8) in
+      let dist = cfg.Config.dist_rw in
+      let rw_words = max Memory.line_words (Locks.Rw.size_words ~dist ~ncores:beta) in
+      (* over-allocate one line and round up: the distributed lock's
+         per-core padding only isolates lines if its base is line-aligned,
+         and the preceding Ds.copy allocations need not leave the bump
+         pointer on a line boundary *)
+      let rw_raw = Alloc.alloc alloc (rw_words + Memory.line_words) in
+      let rw_base =
+        (rw_raw + Memory.line_words - 1) / Memory.line_words * Memory.line_words
+      in
+      let rw = Locks.Rw.make ~dist ~ncores:beta mem rw_base in
       let slots = Alloc.alloc alloc (beta * slot_words) in
+      let occ = Alloc.alloc alloc 8 in
+      Memory.write mem occ 0;
       Memory.write mem lt_addr 0;
       Memory.write mem (ctrl + off_update_now + rid) 0;
-      { rid; socket = rid; ds; alloc; lt_addr; combiner; rw; slots }
+      { rid; socket = rid; ds; alloc; lt_addr; combiner; rw; slots; occ }
     in
     let replicas = Array.init n_replicas make_replica in
     (* persistent side *)
@@ -232,6 +254,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       prefill;
       stop_flag = false;
       p_thread_running = false;
+      bmp_empty_exits = 0;
+      bmp_slots_skipped = 0;
     }
 
   (** Create a UC whose initial object state is [prefill] applied to an
@@ -269,9 +293,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       combiner checks whether someone asked its replica to catch up. *)
   let help_if_asked t r =
     if Memory.read t.mem (update_now_addr t r.rid) = 1 then begin
-      Locks.Rwlock.write_acquire r.rw;
+      Locks.Rw.write_acquire r.rw;
       update_from_log t r ~upto:(read_ct t);
-      Locks.Rwlock.write_release r.rw;
+      Locks.Rw.write_release r.rw;
       Memory.write t.mem (update_now_addr t r.rid) 0
     end
 
@@ -328,10 +352,10 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
             if !low_rid < t.n_replicas && !low_rid <> r.rid then begin
               let lag = t.replicas.(!low_rid) in
               if Locks.Trylock.try_acquire lag.combiner then begin
-                Locks.Rwlock.write_acquire lag.rw;
+                Locks.Rw.write_acquire lag.rw;
                 Context.with_allocator lag.alloc (fun () ->
                     update_from_log t lag ~upto:(read_ct t));
-                Locks.Rwlock.write_release lag.rw;
+                Locks.Rw.write_release lag.rw;
                 Locks.Trylock.release lag.combiner
               end
             end;
@@ -407,21 +431,44 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
 
   let slot_addr r core = r.slots + (core * slot_words)
 
+  let collect_slot t r core batch =
+    let s = slot_addr r core in
+    if Memory.read t.mem (s + sl_full) = 1 then begin
+      Memory.write t.mem (s + sl_full) 0;
+      let op = Memory.read t.mem (s + sl_op) in
+      let argc = Memory.read t.mem (s + sl_argc) in
+      let args = Array.init argc (fun i -> Memory.read t.mem (s + sl_args + i)) in
+      batch := (core, op, args) :: !batch
+    end
+
   (* The combiner: collect the local batch, append it to the log, bring the
      replica up to date, and apply + answer the batch (paper §3). *)
   let combine t r =
     (* collect and claim full slots *)
     let batch = ref [] in
-    for core = t.beta - 1 downto 0 do
-      let s = slot_addr r core in
-      if Memory.read t.mem (s + sl_full) = 1 then begin
-        Memory.write t.mem (s + sl_full) 0;
-        let op = Memory.read t.mem (s + sl_op) in
-        let argc = Memory.read t.mem (s + sl_argc) in
-        let args = Array.init argc (fun i -> Memory.read t.mem (s + sl_args + i)) in
-        batch := (core, op, args) :: !batch
+    if t.cfg.Config.slot_bitmap then begin
+      (* claim the currently-raised bits with one atomic subtraction, then
+         visit only those slots. Claiming before collecting is safe: a bit
+         is raised strictly after its slot's [sl_full] store, so every
+         claimed bit has a full slot, and the subtraction cannot erase a
+         concurrently-raised bit of another core. A publisher whose bit
+         lands just after the read is picked up by the next combine round
+         (its worker is still spinning, and spinners retry the combiner
+         lock). *)
+      let bits = Memory.read t.mem r.occ in
+      if bits = 0 then t.bmp_empty_exits <- t.bmp_empty_exits + 1
+      else begin
+        ignore (Memory.faa t.mem r.occ (-bits));
+        for core = t.beta - 1 downto 0 do
+          if bits land (1 lsl core) <> 0 then collect_slot t r core batch
+          else t.bmp_slots_skipped <- t.bmp_slots_skipped + 1
+        done
       end
-    done;
+    end
+    else
+      for core = t.beta - 1 downto 0 do
+        collect_slot t r core batch
+      done;
     let batch = !batch in
     let n = List.length batch in
     if n > 0 then begin
@@ -465,7 +512,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         Log.persist_range t.log ~first:tail ~n;
         Log.fence t.log
       end;
-      Locks.Rwlock.write_acquire r.rw;
+      Locks.Rw.write_acquire r.rw;
       update_from_log t r ~upto:tail;
       Memory.write t.mem r.lt_addr new_tail;
       advance_completed_tail t new_tail;
@@ -478,7 +525,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
           Memory.write t.mem (s + sl_ghost) (tail + i);
           Memory.write t.mem (s + sl_ready) 1)
         batch;
-      Locks.Rwlock.write_release r.rw
+      Locks.Rw.write_release r.rw
     end
 
   let execute_update t r ~op ~args =
@@ -489,6 +536,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     Array.iteri (fun i v -> Memory.write t.mem (s + sl_args + i) v) args;
     Memory.write t.mem (s + sl_ready) 0;
     Memory.write t.mem (s + sl_full) 1;
+    (* raise the occupancy bit strictly after [sl_full]: the combiner
+       claims bits first and then expects every claimed slot to be full *)
+    if t.cfg.Config.slot_bitmap then ignore (Memory.faa t.mem r.occ (1 lsl core));
     let rec wait () =
       if Memory.read t.mem (s + sl_ready) = 1 then begin
         let resp = Memory.read t.mem (s + sl_resp) in
@@ -513,20 +563,27 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     let rec loop () =
       let ct = read_ct t in
       if read_local_tail t r >= ct then begin
-        Locks.Rwlock.read_acquire r.rw;
+        Locks.Rw.read_acquire r.rw;
         let resp = Ds.execute r.ds ~op ~args in
-        Locks.Rwlock.read_release r.rw;
+        Locks.Rw.read_release r.rw;
         resp
       end
       else if Locks.Trylock.try_acquire r.combiner then begin
         (* bring the replica up to date ourselves *)
-        Locks.Rwlock.write_acquire r.rw;
+        Locks.Rw.write_acquire r.rw;
         update_from_log t r ~upto:(read_ct t);
-        Locks.Rwlock.write_release r.rw;
+        Locks.Rw.write_release r.rw;
         Locks.Trylock.release r.combiner;
         loop ()
       end
       else begin
+        (* Same obligation as [execute_update]'s spin path: while waiting
+           for the combiner, service Algorithm 3's updateReplicaNow. A
+           reader that only spins here can deadlock the system — if the
+           current combiner is stuck in [update_or_wait_on_log_min]
+           waiting for *this* replica to catch up, nobody else on the
+           socket will ever service the request. *)
+        help_if_asked t r;
         Sim.spin ();
         loop ()
       end
@@ -606,16 +663,35 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
   let trace t = t.trace
   let prefill_ops t = t.prefill
 
+  (** Harness-side counters for the gated hot-path optimisations (all zero
+      when the corresponding flag is off), keyed for the bench JSON. *)
+  let counters t =
+    let read_acquires = ref 0 and writer_sweeps = ref 0 in
+    Array.iter
+      (fun r ->
+        read_acquires := !read_acquires + Locks.Rw.read_acquires r.rw;
+        writer_sweeps := !writer_sweeps + Locks.Rw.writer_sweeps r.rw)
+      t.replicas;
+    [
+      ("rw_read_acquires", !read_acquires);
+      ("rw_writer_sweeps", !writer_sweeps);
+      ("log_primary_reads", t.log.Log.primary_reads);
+      ("log_mirror_reads", t.log.Log.mirror_reads);
+      ("log_mirror_stores", t.log.Log.mirror_stores);
+      ("bitmap_empty_exits", t.bmp_empty_exits);
+      ("bitmap_slots_skipped", t.bmp_slots_skipped);
+    ]
+
   (** Bring every volatile replica up to date with the completedTail.
       Convenience for quiescent observation (tests, examples); not part of
       the paper's interface. Must run inside a bound fiber. *)
   let sync t =
     Array.iter
       (fun r ->
-        Locks.Rwlock.write_acquire r.rw;
+        Locks.Rw.write_acquire r.rw;
         Context.with_allocator r.alloc (fun () ->
             update_from_log t r ~upto:(read_ct t));
-        Locks.Rwlock.write_release r.rw)
+        Locks.Rw.write_release r.rw)
       t.replicas
 
   (** Cost-free snapshot of the abstract state (replica 0's view). *)
@@ -657,8 +733,17 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         let ct_addr = Roots.get roots slot_ct in
         let ct = Memory.read mem ct_addr in
         let log_base = Roots.get roots slot_log in
+        (* replay must read the NVM media truth, never the (volatile) DRAM
+           mirror — the planted [Mirror_read_on_recovery] fault does
+           exactly that wrong thing so the fuzzer can prove it notices *)
+        let mirror =
+          if cfg.Config.fault = Config.Mirror_read_on_recovery then
+            Log.mirror_base old_t.log
+          else None
+        in
         let log =
-          { Log.mem; base = log_base; size = cfg.Config.log_size; durable = true }
+          Log.attach mem ~base:log_base ~size:cfg.Config.log_size
+            ~durable:true ~mirror
         in
         let replayed = ref [] in
         Context.with_persistent (fun () ->

@@ -14,6 +14,8 @@ type instance = {
   register : unit -> unit; (* bind the calling worker fiber *)
   exec : op:int -> args:int array -> int;
   teardown : unit -> unit; (* stop helper threads so the run can drain *)
+  counters : unit -> (string * int) list;
+      (* system-specific optimisation counters, sampled after the run *)
 }
 
 (** A system under test: builds an instance inside the setup fiber.
@@ -44,6 +46,9 @@ type result = {
   clwb_coalesced : int;
   clflush_elided : int;
   sfence_elided : int;
+  extra : (string * int) list;
+      (** system-specific counters (distributed-lock acquisitions, log
+          mirror reads/stores, slot-bitmap scans, ...) *)
 }
 
 let run ?(seed = 7L) ?(topology = Sim.Topology.default)
@@ -57,6 +62,7 @@ let run ?(seed = 7L) ?(topology = Sim.Topology.default)
   let mem = Memory.make ~bg_period ~sockets:topology.Sim.Topology.sockets () in
   let counts = Array.make workers 0 in
   let done_count = ref 0 in
+  let extra = ref [] in
   ignore
     (Sim.spawn sim ~socket:0 (fun () ->
          let roots = Roots.make mem in
@@ -86,7 +92,8 @@ let run ?(seed = 7L) ?(topology = Sim.Topology.default)
          while !done_count < workers do
            Sim.tick 50_000
          done;
-         inst.teardown ()));
+         inst.teardown ();
+         extra := inst.counters ()));
   (* The horizon is a safety net: a correct run always finishes by itself. *)
   (match Sim.run ~until:(1_000 * (duration_ns + warmup_ns)) sim () with
    | `Done -> ()
@@ -109,6 +116,7 @@ let run ?(seed = 7L) ?(topology = Sim.Topology.default)
     clwb_coalesced = stats.Memory.clwb_coalesced;
     clflush_elided = stats.Memory.clflush_elided;
     sfence_elided = stats.Memory.sfence_elided;
+    extra = !extra;
   }
 
 (* ---- system constructors ---- *)
@@ -119,6 +127,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
   module C = Prep.Cx_puc.Make (Ds)
 
   let prep ?(log_size = 65536) ?(flush = Prep.Config.Wbinvd) ?(flit = false)
+      ?(dist_rw = false) ?(log_mirror = false) ?(slot_bitmap = false)
       ?name ~mode ~epsilon () =
     let name =
       match name with
@@ -130,7 +139,13 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
           | Prep.Config.Buffered -> "PREP-Buffered"
           | Prep.Config.Durable -> "PREP-Durable"
         in
-        if flit then base ^ "/flit" else base
+        let tags =
+          List.filter_map
+            (fun (on, tag) -> if on then Some tag else None)
+            [ (flit, "flit"); (dist_rw, "dist"); (log_mirror, "mir");
+              (slot_bitmap, "bmp") ]
+        in
+        if tags = [] then base else base ^ "/" ^ String.concat "+" tags
     in
     {
       sys_name = name;
@@ -138,7 +153,8 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
       make =
         (fun mem roots ~workers ~prefill ->
           let cfg =
-            Prep.Config.make ~mode ~log_size ~epsilon ~flush ~flit ~workers ()
+            Prep.Config.make ~mode ~log_size ~epsilon ~flush ~flit ~dist_rw
+              ~log_mirror ~slot_bitmap ~workers ()
           in
           let uc = P.create ~prefill mem roots cfg in
           P.start_persistence uc;
@@ -146,6 +162,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
             register = (fun () -> P.register_worker uc);
             exec = (fun ~op ~args -> P.execute uc ~op ~args);
             teardown = (fun () -> P.stop uc);
+            counters = (fun () -> P.counters uc);
           });
     }
 
@@ -161,6 +178,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
             register = (fun () -> G.register_worker gl);
             exec = (fun ~op ~args -> G.execute gl ~op ~args);
             teardown = ignore;
+            counters = (fun () -> []);
           });
     }
 
@@ -175,6 +193,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
             register = (fun () -> C.register_worker cx);
             exec = (fun ~op ~args -> C.execute cx ~op ~args);
             teardown = ignore;
+            counters = (fun () -> []);
           });
     }
 end
@@ -195,5 +214,6 @@ let soft ~nbuckets =
           register = (fun () -> Prep.Soft_hash.register_worker s);
           exec = (fun ~op ~args -> Prep.Soft_hash.execute s ~op ~args);
           teardown = ignore;
+          counters = (fun () -> []);
         });
   }

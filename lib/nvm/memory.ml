@@ -265,6 +265,22 @@ let write m addr v =
   mark_dirty m arena line (Sim.socket ());
   maybe_background_flush m arena line
 
+(** Store that duplicates a just-issued write into a DRAM shadow (the log
+    mirror): the writer's cache already holds both lines, so the copy is
+    charged the flat [mirror_write] cost instead of a full [access_cost]
+    (in particular, no remote penalty — the mirror line rides along in the
+    writer's store buffer). Semantically identical to [write]. *)
+let mirror_write m addr v =
+  op_point m;
+  let arena = arena_of_addr m addr in
+  let off = offset_of_addr addr in
+  let line = line_of_offset off in
+  Sim.tick (Sim.costs ()).Sim.Costs.mirror_write;
+  m.m_stats.writes <- m.m_stats.writes + 1;
+  arena.values.(off) <- v;
+  mark_dirty m arena line (Sim.socket ());
+  maybe_background_flush m arena line
+
 (** Zero [size] words starting at [addr], as a memset would: the stores
     dirty their cache lines (so a later flush re-persists the zeros) but
     cost is charged per line rather than per word. Used by the allocator

@@ -24,6 +24,9 @@ type t = {
   clwb_merge : int;       (** a CLWB whose line already sits in the write-pending
                               queue: the WPQ entry is updated in place instead of
                               a new media write-back being queued *)
+  mirror_write : int;     (** duplicating a log-entry store into the DRAM log
+                              mirror: a second store to a line the writer just
+                              touched, so it is priced like a cache hit *)
 }
 
 let default = {
@@ -40,4 +43,5 @@ let default = {
   spin = 40;
   flush_tag_check = 15;
   clwb_merge = 40;
+  mirror_write = 15;
 }

@@ -239,6 +239,135 @@ let test_flit_fault_needs_flit_combiner () =
   check_bool "fault observable without flit too" true
     (res.Check.Fuzz.failures <> [])
 
+(* ---- differential fuzzing of the NUMA hot-path package ----
+
+   Same methodology as the flit campaigns: each optimisation gets the same
+   seeded crash-point budget with the flag off and on, and the
+   durable-linearizability checker must find the variants
+   indistinguishable. Schedules diverge (the optimisations change the
+   memory-op stream and so simulated time), so the comparison is at the
+   level of the checked guarantees, plus a single-worker
+   preemption-free calibration where the op streams are bit-identical. *)
+
+let calibrate label tpl run_opt =
+  let calib =
+    { tpl with
+      Check.Fuzz.threads = 1;
+      ops_per_worker = 80;
+      preempt_prob = 0.0 }
+  in
+  let a =
+    F.run_episode ~mode:Config.Durable ~fault:Config.No_fault ~gen_op calib
+  in
+  let b = run_opt calib in
+  check (label ^ ": same logged") a.Check.Fuzz.logged b.Check.Fuzz.logged;
+  check (label ^ ": same completed") a.Check.Fuzz.completed
+    b.Check.Fuzz.completed;
+  check (label ^ ": same applied") a.Check.Fuzz.applied b.Check.Fuzz.applied
+
+let test_fuzz_mirror_differential () =
+  let tpl = template ~seed:5300 ~epsilon:16 ~ops:120 in
+  let base =
+    F.fuzz ~mode:Config.Durable ~fault:Config.No_fault ~gen_op ~template:tpl
+      ~iters:10 ()
+  in
+  let mir =
+    F.fuzz ~log_mirror:true ~mode:Config.Durable ~fault:Config.No_fault
+      ~gen_op ~template:tpl ~iters:10 ()
+  in
+  no_failures "baseline" base;
+  no_failures "log-mirror" mir;
+  check "same episode budget" base.Check.Fuzz.episodes mir.Check.Fuzz.episodes;
+  check_bool "mirror crash points explored" true (mir.Check.Fuzz.crashes > 0);
+  calibrate "calibration" tpl
+    (F.run_episode ~log_mirror:true ~mode:Config.Durable
+       ~fault:Config.No_fault ~gen_op)
+
+let test_fuzz_dist_rw_differential () =
+  let tpl = template ~seed:5400 ~epsilon:16 ~ops:120 in
+  let base =
+    F.fuzz ~mode:Config.Durable ~fault:Config.No_fault ~gen_op ~template:tpl
+      ~iters:10 ()
+  in
+  let dist =
+    F.fuzz ~dist_rw:true ~mode:Config.Durable ~fault:Config.No_fault ~gen_op
+      ~template:tpl ~iters:10 ()
+  in
+  no_failures "baseline" base;
+  no_failures "dist-rw" dist;
+  check "same episode budget" base.Check.Fuzz.episodes dist.Check.Fuzz.episodes;
+  check_bool "dist-rw crash points explored" true (dist.Check.Fuzz.crashes > 0);
+  calibrate "calibration" tpl
+    (F.run_episode ~dist_rw:true ~mode:Config.Durable ~fault:Config.No_fault
+       ~gen_op)
+
+let test_fuzz_package_differential () =
+  (* the shipping configuration: everything on at once, over buffered mode
+     as well so the epsilon+beta-1 loss bound is exercised too *)
+  let tpl = template ~seed:5500 ~epsilon:16 ~ops:120 in
+  List.iter
+    (fun mode ->
+      let res =
+        F.fuzz ~flit:true ~dist_rw:true ~log_mirror:true ~slot_bitmap:true
+          ~mode ~fault:Config.No_fault ~gen_op ~template:tpl ~iters:10 ()
+      in
+      no_failures "package" res;
+      check_bool "crash points explored" true (res.Check.Fuzz.crashes > 0))
+    [ Config.Buffered; Config.Durable ];
+  calibrate "calibration" tpl
+    (F.run_episode ~flit:true ~dist_rw:true ~log_mirror:true ~slot_bitmap:true
+       ~mode:Config.Durable ~fault:Config.No_fault ~gen_op)
+
+let test_mirror_read_recovery_caught_and_shrunk () =
+  (* the planted fault serves recovery's log replay from the DRAM mirror —
+     volatile, zeroed by the crash — so durably completed operations read
+     as holes and are dropped; the fuzzer must catch the durable loss and
+     shrink it to a replayable repro *)
+  let mode = Config.Durable and fault = Config.Mirror_read_on_recovery in
+  let tpl = template ~seed:9300 ~epsilon:16 ~ops:40 in
+  let res =
+    F.fuzz ~log_mirror:true ~mode ~fault ~gen_op ~template:tpl ~iters:8 ()
+  in
+  check_bool "planted fault caught" true (res.Check.Fuzz.failures <> []);
+  let first = List.hd res.Check.Fuzz.failures in
+  check_bool "caught as durable loss" true
+    (List.exists
+       (function
+         | Check.Durable_lin.Loss_bound_exceeded _
+         | Check.Durable_lin.Prefix_violation _
+         | Check.Durable_lin.State_mismatch _ -> true
+         | _ -> false)
+       first.Check.Fuzz.violations);
+  let small =
+    F.shrink ~log_mirror:true ~mode ~fault ~gen_op first.Check.Fuzz.episode
+  in
+  check_bool
+    (Fmt.str "shrunk to <= 4 threads (%a)" Check.Fuzz.pp_episode small)
+    true
+    (small.Check.Fuzz.threads <= 4);
+  let out = F.run_episode ~log_mirror:true ~mode ~fault ~gen_op small in
+  check_bool "shrunk repro still fails" true (out.Check.Fuzz.violations <> []);
+  let cmd =
+    Check.Fuzz.repro_command ~log_mirror:true ~mode ~fault ~ds:"hashmap" small
+  in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "repro names the fault" true (contains cmd "mirror-read-recovery");
+  check_bool "repro passes --log-mirror" true (contains cmd "--log-mirror")
+
+let test_mirror_fault_inert_without_mirror () =
+  (* without the mirror there is nothing volatile to read from: the fault
+     flag must be a no-op, pinning the failure above on the mirror itself *)
+  let res =
+    F.fuzz ~mode:Config.Durable ~fault:Config.Mirror_read_on_recovery ~gen_op
+      ~template:(template ~seed:9300 ~epsilon:16 ~ops:40)
+      ~iters:8 ()
+  in
+  no_failures "fault without mirror" res
+
 (* A second data structure through the same harness: the fuzzing oracle is
    the pure model, so any Ds_intf.S implementation plugs in. *)
 module Fq = Check.Fuzz.Make (Seqds.Queue_ds)
@@ -369,5 +498,18 @@ let () =
             test_flit_elide_ct_flush_caught_and_shrunk;
           Alcotest.test_case "elide-ct-flush observable without flit" `Slow
             test_flit_fault_needs_flit_combiner;
+        ] );
+      ( "numa",
+        [
+          Alcotest.test_case "differential: log mirror indistinguishable" `Slow
+            test_fuzz_mirror_differential;
+          Alcotest.test_case "differential: dist-rw indistinguishable" `Slow
+            test_fuzz_dist_rw_differential;
+          Alcotest.test_case "differential: full package indistinguishable"
+            `Slow test_fuzz_package_differential;
+          Alcotest.test_case "mirror-read-recovery caught and shrunk" `Slow
+            test_mirror_read_recovery_caught_and_shrunk;
+          Alcotest.test_case "mirror fault inert without mirror" `Slow
+            test_mirror_fault_inert_without_mirror;
         ] );
     ]

@@ -137,14 +137,18 @@ let test_log_wraps () =
    crash the memory, then recover in a fresh simulation and return
    (uc', report, old trace, old prefill, epsilon, beta). *)
 let crash_and_recover ~mode ~seed ~crash_at ~workers ~epsilon ~log_size
-    ?(bg_period = 2000) ?(flit = false) () =
+    ?(bg_period = 2000) ?(flit = false) ?(dist_rw = false)
+    ?(log_mirror = false) ?(slot_bitmap = false) () =
   let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 } in
   let sim = Sim.create ~seed topology in
   let mem = Memory.make ~bg_period ~sockets:2 () in
   let uc_ref = ref None in
   ignore (Sim.spawn sim ~socket:0 (fun () ->
       let roots = Roots.make mem in
-      let cfg = Config.make ~mode ~log_size ~epsilon ~workers ~flit () in
+      let cfg =
+        Config.make ~mode ~log_size ~epsilon ~workers ~flit ~dist_rw
+          ~log_mirror ~slot_bitmap ()
+      in
       let uc = Uc.create ~prefill:[ ins 1000 1 ] mem roots cfg in
       Uc.start_persistence uc;
       uc_ref := Some uc;
@@ -219,11 +223,12 @@ let test_durable_crash_no_completed_loss () =
 module Flit_equiv (D : Seqds.Ds_intf.S) = struct
   module U = Prep_uc.Make (D)
 
-  let run ~flit =
+  let run ?(dist_rw = false) ?(log_mirror = false) ?(slot_bitmap = false)
+      ~flit () =
     with_world ~seed:17L ~bg_period:2000 (fun _sim mem roots ->
         let cfg =
           Config.make ~mode:Config.Durable ~log_size:128 ~epsilon:32
-            ~workers:1 ~flit ()
+            ~workers:1 ~flit ~dist_rw ~log_mirror ~slot_bitmap ()
         in
         let uc = U.create mem roots cfg in
         U.start_persistence uc;
@@ -252,13 +257,13 @@ module Flit_equiv (D : Seqds.Ds_intf.S) = struct
         in
         (List.rev !responses, lin, U.snapshot uc))
 
-  let test () =
-    let resp_b, lin_b, snap_b = run ~flit:false in
-    let resp_f, lin_f, snap_f = run ~flit:true in
-    check_bool "identical linearization" true (lin_b = lin_f);
-    check_list "identical responses" resp_b resp_f;
-    check_list "identical final state" snap_b snap_f;
+  let equal_runs (resp_b, lin_b, snap_b) (resp_o, lin_o, snap_o) =
+    check_bool "identical linearization" true (lin_b = lin_o);
+    check_list "identical responses" resp_b resp_o;
+    check_list "identical final state" snap_b snap_o;
     check_bool "nonempty run" true (List.length lin_b > 0)
+
+  let test () = equal_runs (run ~flit:false ()) (run ~flit:true ())
 end
 
 module Eq_hm = Flit_equiv (Seqds.Hashmap)
@@ -268,6 +273,36 @@ module Eq_sl = Flit_equiv (Seqds.Skiplist)
 let test_flit_equiv_hashmap () = Eq_hm.test ()
 let test_flit_equiv_rbtree () = Eq_rb.test ()
 let test_flit_equiv_skiplist () = Eq_sl.test ()
+
+(* ---- NUMA hot-path package equivalence ----
+
+   The distributed reader lock, the DRAM log mirror and the slot bitmap
+   must each be as semantically invisible as flit: same seed, same
+   linearization, responses and final state whether the flag is on or
+   off. The last case turns everything on at once (the shipping
+   configuration). *)
+
+let test_dist_rw_equiv_hashmap () =
+  Eq_hm.equal_runs (Eq_hm.run ~flit:false ())
+    (Eq_hm.run ~dist_rw:true ~flit:false ())
+
+let test_log_mirror_equiv_hashmap () =
+  Eq_hm.equal_runs (Eq_hm.run ~flit:false ())
+    (Eq_hm.run ~log_mirror:true ~flit:false ())
+
+let test_slot_bitmap_equiv_hashmap () =
+  Eq_hm.equal_runs (Eq_hm.run ~flit:false ())
+    (Eq_hm.run ~slot_bitmap:true ~flit:false ())
+
+let test_numa_package_equiv_hashmap () =
+  Eq_hm.equal_runs
+    (Eq_hm.run ~flit:false ())
+    (Eq_hm.run ~dist_rw:true ~log_mirror:true ~slot_bitmap:true ~flit:true ())
+
+let test_numa_package_equiv_rbtree () =
+  Eq_rb.equal_runs
+    (Eq_rb.run ~flit:false ())
+    (Eq_rb.run ~dist_rw:true ~log_mirror:true ~slot_bitmap:true ~flit:true ())
 
 let test_durable_flit_crash_no_completed_loss () =
   (* durable guarantees are mode properties, not flush-layer properties:
@@ -286,6 +321,76 @@ let test_durable_flit_crash_no_completed_loss () =
       check_list "recovered state = applied replay" (H.Model.snapshot expected)
         (Uc.snapshot uc'))
     [ 21L; 22L; 23L; 24L ]
+
+let test_durable_numa_crash_no_completed_loss () =
+  (* durable guarantees must survive the whole hot-path package: the DRAM
+     mirror is never consulted by recovery, the distributed lock protects
+     the same sections, the bitmap drops no slot *)
+  List.iter
+    (fun seed ->
+      let uc', report, trace, prefill, _ =
+        crash_and_recover ~mode:Config.Durable ~flit:true ~dist_rw:true
+          ~log_mirror:true ~slot_bitmap:true ~seed ~crash_at:3_000_000
+          ~workers:6 ~epsilon:32 ~log_size:128 ()
+      in
+      check "no completed op lost" 0 report.Prep_uc.lost_completed;
+      check "no completed op skipped as hole" 0 report.Prep_uc.skipped_completed;
+      let expected =
+        model_of_ops (prefill @ trace_ops trace report.Prep_uc.applied)
+      in
+      check_list "recovered state = applied replay" (H.Model.snapshot expected)
+        (Uc.snapshot uc'))
+    [ 25L; 26L; 27L; 28L ]
+
+(* ---- readers must help (Algorithm 3) ----
+
+   Regression for a deadlock in [execute_readonly]'s spin path: a reader
+   waiting for its replica's combiner lock must service updateReplicaNow.
+   Construction: worker 0 on replica 0 wraps a tiny log while replica 1
+   never advances; once logMin is pinned, worker 0 sets updateReplicaNow(1)
+   and spins. Its direct-help fallback is defeated by a fiber that sits on
+   replica 1's combiner lock, so the only thread able to catch replica 1 up
+   is the reader spinning in [execute_readonly] — exactly the path that
+   used to omit [help_if_asked] and wedged this schedule forever. *)
+let test_readonly_spin_helps () =
+  let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 } in
+  let sim = Sim.create ~seed:91L topology in
+  let mem = Memory.make ~bg_period:0 ~sockets:2 () in
+  let reader_done = ref false in
+  ignore (Sim.spawn sim ~socket:0 (fun () ->
+      let roots = Roots.make mem in
+      let cfg =
+        (* workers:5 > beta so that two replicas exist (one per socket) *)
+        Config.make ~mode:Config.Volatile ~log_size:16 ~workers:5 ()
+      in
+      let uc = Uc.create ~prefill:[ ins 1000 10 ] mem roots cfg in
+      (* blocker: camp on replica 1's combiner lock until the reader is
+         through, defeating the combiner's direct-help fallback *)
+      ignore (Sim.spawn sim ~socket:1 ~core:0 (fun () ->
+          let r1 = uc.Uc.replicas.(1) in
+          while not (Locks.Trylock.try_acquire r1.Uc.combiner) do
+            Sim.spin ()
+          done;
+          while not !reader_done do Sim.spin () done;
+          Locks.Trylock.release r1.Uc.combiner));
+      (* writer: wraps the 16-entry log several times over; wedges in
+         update_or_wait_on_log_min once replica 1 pins logMin *)
+      ignore (Sim.spawn sim ~socket:0 ~core:0 (fun () ->
+          Uc.register_worker uc;
+          for i = 1 to 60 do
+            ignore (Uc.execute uc ~op:H.op_insert ~args:[| i mod 8; i |])
+          done));
+      (* reader on replica 1, arriving after the writer is stuck *)
+      ignore (Sim.spawn sim ~socket:1 ~core:1 (fun () ->
+          Uc.register_worker uc;
+          Sim.tick 300_000;
+          check "reader sees prefill" 10
+            (Uc.execute uc ~op:H.op_get ~args:[| 1000 |]);
+          reader_done := true))));
+  (match Sim.run ~until:50_000_000 sim () with
+   | `Done -> ()
+   | `Cut _ -> Alcotest.fail "system wedged: reader never helped its replica");
+  check_bool "reader completed" true !reader_done
 
 let test_recovered_uc_still_works () =
   let uc', _, _, _, _ =
@@ -627,6 +732,23 @@ let () =
             test_flit_equiv_skiplist;
           Alcotest.test_case "durable crash: no completed loss" `Quick
             test_durable_flit_crash_no_completed_loss;
+        ] );
+      ( "numa-package",
+        [
+          Alcotest.test_case "dist-rw equivalence" `Quick
+            test_dist_rw_equiv_hashmap;
+          Alcotest.test_case "log-mirror equivalence" `Quick
+            test_log_mirror_equiv_hashmap;
+          Alcotest.test_case "slot-bitmap equivalence" `Quick
+            test_slot_bitmap_equiv_hashmap;
+          Alcotest.test_case "all-flags equivalence (hashmap)" `Quick
+            test_numa_package_equiv_hashmap;
+          Alcotest.test_case "all-flags equivalence (rbtree)" `Quick
+            test_numa_package_equiv_rbtree;
+          Alcotest.test_case "durable crash with package: no completed loss"
+            `Quick test_durable_numa_crash_no_completed_loss;
+          Alcotest.test_case "readonly spin path helps" `Quick
+            test_readonly_spin_helps;
         ] );
       ( "trace",
         [
