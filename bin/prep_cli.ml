@@ -488,9 +488,230 @@ let fuzz_cmd =
        $ bg_period_arg $ flit_arg $ dist_rw_arg $ log_mirror_arg
        $ slot_bitmap_arg))
 
+(* ---- explore ---- *)
+
+let exp_threads_arg =
+  Arg.(value & opt int 2 & info [ "threads"; "t" ] ~docv:"N"
+         ~doc:"Worker threads (small scope: 2-3).")
+
+let exp_ops_arg =
+  Arg.(value & opt int 3 & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker.")
+
+let exp_epsilon_arg =
+  Arg.(value & opt int 2 & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc:"Flush boundary step.")
+
+let exp_log_size_arg =
+  Arg.(value & opt int 16 & info [ "log-size" ] ~docv:"N" ~doc:"Shared log entries.")
+
+let exp_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let exp_sockets_arg =
+  Arg.(value & opt int 2 & info [ "sockets" ] ~docv:"N" ~doc:"NUMA sockets.")
+
+let exp_cores_arg =
+  Arg.(value & opt int 2 & info [ "cores" ] ~docv:"N" ~doc:"Cores per socket (= beta).")
+
+let max_schedules_arg =
+  Arg.(value & opt int Check.Explore.default_budget.Check.Explore.max_schedules
+       & info [ "max-schedules" ] ~docv:"N" ~doc:"Schedule budget.")
+
+let max_states_arg =
+  Arg.(value & opt int Check.Explore.default_budget.Check.Explore.max_states
+       & info [ "max-states" ] ~docv:"N" ~doc:"Distinct-state budget.")
+
+let max_steps_arg =
+  Arg.(value & opt int Check.Explore.default_budget.Check.Explore.max_steps
+       & info [ "max-steps" ] ~docv:"N" ~doc:"Scheduler steps per schedule (depth).")
+
+let frontier_lines_arg =
+  Arg.(value
+       & opt int Check.Explore.default_budget.Check.Explore.max_frontier_lines
+       & info [ "frontier-lines" ] ~docv:"K"
+           ~doc:"Dirty-line cap per crash point (2^K subsets).")
+
+let no_prune_arg =
+  let doc =
+    "Disable sleep-set and state-hash pruning (naive enumeration, for \
+     measuring the reduction factor)."
+  in
+  Arg.(value & flag & info [ "no-prune" ] ~doc)
+
+let replay_arg =
+  let doc =
+    "Replay a single schedule from a run-length-encoded decision trace \
+     (e.g. '3*12,5,4*7') instead of exploring."
+  in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"TRACE" ~doc)
+
+let crash_step_arg =
+  let doc = "With --replay: crash at the given runtime scheduler step." in
+  Arg.(value & opt (some int) None & info [ "crash-step" ] ~docv:"N" ~doc)
+
+let frontier_arg =
+  let doc =
+    "With --crash-step: frontier mask — bit $(i) commits the $(i)-th dirty \
+     NVM line (sorted) to media before the crash."
+  in
+  Arg.(value & opt int 0 & info [ "frontier" ] ~docv:"MASK" ~doc)
+
+let explore variant ds threads ops epsilon log_size seed sockets cores fault
+    flit dist_rw log_mirror slot_bitmap max_schedules max_states max_steps
+    frontier_lines no_prune replay crash_step frontier =
+  let variant_v =
+    match variant with
+    | "volatile" -> Ok Prep.Config.Volatile
+    | "buffered" -> Ok Prep.Config.Buffered
+    | "durable" -> Ok Prep.Config.Durable
+    | other -> Error (Printf.sprintf "unknown variant %S" other)
+  in
+  let fault_v =
+    match fault with
+    | "none" -> Ok Prep.Config.No_fault
+    | "early-boundary" -> Ok Prep.Config.Early_boundary_advance
+    | "elide-ct-flush" -> Ok Prep.Config.Elide_ct_flush
+    | "mirror-read-recovery" -> Ok Prep.Config.Mirror_read_on_recovery
+    | other -> Error (Printf.sprintf "unknown fault %S" other)
+  in
+  match (variant_v, fault_v, fuzz_ds ds) with
+  | Error m, _, _ | _, Error m, _ | _, _, Error m -> `Error (true, m)
+  | Ok mode, Ok fault_v, Ok ((module Ds), gen_op) ->
+    let module E = Check.Explore.Make (Ds) in
+    let scope =
+      {
+        Check.Explore.seed;
+        threads;
+        ops_per_worker = ops;
+        epsilon;
+        log_size;
+        sockets;
+        cores_per_socket = cores;
+        prune = not no_prune;
+      }
+    in
+    let budget =
+      {
+        Check.Explore.max_schedules;
+        max_states;
+        max_steps;
+        max_frontier_lines = frontier_lines;
+      }
+    in
+    if threads < 1 || threads > E.max_threads scope then
+      `Error
+        ( true,
+          Printf.sprintf "--threads must be between 1 and %d (got %d)"
+            (E.max_threads scope) threads )
+    else begin
+      let flag_str =
+        String.concat ""
+          [
+            (if flit then " --flit" else "");
+            (if dist_rw then " --dist-rw" else "");
+            (if log_mirror then " --log-mirror" else "");
+            (if slot_bitmap then " --slot-bitmap" else "");
+          ]
+      in
+      let repro_command decisions crash =
+        Printf.sprintf
+          "dune exec bin/prep_cli.exe -- explore --variant %s --ds %s \
+           --threads %d --ops %d --epsilon %d --log-size %d --seed %d \
+           --sockets %d --cores %d --fault %s%s --replay '%s'%s"
+          variant ds threads ops epsilon log_size seed sockets cores fault
+          flag_str
+          (Check.Explore.decisions_to_string decisions)
+          (match crash with
+           | None -> ""
+           | Some (s, m) -> Printf.sprintf " --crash-step %d --frontier %d" s m)
+      in
+      match replay with
+      | Some trace_str ->
+        let decisions = Check.Explore.decisions_of_string trace_str in
+        let crash = Option.map (fun s -> (s, frontier)) crash_step in
+        let violations, crashed, logged, completed, applied =
+          E.replay ~flit ~dist_rw ~log_mirror ~slot_bitmap ~mode ~fault:fault_v ~gen_op
+            ~scope ~decisions ?crash ()
+        in
+        Printf.printf "replay: crashed=%b logged=%d completed=%d applied=%d\n"
+          crashed logged completed applied;
+        if violations = [] then begin
+          print_endline "no violations";
+          `Ok ()
+        end
+        else begin
+          List.iter
+            (fun v ->
+              Printf.printf "VIOLATION: %s\n"
+                (Check.Durable_lin.violation_to_string v))
+            violations;
+          `Error (false, "durable-linearizability violations found")
+        end
+      | None ->
+        let res =
+          E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap ~budget ~mode
+            ~fault:fault_v ~gen_op ~scope ()
+        in
+        let s = res.Check.Explore.stats in
+        Printf.printf
+          "schedules %d (terminals %d)  steps %d  states %d  dedup-hits %d  \
+           sleep-skips %d\n\
+           crash points %d  frontiers %d  recoveries %d  truncations %d  \
+           depth cutoffs %d  stutter cuts %d\n\
+           max completed-op loss %d  distinct terminal states %d  exhausted %b\n"
+          s.Check.Explore.schedules s.Check.Explore.terminals
+          s.Check.Explore.steps s.Check.Explore.states
+          s.Check.Explore.dedup_hits s.Check.Explore.sleep_skips
+          s.Check.Explore.crash_points s.Check.Explore.frontiers
+          s.Check.Explore.recoveries s.Check.Explore.frontier_truncations
+          s.Check.Explore.depth_cutoffs s.Check.Explore.stutter_cuts
+          s.Check.Explore.max_completed_loss
+          (List.length res.Check.Explore.terminal_states)
+          res.Check.Explore.exhausted;
+        (match res.Check.Explore.violation with
+         | None ->
+           print_endline "no violations";
+           `Ok ()
+         | Some v ->
+           List.iter
+             (fun vi ->
+               Printf.printf "VIOLATION: %s\n"
+                 (Check.Durable_lin.violation_to_string vi))
+             v.Check.Explore.v_violations;
+           Printf.printf "logged=%d completed=%d applied=%d\n"
+             v.Check.Explore.v_logged v.Check.Explore.v_completed
+             v.Check.Explore.v_applied;
+           Printf.printf "decision trace: %s\n"
+             (Check.Explore.decisions_to_string v.Check.Explore.v_decisions);
+           (match v.Check.Explore.v_crash with
+            | Some (step, mask) ->
+              Printf.printf "crash: step %d, frontier mask %d\n" step mask
+            | None -> print_endline "crash: none (terminal-state violation)");
+           Printf.printf "replay with:\n  %s\n"
+             (repro_command v.Check.Explore.v_decisions v.Check.Explore.v_crash);
+           `Error (false, "durable-linearizability violations found"))
+    end
+
+let explore_cmd =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Bounded exhaustive schedule-and-crash exploration: every \
+          interleaving of a small-scope workload, every reachable crash \
+          frontier, DPOR-style pruning, replayable decision traces")
+    Term.(
+      ret
+        (const explore $ variant_arg $ ds_arg $ exp_threads_arg $ exp_ops_arg
+       $ exp_epsilon_arg $ exp_log_size_arg $ exp_seed_arg $ exp_sockets_arg
+       $ exp_cores_arg $ fault_arg $ flit_arg $ dist_rw_arg $ log_mirror_arg
+       $ slot_bitmap_arg $ max_schedules_arg $ max_states_arg $ max_steps_arg
+       $ frontier_lines_arg $ no_prune_arg $ replay_arg $ crash_step_arg
+       $ frontier_arg))
+
 let () =
   let info =
     Cmd.info "prep-cli" ~version:"1.0.0"
       ~doc:"PREP-UC (SPAA 2022) reproduction driver"
   in
-  exit (Cmd.eval (Cmd.group info [ bench_cmd; run_cmd; crash_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ bench_cmd; run_cmd; crash_cmd; fuzz_cmd; explore_cmd ]))

@@ -56,6 +56,29 @@ type pending = { p_arena : int; p_line : int; p_words : int array }
 
 let dirty_key aid line = (aid * lines_per_arena) + line
 
+(* ---- incremental state hashing (model-checking support) ----
+
+   The explorer (lib/check/explore.ml) deduplicates global states by a
+   fingerprint of (coherent values, media, dirty map, write-pending queue).
+   Recomputing those over every arena at every scheduling point would be
+   quadratic, so each component is maintained *incrementally*: the value and
+   media hashes are XORs of a per-word hash (zero words contribute nothing,
+   so a fresh arena costs nothing), the dirty hash an XOR of per-line
+   contributions, and the WPQ hash either a fold over the ordered list
+   (non-flit: drain order matters) or an XOR over the keyed table (flit). *)
+
+let mix x =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x1B03738712FAD5C9 in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x2545F4914F6CDD1D in
+  x lxor (x lsr 31)
+
+let h2 a b = mix (a + (mix b * 0x27D4EB2F165667C5))
+let word_h addr v = if v = 0 then 0 else h2 addr v
+let words_h key words = Array.fold_left h2 (mix key) words
+let pending_entry_h key words = h2 key (words_h key words)
+
 let dummy_arena =
   { aid = -1; kind = Dram; home = 0; values = [||]; media = [||];
     dirty = Bytes.create 0 }
@@ -74,6 +97,16 @@ type t = {
   m_stats : stats;
   mutable m_op_index : int;
   mutable m_crash_hook : (int -> unit) option;
+  (* incremental state fingerprints, see the comment at [mix] *)
+  mutable m_value_hash : int;
+  mutable m_media_hash : int;
+  mutable m_dirty_hash : int;
+  mutable m_wpq_hash : int;
+  mutable m_access_hook : (int -> int -> bool -> int -> unit) option;
+      (* called at the *effect* of every fiber-facing operation with
+         (dirty_key | -1 for whole-cache ops, word address | -1, is_write,
+         value involved); the explorer derives per-step cache-line
+         footprints and fine-grained state hashes from it *)
 }
 
 let make ?(seed = 42L) ?(sockets = 2) ?(bg_period = 50_000) ?(flit = false) () =
@@ -91,6 +124,11 @@ let make ?(seed = 42L) ?(sockets = 2) ?(bg_period = 50_000) ?(flit = false) () =
       m_stats = new_stats ();
       m_op_index = 0;
       m_crash_hook = None;
+      m_value_hash = 0;
+      m_media_hash = 0;
+      m_dirty_hash = 0;
+      m_wpq_hash = 0;
+      m_access_hook = None;
     }
   in
   m
@@ -106,13 +144,23 @@ let flit_enabled m = m.m_flit
     whose media is current is a counted no-op, and an SFENCE with an empty
     WPQ charges no drain cost. Any in-flight pending write-backs survive the
     switch in either direction. *)
+let wpq_hash_of_list pending =
+  (* ordered: drain order decides which capture of a line reaches media last *)
+  List.fold_right
+    (fun p acc -> h2 (pending_entry_h (dirty_key p.p_arena p.p_line) p.p_words) acc)
+    pending 0
+
+let wpq_hash_of_tbl tbl =
+  Hashtbl.fold (fun key words acc -> acc lxor pending_entry_h key words) tbl 0
+
 let set_flit m on =
   if on && not m.m_flit then begin
     (* list -> table, oldest first so the newest capture of a line wins *)
     List.iter
       (fun p -> Hashtbl.replace m.m_pending_tbl (dirty_key p.p_arena p.p_line) p.p_words)
       (List.rev m.m_pending);
-    m.m_pending <- []
+    m.m_pending <- [];
+    m.m_wpq_hash <- wpq_hash_of_tbl m.m_pending_tbl
   end
   else if (not on) && m.m_flit then begin
     Hashtbl.iter
@@ -120,7 +168,8 @@ let set_flit m on =
         let aid = key / lines_per_arena and line = key mod lines_per_arena in
         m.m_pending <- { p_arena = aid; p_line = line; p_words = words } :: m.m_pending)
       m.m_pending_tbl;
-    Hashtbl.reset m.m_pending_tbl
+    Hashtbl.reset m.m_pending_tbl;
+    m.m_wpq_hash <- wpq_hash_of_list m.m_pending
   end;
   m.m_flit <- on
 
@@ -145,7 +194,37 @@ let clear_crash_hook m = m.m_crash_hook <- None
 let op_point m =
   let i = m.m_op_index in
   m.m_op_index <- i + 1;
-  match m.m_crash_hook with None -> () | Some hook -> hook i
+  (match m.m_crash_hook with None -> () | Some hook -> hook i);
+  (* Controlled-scheduler mode: every fiber-facing memory operation is a
+     scheduling choice point, taken *before* the operation has any effect
+     so the explorer observes a consistent between-operations state. *)
+  if Sim.controlled () then Sim.yield ()
+
+(* ---- access-footprint hook (model-checking instrumentation) ---- *)
+
+(** Install [hook], called at the effect point of every fiber-facing
+    operation with [(key, addr, is_write, value)]: [key] is the
+    [dirty_key] of the touched cache line (or [-1] for operations with a
+    whole-cache footprint: SFENCE, WBINVD, arena flushes), [addr] the
+    word address involved ([-1] when the operation touches a whole line
+    or cache rather than a word), [is_write] whether the operation can
+    change persistent-visible state, and [value] the word read or written
+    (0 for flush/fence ops). The explorer derives per-step footprints for
+    DPOR-style sleep sets (line granularity, via [key]) and last-access
+    state hashes (word granularity, via [addr]) from this. *)
+let set_access_hook m hook = m.m_access_hook <- Some hook
+
+let clear_access_hook m = m.m_access_hook <- None
+
+let access_point m key ~addr ~write v =
+  match m.m_access_hook with None -> () | Some hook -> hook key addr write v
+
+(* ---- state fingerprints (explorer) ---- *)
+
+let value_hash m = m.m_value_hash
+let media_hash m = m.m_media_hash
+let dirty_hash m = m.m_dirty_hash
+let wpq_hash m = m.m_wpq_hash
 
 (** Allocate a fresh arena homed on [home]. Returns the arena id. *)
 let new_arena m ~kind ~home =
@@ -180,6 +259,27 @@ let addr_of ~aid ~offset = (aid lsl arena_shift) lor offset
 
 let is_nvm m addr = (arena_of_addr m addr).kind = Nvm
 
+(* Every mutation of [values]/[media] funnels through these two setters so
+   the incremental fingerprints can never drift from the arrays. *)
+
+let set_value m arena off v =
+  let old = arena.values.(off) in
+  if old <> v then begin
+    let addr = addr_of ~aid:arena.aid ~offset:off in
+    m.m_value_hash <-
+      m.m_value_hash lxor word_h addr old lxor word_h addr v;
+    arena.values.(off) <- v
+  end
+
+let set_media_word m arena off v =
+  let old = arena.media.(off) in
+  if old <> v then begin
+    let addr = addr_of ~aid:arena.aid ~offset:off in
+    m.m_media_hash <-
+      m.m_media_hash lxor word_h addr old lxor word_h addr v;
+    arena.media.(off) <- v
+  end
+
 (* ---- cost accounting ---- *)
 
 let access_cost m arena ~line_dirty =
@@ -199,37 +299,52 @@ let access_cost m arena ~line_dirty =
 
 (* ---- line persistence ---- *)
 
-let commit_line_to_media arena line =
+let commit_line_to_media m arena line =
   if arena.kind = Nvm then begin
     let base = line * line_words in
-    Array.blit arena.values base arena.media base line_words
+    for i = 0 to line_words - 1 do
+      set_media_word m arena (base + i) arena.values.(base + i)
+    done
   end
 
 let clear_dirty m arena line =
   let d = Bytes.get_uint8 arena.dirty line in
   if d <> 0 then begin
+    let key = dirty_key arena.aid line in
+    m.m_dirty_hash <- m.m_dirty_hash lxor h2 key d;
     Bytes.set_uint8 arena.dirty line 0;
-    Hashtbl.remove m.m_dirty_by_socket.(d - 1) (dirty_key arena.aid line)
+    Hashtbl.remove m.m_dirty_by_socket.(d - 1) key
   end
 
 let mark_dirty m arena line socket =
   let d = Bytes.get_uint8 arena.dirty line in
   if d <> socket + 1 then begin
-    if d <> 0 then
-      Hashtbl.remove m.m_dirty_by_socket.(d - 1) (dirty_key arena.aid line);
+    let key = dirty_key arena.aid line in
+    if d <> 0 then begin
+      m.m_dirty_hash <- m.m_dirty_hash lxor h2 key d;
+      Hashtbl.remove m.m_dirty_by_socket.(d - 1) key
+    end;
+    m.m_dirty_hash <- m.m_dirty_hash lxor h2 key (socket + 1);
     Bytes.set_uint8 arena.dirty line (socket + 1);
-    Hashtbl.replace m.m_dirty_by_socket.(socket) (dirty_key arena.aid line) ()
+    Hashtbl.replace m.m_dirty_by_socket.(socket) key ()
   end
 
 (* In flit mode a committed line's WPQ entry is dropped: its capture is now
    stale-or-equal, and replaying it at the next fence could regress media
    behind a newer write-back (the stale-WPQ artifact FliT tracking avoids). *)
 let flit_prune m arena line =
-  if m.m_flit then Hashtbl.remove m.m_pending_tbl (dirty_key arena.aid line)
+  if m.m_flit then begin
+    let key = dirty_key arena.aid line in
+    match Hashtbl.find_opt m.m_pending_tbl key with
+    | None -> ()
+    | Some words ->
+      m.m_wpq_hash <- m.m_wpq_hash lxor pending_entry_h key words;
+      Hashtbl.remove m.m_pending_tbl key
+  end
 
 let background_flush m arena line =
   m.m_stats.bg_flushes <- m.m_stats.bg_flushes + 1;
-  commit_line_to_media arena line;
+  commit_line_to_media m arena line;
   flit_prune m arena line;
   clear_dirty m arena line
 
@@ -252,7 +367,9 @@ let read m addr =
   let line_dirty = Bytes.get_uint8 arena.dirty line <> 0 in
   Sim.tick (access_cost m arena ~line_dirty);
   m.m_stats.reads <- m.m_stats.reads + 1;
-  arena.values.(off)
+  let v = arena.values.(off) in
+  access_point m (dirty_key arena.aid line) ~addr ~write:false v;
+  v
 
 let write m addr v =
   op_point m;
@@ -261,8 +378,9 @@ let write m addr v =
   let line = line_of_offset off in
   Sim.tick (access_cost m arena ~line_dirty:true);
   m.m_stats.writes <- m.m_stats.writes + 1;
-  arena.values.(off) <- v;
+  set_value m arena off v;
   mark_dirty m arena line (Sim.socket ());
+  access_point m (dirty_key arena.aid line) ~addr ~write:true v;
   maybe_background_flush m arena line
 
 (** Store that duplicates a just-issued write into a DRAM shadow (the log
@@ -277,8 +395,9 @@ let mirror_write m addr v =
   let line = line_of_offset off in
   Sim.tick (Sim.costs ()).Sim.Costs.mirror_write;
   m.m_stats.writes <- m.m_stats.writes + 1;
-  arena.values.(off) <- v;
+  set_value m arena off v;
   mark_dirty m arena line (Sim.socket ());
+  access_point m (dirty_key arena.aid line) ~addr ~write:true v;
   maybe_background_flush m arena line
 
 (** Zero [size] words starting at [addr], as a memset would: the stores
@@ -293,9 +412,12 @@ let scrub m addr size =
   let last_line = line_of_offset (off + size - 1) in
   Sim.tick ((last_line - first_line + 1) * (Sim.costs ()).Sim.Costs.cache_access);
   let socket = Sim.socket () in
-  Array.fill arena.values off size 0;
+  for i = off to off + size - 1 do
+    set_value m arena i 0
+  done;
   for line = first_line to last_line do
-    mark_dirty m arena line socket
+    mark_dirty m arena line socket;
+    access_point m (dirty_key arena.aid line) ~addr:(addr - off + (line * line_words)) ~write:true 0
   done
 
 (** Atomic compare-and-swap. The cost is charged (and a scheduling point
@@ -308,13 +430,23 @@ let cas m addr ~expected ~desired =
   let c = Sim.costs () in
   Sim.tick (c.Sim.Costs.cas + access_cost m arena ~line_dirty:true);
   m.m_stats.cas_ops <- m.m_stats.cas_ops + 1;
+  (* the hook fires after the compare so a failed CAS registers as a plain
+     read: it changes nothing, so treating it as a write would spuriously
+     wake every parked fiber in the explorer's await machinery (two CAS
+     spinners would then wake each other forever). Read-vs-write conflicts
+     still give the sleep sets the dependency they need. *)
   if arena.values.(off) = expected then begin
-    arena.values.(off) <- desired;
+    access_point m (dirty_key arena.aid line) ~addr ~write:true expected;
+    set_value m arena off desired;
     mark_dirty m arena line (Sim.socket ());
     maybe_background_flush m arena line;
     true
   end
-  else false
+  else begin
+    access_point m (dirty_key arena.aid line) ~addr ~write:false
+      arena.values.(off);
+    false
+  end
 
 (** Atomic fetch-and-add, used by reader counts in the reader-writer lock. *)
 let faa m addr delta =
@@ -325,8 +457,9 @@ let faa m addr delta =
   let c = Sim.costs () in
   Sim.tick (c.Sim.Costs.cas + access_cost m arena ~line_dirty:true);
   let old = arena.values.(off) in
-  arena.values.(off) <- old + delta;
+  set_value m arena off (old + delta);
   mark_dirty m arena line (Sim.socket ());
+  access_point m (dirty_key arena.aid line) ~addr ~write:true old;
   old
 
 (** Asynchronous write-back of the line containing [addr]. The captured
@@ -338,12 +471,15 @@ let clwb m addr =
   if arena.kind <> Nvm then invalid_arg "Memory.clwb: not an NVM address";
   let line = line_of_offset (offset_of_addr addr) in
   let base = line * line_words in
+  let key = dirty_key arena.aid line in
   if not m.m_flit then begin
     Sim.tick (Sim.costs ()).Sim.Costs.clwb_line;
     m.m_stats.clwb <- m.m_stats.clwb + 1;
     let words = Array.sub arena.values base line_words in
     m.m_pending <- { p_arena = arena.aid; p_line = line; p_words = words } :: m.m_pending;
-    clear_dirty m arena line
+    m.m_wpq_hash <- h2 (pending_entry_h key words) m.m_wpq_hash;
+    clear_dirty m arena line;
+    access_point m key ~addr:(-1) ~write:true 0
   end
   else begin
     let c = Sim.costs () in
@@ -351,10 +487,10 @@ let clwb m addr =
       (* clean line: media or the WPQ already holds the current contents —
          the flush tag says there is nothing to write back *)
       Sim.tick c.Sim.Costs.flush_tag_check;
-      m.m_stats.clwb_elided <- m.m_stats.clwb_elided + 1
+      m.m_stats.clwb_elided <- m.m_stats.clwb_elided + 1;
+      access_point m key ~addr:(-1) ~write:false 0
     end
     else begin
-      let key = dirty_key arena.aid line in
       if Hashtbl.mem m.m_pending_tbl key then begin
         (* same line already queued: update the WPQ entry in place *)
         Sim.tick c.Sim.Costs.clwb_merge;
@@ -368,8 +504,14 @@ let clwb m addr =
          drained and pruned the looked-up entry meanwhile, so always
          (re-)queue the line's current contents rather than mutating a
          possibly-orphaned capture *)
-      Hashtbl.replace m.m_pending_tbl key (Array.sub arena.values base line_words);
-      clear_dirty m arena line
+      (match Hashtbl.find_opt m.m_pending_tbl key with
+       | Some old -> m.m_wpq_hash <- m.m_wpq_hash lxor pending_entry_h key old
+       | None -> ());
+      let words = Array.sub arena.values base line_words in
+      Hashtbl.replace m.m_pending_tbl key words;
+      m.m_wpq_hash <- m.m_wpq_hash lxor pending_entry_h key words;
+      clear_dirty m arena line;
+      access_point m key ~addr:(-1) ~write:true 0
     end
   end
 
@@ -385,50 +527,58 @@ let clflush m addr =
   then begin
     (* clean and nothing queued: media already holds the line *)
     Sim.tick (Sim.costs ()).Sim.Costs.flush_tag_check;
-    m.m_stats.clflush_elided <- m.m_stats.clflush_elided + 1
+    m.m_stats.clflush_elided <- m.m_stats.clflush_elided + 1;
+    access_point m (dirty_key arena.aid line) ~addr:(-1) ~write:false 0
   end
   else begin
     Sim.tick (Sim.costs ()).Sim.Costs.clflush_line;
     m.m_stats.clflush <- m.m_stats.clflush + 1;
-    commit_line_to_media arena line;
+    commit_line_to_media m arena line;
     flit_prune m arena line;
-    clear_dirty m arena line
+    clear_dirty m arena line;
+    access_point m (dirty_key arena.aid line) ~addr:(-1) ~write:true 0
   end
 
 (** Persistent fence: drains every pending [clwb]. *)
+let drain_pending_words m aid line words =
+  let arena = m.m_arenas.(aid) in
+  if arena.kind = Nvm then begin
+    let base = line * line_words in
+    for i = 0 to line_words - 1 do
+      set_media_word m arena (base + i) words.(i)
+    done
+  end
+
 let sfence m =
   op_point m;
   if m.m_flit then begin
-    if Hashtbl.length m.m_pending_tbl = 0 then
+    if Hashtbl.length m.m_pending_tbl = 0 then begin
       (* empty WPQ: the fence retires immediately, no drain cost *)
-      m.m_stats.sfence_elided <- m.m_stats.sfence_elided + 1
+      m.m_stats.sfence_elided <- m.m_stats.sfence_elided + 1;
+      access_point m (-1) ~addr:(-1) ~write:false 0
+    end
     else begin
       Sim.tick (Sim.costs ()).Sim.Costs.sfence;
       m.m_stats.sfence <- m.m_stats.sfence + 1;
       Hashtbl.iter
         (fun key words ->
-          let aid = key / lines_per_arena and line = key mod lines_per_arena in
-          let arena = m.m_arenas.(aid) in
-          if arena.kind = Nvm then begin
-            let base = line * line_words in
-            Array.blit words 0 arena.media base line_words
-          end)
+          drain_pending_words m (key / lines_per_arena) (key mod lines_per_arena)
+            words)
         m.m_pending_tbl;
-      Hashtbl.reset m.m_pending_tbl
+      Hashtbl.reset m.m_pending_tbl;
+      m.m_wpq_hash <- 0;
+      access_point m (-1) ~addr:(-1) ~write:true 0
     end
   end
   else begin
     Sim.tick (Sim.costs ()).Sim.Costs.sfence;
     m.m_stats.sfence <- m.m_stats.sfence + 1;
     List.iter
-      (fun p ->
-        let arena = m.m_arenas.(p.p_arena) in
-        if arena.kind = Nvm then begin
-          let base = p.p_line * line_words in
-          Array.blit p.p_words 0 arena.media base line_words
-        end)
+      (fun p -> drain_pending_words m p.p_arena p.p_line p.p_words)
       (List.rev m.m_pending);
-    m.m_pending <- []
+    m.m_pending <- [];
+    m.m_wpq_hash <- 0;
+    access_point m (-1) ~addr:(-1) ~write:true 0
   end
 
 (** Write back and invalidate the executing socket's entire cache: every
@@ -449,11 +599,11 @@ let wbinvd m =
     (fun key ->
       let aid = key / lines_per_arena and line = key mod lines_per_arena in
       let arena = m.m_arenas.(aid) in
-      commit_line_to_media arena line;
+      commit_line_to_media m arena line;
       flit_prune m arena line;
-      Bytes.set_uint8 arena.dirty line 0;
-      Hashtbl.remove table key)
-    keys
+      clear_dirty m arena line)
+    keys;
+  access_point m (-1) ~addr:(-1) ~write:true 0
 
 (** Write back every dirty line of arena [aid] to media (blocking).
     Used by CX-PUC's persist-the-whole-replica step: clean lines cost
@@ -473,11 +623,12 @@ let flush_arena m aid =
     if Bytes.get_uint8 arena.dirty line <> 0 then begin
       Sim.tick c.Sim.Costs.clwb_line;
       m.m_stats.clwb <- m.m_stats.clwb + 1;
-      commit_line_to_media arena line;
+      commit_line_to_media m arena line;
       flit_prune m arena line;
       clear_dirty m arena line
     end
-  done
+  done;
+  access_point m (-1) ~addr:(-1) ~write:true 0
 
 (* ---- crash and inspection (no simulated cost: harness-side) ---- *)
 
@@ -494,7 +645,13 @@ let crash m =
   done;
   Array.iter Hashtbl.reset m.m_dirty_by_socket;
   m.m_pending <- [];
-  Hashtbl.reset m.m_pending_tbl
+  Hashtbl.reset m.m_pending_tbl;
+  (* post-crash the coherent view of NVM equals media and DRAM is all
+     zeroes, so the value fingerprint collapses to the media fingerprint
+     and the dirty/WPQ fingerprints to empty — no rescan needed *)
+  m.m_value_hash <- m.m_media_hash;
+  m.m_dirty_hash <- 0;
+  m.m_wpq_hash <- 0
 
 (** Read a word without charging simulated time (test/assertion helper). *)
 let peek m addr = (arena_of_addr m addr).values.(offset_of_addr addr)
@@ -507,7 +664,7 @@ let peek_media m addr =
   | Dram -> 0
 
 (** Write a word without charging simulated time (test setup helper). *)
-let poke m addr v = (arena_of_addr m addr).values.(offset_of_addr addr) <- v
+let poke m addr v = set_value m (arena_of_addr m addr) (offset_of_addr addr) v
 
 let arena_kind m aid = m.m_arenas.(aid).kind
 let arena_count m = m.m_count
@@ -525,3 +682,121 @@ let dirty_nvm_lines m =
          if m.m_arenas.(aid).kind = Nvm then incr n) tbl)
     m.m_dirty_by_socket;
   !n
+
+(* ---- enumerable crash-set API (model checking) ----
+
+   The random crash hook above cuts a run at *one* point with whatever the
+   background flusher happened to persist. The explorer instead asks, at a
+   chosen point: which media images are reachable by a crash *right now*?
+   Answer: current media plus any subset of the dirty NVM lines that the
+   cache could have written back first (the WPQ is volatile, exactly as in
+   [crash]). These helpers enumerate that frontier: a sorted dirty-line
+   list, an O(line) XOR delta per line for incremental dedup of subset
+   images, a cost-free [commit_line] to realise a subset, and
+   [snapshot]/[restore] so one run can branch into many crash checks and
+   resume unharmed. *)
+
+(** Sorted [dirty_key]s of every dirty NVM line. The order is the subset-
+    mask convention shared by the explorer and its replay mode: bit [i] of
+    a frontier mask refers to element [i] of this list. *)
+let dirty_nvm_line_keys m =
+  let acc = ref [] in
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun key () ->
+         let aid = key / lines_per_arena in
+         if m.m_arenas.(aid).kind = Nvm then acc := key :: !acc) tbl)
+    m.m_dirty_by_socket;
+  List.sort compare !acc
+
+(** XOR delta that committing line [key]'s coherent contents to media would
+    apply to [media_hash]. Lets the explorer fingerprint all 2^k subset
+    images of k dirty lines in O(2^k) word-hashes via Gray-code order
+    instead of O(2^k · k). *)
+let line_commit_delta m key =
+  let aid = key / lines_per_arena and line = key mod lines_per_arena in
+  let arena = m.m_arenas.(aid) in
+  let base = line * line_words in
+  let d = ref 0 in
+  for i = 0 to line_words - 1 do
+    let off = base + i in
+    if arena.values.(off) <> arena.media.(off) then begin
+      let addr = addr_of ~aid ~offset:off in
+      d := !d lxor word_h addr arena.values.(off)
+           lxor word_h addr arena.media.(off)
+    end
+  done;
+  !d
+
+(** Commit line [key] to media without simulated cost: models the
+    background flusher having persisted that line just before a crash.
+    Leaves the dirty map alone — [crash] wipes it anyway. *)
+let commit_line m key =
+  commit_line_to_media m m.m_arenas.(key / lines_per_arena)
+    (key mod lines_per_arena)
+
+type snap = {
+  s_count : int;
+  s_values : int array array;
+  s_media : int array array;
+  s_dirty : Bytes.t array;
+  s_dirty_tbls : (int, unit) Hashtbl.t array;
+  s_pending : pending list;
+  s_pending_tbl : (int, int array) Hashtbl.t;
+  s_flit : bool;
+  s_value_hash : int;
+  s_media_hash : int;
+  s_dirty_hash : int;
+  s_wpq_hash : int;
+  s_op_index : int;
+  s_countdown : int;
+}
+
+(** Capture the complete simulated-memory state. Pending-line captures are
+    immutable once queued, so they are shared, not copied. *)
+let snapshot m =
+  {
+    s_count = m.m_count;
+    s_values = Array.init m.m_count (fun i -> Array.copy m.m_arenas.(i).values);
+    s_media = Array.init m.m_count (fun i -> Array.copy m.m_arenas.(i).media);
+    s_dirty = Array.init m.m_count (fun i -> Bytes.copy m.m_arenas.(i).dirty);
+    s_dirty_tbls = Array.map Hashtbl.copy m.m_dirty_by_socket;
+    s_pending = m.m_pending;
+    s_pending_tbl = Hashtbl.copy m.m_pending_tbl;
+    s_flit = m.m_flit;
+    s_value_hash = m.m_value_hash;
+    s_media_hash = m.m_media_hash;
+    s_dirty_hash = m.m_dirty_hash;
+    s_wpq_hash = m.m_wpq_hash;
+    s_op_index = m.m_op_index;
+    s_countdown = m.m_countdown;
+  }
+
+(** Restore a snapshot taken on this memory. Arenas allocated after the
+    snapshot become unreachable again (the arena counter rewinds), exactly
+    as if the interlude never happened. A snapshot may be restored any
+    number of times. *)
+let restore m s =
+  m.m_count <- s.s_count;
+  for aid = 0 to s.s_count - 1 do
+    let a = m.m_arenas.(aid) in
+    Array.blit s.s_values.(aid) 0 a.values 0 arena_words;
+    if Array.length a.media > 0 then
+      Array.blit s.s_media.(aid) 0 a.media 0 arena_words;
+    Bytes.blit s.s_dirty.(aid) 0 a.dirty 0 (Bytes.length a.dirty)
+  done;
+  Array.iteri
+    (fun i tbl ->
+      let dst = m.m_dirty_by_socket.(i) in
+      Hashtbl.reset dst;
+      Hashtbl.iter (fun k () -> Hashtbl.replace dst k ()) tbl)
+    s.s_dirty_tbls;
+  m.m_pending <- s.s_pending;
+  Hashtbl.reset m.m_pending_tbl;
+  Hashtbl.iter (fun k v -> Hashtbl.replace m.m_pending_tbl k v) s.s_pending_tbl;
+  m.m_flit <- s.s_flit;
+  m.m_value_hash <- s.s_value_hash;
+  m.m_media_hash <- s.s_media_hash;
+  m.m_dirty_hash <- s.s_dirty_hash;
+  m.m_wpq_hash <- s.s_wpq_hash;
+  m.m_op_index <- s.s_op_index;
+  m.m_countdown <- s.s_countdown

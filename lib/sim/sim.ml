@@ -40,6 +40,21 @@ type t = {
   mutable live : int;
   mutable next_fid : int;
   mutable running : bool;
+  mutable chooser : (int array -> int) option;
+      (** controlled-scheduler mode (model checking): when set, fibers are
+          not dispatched by simulated time but by this callback, which is
+          handed the sorted fids of every runnable fiber and returns the
+          one to run next. Clocks still advance (costs stay meaningful)
+          but impose no ordering: the explorer drives *every* interleaving
+          through here, including ones timed dispatch would never emit. *)
+  mutable spin_hook : (int -> unit) option;
+      (** controlled mode only: called with the executing fid each time it
+          enters a [spin] wait iteration, so a model checker can park the
+          fiber until a write makes re-checking its condition worthwhile *)
+  runnable : (int, unit -> unit) Hashtbl.t;
+      (** controlled mode only: fid -> continuation of each runnable fiber *)
+  fibers : (int, fiber) Hashtbl.t;
+      (** registry of every spawned fiber, for harness inspection *)
 }
 
 type _ Effect.t += Yield : unit Effect.t
@@ -77,7 +92,27 @@ let create ?(seed = 1L) ?(costs = Costs.default) ?(quantum = 150)
     live = 0;
     next_fid = 0;
     running = false;
+    chooser = None;
+    spin_hook = None;
+    runnable = Hashtbl.create 64;
+    fibers = Hashtbl.create 64;
   }
+
+(** Switch the simulation into controlled-scheduler mode (see [t.chooser]).
+    Must be called before [run]. *)
+let set_chooser t f = t.chooser <- Some f
+
+(** Install the controlled-mode spin notification (see [t.spin_hook]). *)
+let set_spin_hook t h = t.spin_hook <- Some h
+
+(** Whether the *current* simulation runs under a controlled scheduler.
+    False when no simulation is running (e.g. a nested recovery sim created
+    without a chooser), so instrumented code can consult it unconditionally. *)
+let controlled () =
+  match !the_sim with Some s -> s.chooser <> None | None -> false
+
+(** Look up a spawned fiber by fid (harness inspection). *)
+let find_fiber t fid = Hashtbl.find_opt t.fibers fid
 
 (* ---- binary min-heap ordered by (time, seq) ---- *)
 
@@ -134,9 +169,12 @@ let heap_pop t =
 
 let heap_peek t = t.heap.(0)
 
-let schedule t ~time resume =
-  heap_push t { time; seq = t.seq; resume };
-  t.seq <- t.seq + 1
+let schedule t ~fid ~time resume =
+  match t.chooser with
+  | Some _ -> Hashtbl.replace t.runnable fid resume
+  | None ->
+    heap_push t { time; seq = t.seq; resume };
+    t.seq <- t.seq + 1
 
 (* ---- fiber lifecycle ---- *)
 
@@ -154,7 +192,7 @@ let run_under_handler t fiber f =
           | Yield ->
             Some
               (fun (k : (a, unit) continuation) ->
-                schedule t ~time:fiber.clock (fun () ->
+                schedule t ~fid:fiber.fid ~time:fiber.clock (fun () ->
                     the_fiber := Some fiber;
                     continue k ()))
           | _ -> None);
@@ -183,7 +221,8 @@ let spawn t ~socket ?(core = 0) ?(at = -1) f =
   in
   t.next_fid <- t.next_fid + 1;
   t.live <- t.live + 1;
-  schedule t ~time:start_time (fun () ->
+  Hashtbl.replace t.fibers fiber.fid fiber;
+  schedule t ~fid:fiber.fid ~time:start_time (fun () ->
       the_fiber := Some fiber;
       run_under_handler t fiber f);
   fiber
@@ -195,21 +234,55 @@ let spawn t ~socket ?(core = 0) ?(at = -1) f =
     exactly as a crash abandons in-flight threads. *)
 let run ?(until = max_int) t () =
   if t.running then failwith "Sim.run: reentrant run";
+  (* Save the caller's simulation (if any) instead of clearing the globals:
+     the explorer runs a whole recovery simulation from inside a scheduler
+     callback of an outer controlled run, and must find the outer sim intact
+     afterwards. *)
+  let saved_sim = !the_sim and saved_fiber = !the_fiber in
   t.running <- true;
   the_sim := Some t;
   let cleanup () =
     t.running <- false;
-    the_sim := None;
-    the_fiber := None
+    the_sim := saved_sim;
+    the_fiber := saved_fiber
   in
-  let rec loop () =
+  let rec timed_loop () =
     match heap_peek t with
     | None -> `Done
     | Some e when e.time > until -> `Cut e.time
     | Some _ ->
       let e = Option.get (heap_pop t) in
       e.resume ();
-      loop ()
+      timed_loop ()
+  in
+  (* Controlled dispatch: every runnable fiber is a candidate at every step;
+     the chooser (the explorer) picks. It is called even with a single
+     candidate — that call doubles as the explorer's per-step hook (state
+     dedup, crash-frontier enumeration). [until] does not apply: there is
+     no global time order to cut. *)
+  let rec controlled_loop choose =
+    let n = Hashtbl.length t.runnable in
+    if n = 0 then `Done
+    else begin
+      let fids = Array.make n 0 in
+      let i = ref 0 in
+      Hashtbl.iter (fun fid _ -> fids.(!i) <- fid; incr i) t.runnable;
+      Array.sort compare fids;
+      let fid = choose fids in
+      let resume =
+        match Hashtbl.find_opt t.runnable fid with
+        | Some r -> r
+        | None -> failwith "Sim.run: chooser picked a non-runnable fid"
+      in
+      Hashtbl.remove t.runnable fid;
+      resume ();
+      controlled_loop choose
+    end
+  in
+  let loop () =
+    match t.chooser with
+    | Some choose -> controlled_loop choose
+    | None -> timed_loop ()
   in
   (* An exception escaping a fiber (e.g. a crash hook firing mid-access)
      abandons the whole run, like a power failure; reset the globals so a
@@ -236,14 +309,23 @@ let tick cost =
   let f = self () in
   f.clock <- f.clock + cost;
   let t = instance () in
-  if t.preempt_prob > 0.0 && Rng.float t.rng < t.preempt_prob then begin
-    f.clock <- f.clock + Rng.int t.rng t.quantum;
-    Effect.perform Yield
-  end
-  else
-    match heap_peek t with
-    | Some e when e.time < f.clock -> Effect.perform Yield
-    | Some _ | None -> ()
+  match t.chooser with
+  | Some _ ->
+    (* Controlled mode: scheduling points live at operation *starts*
+       ([Nvm.Memory.op_point] yields there), so the whole operation —
+       charge plus effect — executes as one indivisible step once chosen.
+       Yielding here too would split an operation across two steps and
+       misattribute its memory footprint. *)
+    ()
+  | None ->
+    if t.preempt_prob > 0.0 && Rng.float t.rng < t.preempt_prob then begin
+      f.clock <- f.clock + Rng.int t.rng t.quantum;
+      Effect.perform Yield
+    end
+    else
+      match heap_peek t with
+      | Some e when e.time < f.clock -> Effect.perform Yield
+      | Some _ | None -> ()
 
 (** Force a scheduling point without advancing time. *)
 let yield () = Effect.perform Yield
@@ -252,7 +334,9 @@ let yield () = Effect.perform Yield
     scheduler a chance to run whoever we are waiting for. *)
 let spin () =
   let f = self () in
-  f.clock <- f.clock + (instance ()).costs.Costs.spin;
+  let s = instance () in
+  f.clock <- f.clock + s.costs.Costs.spin;
+  (match s.spin_hook with Some h -> h f.fid | None -> ());
   Effect.perform Yield
 
 (** Advance the fiber's clock to [time] (no-op if already past). *)

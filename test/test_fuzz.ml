@@ -22,6 +22,13 @@ let gen_op rng =
   | 6 | 7 | 8 -> (H.op_get, [| k |])
   | _ -> (H.op_size, [||])
 
+(* Every budget in this file is a deterministic count — [iters] episodes
+   of [ops] operations per worker, under seed-derived schedules and
+   crash points. Nothing loops on wall-clock time ([At_time] crash
+   points are *simulated* nanoseconds, advanced by the deterministic
+   scheduler), so a run's outcome and its cost are identical on every
+   machine and CI never flakes on load. The bounded-exhaustive
+   counterpart with the same property lives in test_explore.ml. *)
 let template ~seed ~epsilon ~ops =
   {
     Check.Fuzz.workload_seed = seed;
