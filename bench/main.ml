@@ -143,10 +143,10 @@ let smoke_scale =
     warmup_ns = 300_000;
   }
 
-let json_of_counters extra =
+let json_of_counters counters =
   "{"
   ^ String.concat ", "
-      (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) extra)
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) counters)
   ^ "}"
 
 let json_of_result (r : Experiment.result) =
@@ -158,7 +158,21 @@ let json_of_result (r : Experiment.result) =
     r.Experiment.clwb_coalesced r.Experiment.clflush
     r.Experiment.clflush_elided r.Experiment.sfence r.Experiment.sfence_elided
     r.Experiment.bg_flushes
-    (json_of_counters r.Experiment.extra)
+    (json_of_counters (Experiment.counters r))
+
+(* Write a bench artifact, then check the exact bytes written against the
+   bench schema — a malformed artifact fails the producing job, not some
+   downstream consumer. *)
+let write_validated path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  match Telemetry.Json.(validate_string validate_bench contents) with
+  | Ok () -> ()
+  | Error errs ->
+    List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) errs;
+    Printf.eprintf "bench FAILED: %s does not validate against the bench schema\n" path;
+    exit 1
 
 let run_smoke path =
   let scale = smoke_scale in
@@ -200,18 +214,19 @@ let run_smoke path =
   let base90 = run_variant90 false in
   let numa90 = run_variant90 true in
   let speedup90 = numa90.Experiment.throughput /. base90.Experiment.throughput in
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n  \"config\": {\"threads\": %d, \"key_range\": %d, \"log_size\": %d, \
-     \"epsilon\": %d, \"read_pct\": 50, \"duration_ns\": %d},\n\
-    \  \"baseline\": %s,\n  \"flit\": %s,\n  \"speedup\": %.4f,\n\
-    \  \"read90\": {\"threads\": %d, \"read_pct\": 90,\n\
-    \    \"baseline\": %s,\n    \"numa\": %s,\n    \"speedup\": %.4f\n  }\n}\n"
-    threads scale.Figures.key_range scale.Figures.log_size
-    scale.Figures.eps_large scale.Figures.duration_ns (json_of_result base)
-    (json_of_result flit) speedup threads90 (json_of_result base90)
-    (json_of_result numa90) speedup90;
-  close_out oc;
+  write_validated path
+    (Printf.sprintf
+       "{\n  \"schema_version\": %d,\n\
+       \  \"config\": {\"threads\": %d, \"key_range\": %d, \"log_size\": %d, \
+        \"epsilon\": %d, \"read_pct\": 50, \"duration_ns\": %d},\n\
+       \  \"baseline\": %s,\n  \"flit\": %s,\n  \"speedup\": %.4f,\n\
+       \  \"read90\": {\"threads\": %d, \"read_pct\": 90,\n\
+       \    \"baseline\": %s,\n    \"numa\": %s,\n    \"speedup\": %.4f\n  }\n}\n"
+       Telemetry.Json.schema_version threads scale.Figures.key_range
+       scale.Figures.log_size scale.Figures.eps_large
+       scale.Figures.duration_ns (json_of_result base) (json_of_result flit)
+       speedup threads90 (json_of_result base90) (json_of_result numa90)
+       speedup90);
   Printf.printf
     "bench smoke: baseline %.0f ops/s, flit %.0f ops/s (%.1f%% %s); \
      elided+coalesced = %d; artifact: %s\n%!"
@@ -300,14 +315,15 @@ let run_readscale path =
           | _ -> ())
         scale.Figures.threads)
     [ 0; 50; 90; 99 ];
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n  \"config\": {\"key_range\": %d, \"log_size\": %d, \"epsilon\": %d, \
-     \"duration_ns\": %d},\n  \"points\": [\n%s\n  ]\n}\n"
-    scale.Figures.key_range scale.Figures.log_size scale.Figures.eps_large
-    scale.Figures.duration_ns
-    (String.concat ",\n" (List.rev !points));
-  close_out oc;
+  write_validated path
+    (Printf.sprintf
+       "{\n  \"schema_version\": %d,\n\
+       \  \"config\": {\"key_range\": %d, \"log_size\": %d, \"epsilon\": %d, \
+        \"duration_ns\": %d},\n  \"points\": [\n%s\n  ]\n}\n"
+       Telemetry.Json.schema_version scale.Figures.key_range
+       scale.Figures.log_size scale.Figures.eps_large
+       scale.Figures.duration_ns
+       (String.concat ",\n" (List.rev !points)));
   Printf.printf "artifact: %s\n%!" path
 
 let () =

@@ -3,6 +3,8 @@
    Subcommands:
      bench    run one figure (or all) of the paper's evaluation
      run      run a single throughput point with explicit parameters
+     profile  run one point with telemetry and print the phase breakdown
+     validate check a bench-JSON or trace-JSON artifact against its schema
      crash    run a crash/recovery episode and print the loss accounting
      fuzz     crash-point fuzzing with durable-linearizability checking
 
@@ -10,6 +12,9 @@
      dune exec bin/prep_cli.exe -- bench --figure fig3
      dune exec bin/prep_cli.exe -- run --system prep-buffered --threads 8 \
        --epsilon 1024 --read-pct 90
+     dune exec bin/prep_cli.exe -- profile --system prep-durable --threads 4 \
+       --trace trace.json               # open trace.json in ui.perfetto.dev
+     dune exec bin/prep_cli.exe -- validate --kind trace trace.json
      dune exec bin/prep_cli.exe -- crash --mode buffered --epsilon 128
      dune exec bin/prep_cli.exe -- fuzz --iters 200 --variant buffered
      dune exec bin/prep_cli.exe -- fuzz --variant durable --ds rbtree \
@@ -129,17 +134,32 @@ let slot_bitmap_arg =
   in
   Arg.(value & flag & info [ "slot-bitmap" ] ~doc)
 
-let run_point system ds threads epsilon read_pct keys duration seed flit
-    dist_rw log_mirror slot_bitmap =
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file of the run (one track per fiber, \
+     phase spans, crash/flush instants). Open it in ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let run_point ~profile system ds threads epsilon read_pct keys duration seed
+    flit dist_rw log_mirror slot_bitmap trace =
   let workload_map, workload_pairs =
     ( (fun () -> Workload.map_workload ~read_pct ~key_range:keys ~prefill_n:(keys / 2)),
       fun pairs -> pairs ~prefill_n:(keys / 2) )
   in
   let fail msg = `Error (true, msg) in
   let go sys workload =
+    (* profiling and tracing both need a live ambient registry; the plain
+       [run] subcommand keeps the registry-free default path *)
+    let tel =
+      if profile || trace <> None then
+        Some (Telemetry.Registry.create ~tracing:(trace <> None) ())
+      else None
+    in
     let r =
-      Experiment.run ~seed:(Int64.of_int seed) ~duration_ns:duration
-        ~warmup_ns:(duration / 5) ~system:sys ~workload ~workers:threads ()
+      Experiment.run ?telemetry:tel ~seed:(Int64.of_int seed)
+        ~duration_ns:duration ~warmup_ns:(duration / 5) ~system:sys ~workload
+        ~workers:threads ()
     in
     Printf.printf "%s | %s | %d threads: %.0f ops/sec (%d ops)\n"
       r.Experiment.system r.Experiment.workload r.Experiment.workers
@@ -156,13 +176,34 @@ let run_point system ds threads epsilon read_pct keys duration seed flit
          fences elided\n"
         r.Experiment.clwb_elided r.Experiment.clwb_coalesced
         r.Experiment.clflush_elided r.Experiment.sfence_elided;
-    let nonzero = List.filter (fun (_, v) -> v <> 0) r.Experiment.extra in
-    if nonzero <> [] then begin
-      print_string "counters:";
-      List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) nonzero;
-      print_newline ()
+    if profile then begin
+      print_newline ();
+      print_string (Profile.render r.Experiment.telemetry)
+    end
+    else begin
+      let nonzero =
+        List.filter (fun (_, v) -> v <> 0) (Experiment.counters r)
+      in
+      if nonzero <> [] then begin
+        print_string "counters:";
+        List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) nonzero;
+        print_newline ()
+      end
     end;
-    `Ok ()
+    match (trace, tel) with
+    | Some path, Some reg -> (
+      match Telemetry.Trace_export.write reg path with
+      | Ok () ->
+        Printf.printf "trace: %d events written to %s (%d dropped)\n"
+          (Telemetry.Registry.n_events reg)
+          path
+          (Telemetry.Registry.dropped_events reg);
+        `Ok ()
+      | Error errs ->
+        `Error
+          ( false,
+            "trace failed self-validation:\n  " ^ String.concat "\n  " errs ))
+    | _ -> `Ok ()
   in
   let prep_sys (module Sy : SYSTEMS) =
     match system with
@@ -212,14 +253,74 @@ let run_point system ds threads epsilon read_pct keys duration seed flit
      | Error m -> fail m)
   | other -> fail (Printf.sprintf "unknown data structure %S" other)
 
+let point_term ~profile =
+  Term.(
+    ret
+      (const (run_point ~profile) $ system_arg $ ds_arg $ threads_arg
+     $ epsilon_arg $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg
+     $ flit_arg $ dist_rw_arg $ log_mirror_arg $ slot_bitmap_arg $ trace_arg))
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a single throughput point")
-    Term.(
-      ret
-        (const run_point $ system_arg $ ds_arg $ threads_arg $ epsilon_arg
-       $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg $ flit_arg
-       $ dist_rw_arg $ log_mirror_arg $ slot_bitmap_arg))
+    (point_term ~profile:false)
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a single throughput point with telemetry enabled and print \
+          the simulated-time phase breakdown (combine/publish/persist/\
+          catch-up spans, latency percentiles, per-primitive NVM counters)")
+    (point_term ~profile:true)
+
+(* ---- validate ---- *)
+
+let validate_kind_arg =
+  let doc = "Artifact kind: trace (Chrome trace-event JSON) or bench." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
+
+let validate_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"JSON artifact to validate.")
+
+let validate kind file =
+  let validator =
+    match kind with
+    | "trace" -> Ok Telemetry.Json.validate_trace
+    | "bench" -> Ok Telemetry.Json.validate_bench
+    | other -> Error (Printf.sprintf "unknown artifact kind %S" other)
+  in
+  match validator with
+  | Error m -> `Error (true, m)
+  | Ok validator -> (
+    let contents =
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Telemetry.Json.validate_string validator contents with
+    | Ok () ->
+      Printf.printf "%s: valid %s artifact (schema_version %d)\n" file kind
+        Telemetry.Json.schema_version;
+      `Ok ()
+    | Error errs ->
+      List.iter (fun e -> Printf.printf "%s: %s\n" file e) errs;
+      `Error (false, "validation failed"))
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Validate a machine-readable artifact (bench result JSON or Chrome \
+          trace JSON) against its schema; exits nonzero when malformed")
+    Term.(ret (const validate $ validate_kind_arg $ validate_file_arg))
 
 (* ---- crash ---- *)
 
@@ -714,4 +815,6 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ bench_cmd; run_cmd; crash_cmd; fuzz_cmd; explore_cmd ]))
+       (Cmd.group info
+          [ bench_cmd; run_cmd; profile_cmd; validate_cmd; crash_cmd;
+            fuzz_cmd; explore_cmd ]))

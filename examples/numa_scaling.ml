@@ -3,9 +3,11 @@
    Runs the same 90%-read hashmap workload through the global-lock UC and
    through PREP (volatile / buffered / durable) at increasing thread
    counts, filling socket 0 before socket 1 — the paper's Figure 1/2
-   storyline in one table. Also prints the memory-system counters so you
-   can see *why*: WBINVD checkpoints and CLWB write-backs appear only in
-   the persistent variants.
+   storyline in one table. Then re-runs each system at one thread count
+   with telemetry enabled and prints the simulated-time phase breakdown,
+   so you can see *why*: the persistent variants spend their extra
+   simulated time in the persist phase (log write-backs and WBINVD
+   checkpoints), not in combine.
 
      dune exec examples/numa_scaling.exe *)
 
@@ -40,8 +42,7 @@ let () =
   Printf.printf
     "hashmap, 90%% reads, %d keys; socket 0 fills first (12 cores/socket)\n\n"
     scale.Figures.key_range;
-  Printf.printf "%8s %16s %12s %8s %10s\n" "threads" "system" "ops/sec"
-    "wbinvd" "clwb";
+  Printf.printf "%8s %16s %12s\n" "threads" "system" "ops/sec";
   List.iter
     (fun threads ->
       List.iter
@@ -53,10 +54,28 @@ let () =
               ~workers:threads ()
           with
           | r ->
-            Printf.printf "%8d %16s %12.0f %8d %10d\n%!" threads
-              r.Experiment.system r.Experiment.throughput r.Experiment.wbinvd
-              r.Experiment.clwb
+            Printf.printf "%8d %16s %12.0f\n%!" threads r.Experiment.system
+              r.Experiment.throughput
           | exception Failure msg -> Printf.printf "%8d failed: %s\n" threads msg)
         systems;
       print_newline ())
-    scale.Figures.threads
+    scale.Figures.threads;
+  (* the *why*: the phase breakdown at one contended thread count *)
+  let profile_threads = 16 in
+  Printf.printf
+    "simulated-time phase breakdown at %d threads (self%% of covered time):\n\n"
+    profile_threads;
+  List.iter
+    (fun system ->
+      let reg = Telemetry.Registry.create () in
+      match
+        Experiment.run ~telemetry:reg ~topology:scale.Figures.topology
+          ~duration_ns:scale.Figures.duration_ns
+          ~warmup_ns:scale.Figures.warmup_ns ~system ~workload
+          ~workers:profile_threads ()
+      with
+      | r ->
+        Printf.printf "-- %s --\n%s\n%!" r.Experiment.system
+          (Profile.render_phase_table r.Experiment.telemetry)
+      | exception Failure msg -> Printf.printf "profile failed: %s\n" msg)
+    systems

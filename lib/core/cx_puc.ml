@@ -50,6 +50,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     dir : int; (* NVM array: ds root per replica *)
     ctrl_alloc : Alloc.t;
     queue_capacity : int;
+    tel : Phases.t option;
   }
 
   let read_qtail t = Memory.read t.mem t.qtail_addr
@@ -93,13 +94,15 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     Memory.clflush mem dir;
     Roots.set roots slot_cur (pack ~count:0 ~rid:0);
     Roots.set roots slot_dir dir;
-    { mem; roots; queue; qtail_addr; reps; dir; ctrl_alloc; queue_capacity }
+    { mem; roots; queue; qtail_addr; reps; dir; ctrl_alloc; queue_capacity;
+      tel = Phases.make () }
 
   let register_worker t = Context.bind ~default:t.ctrl_alloc ()
 
   (* Apply queue entries [rep.applied, upto] to [rep] (write lock held).
      Returns the response of entry [upto]. *)
   let catch_up t rep ~upto =
+    Phases.in_span t.tel (fun pt -> pt.Phases.catchup) @@ fun () ->
     let ds = Option.get rep.ds in
     let resp = ref 0 in
     Context.with_allocator rep.alloc (fun () ->
@@ -133,6 +136,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     Memory.sfence t.mem
 
   let publish t ~count ~rid =
+    Phases.in_span t.tel (fun pt -> pt.Phases.publish) @@ fun () ->
     let rec loop () =
       let cur = Roots.get t.roots slot_cur in
       let cur_count, _ = unpack cur in
@@ -140,7 +144,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       else if
         Memory.cas t.mem (Roots.addr t.roots slot_cur) ~expected:cur
           ~desired:(pack ~count ~rid)
-      then Memory.clflush t.mem (Roots.addr t.roots slot_cur)
+      then Memory.clflush ~site:"cx.publish" t.mem (Roots.addr t.roots slot_cur)
       else loop ()
     in
     loop ()
@@ -155,8 +159,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       else reserve ()
     in
     let idx = reserve () in
-    Log.write_payload t.queue idx ~op ~args;
-    Log.publish t.queue idx;
+    Phases.in_span t.tel (fun pt -> pt.Phases.publish) (fun () ->
+        Log.write_payload t.queue idx ~op ~args;
+        Log.publish t.queue idx);
     (* lock some replica, scanning from replica 0 so that uncontended runs
        keep reusing (and re-flushing) a small working set of replicas *)
     let n = Array.length t.reps in
@@ -172,12 +177,13 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     if rep.ds = None then instantiate t rep;
     (* mark the replica mid-update so recovery will not trust it *)
     Memory.write t.mem rep.dirty_addr 1;
-    Memory.clflush t.mem rep.dirty_addr;
+    Memory.clflush ~site:"cx.dirty_flag" t.mem rep.dirty_addr;
     let resp = catch_up t rep ~upto:idx in
     (* the CX persistence strategy: write back the whole replica heap *)
-    Alloc.persist_heap rep.alloc;
-    Memory.write t.mem rep.dirty_addr 0;
-    Memory.clflush t.mem rep.dirty_addr;
+    Phases.in_span t.tel (fun pt -> pt.Phases.persist) (fun () ->
+        Alloc.persist_heap rep.alloc;
+        Memory.write t.mem rep.dirty_addr 0;
+        Memory.clflush ~site:"cx.dirty_flag" t.mem rep.dirty_addr);
     publish t ~count:(idx + 1) ~rid:rep.rid;
     Locks.Rwlock.write_release rep.rw;
     resp

@@ -9,6 +9,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     lock : Locks.Trylock.t;
     ds : Ds.handle;
     alloc : Alloc.t;
+    tel : Phases.t option;
   }
 
   let create ?(prefill = []) mem =
@@ -17,7 +18,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     let ds = Ds.create mem in
     List.iter (fun (op, args) -> ignore (Ds.execute ds ~op ~args)) prefill;
     let lock = Locks.Trylock.make mem (Alloc.alloc alloc 8) in
-    { mem; lock; ds; alloc }
+    { mem; lock; ds; alloc; tel = Phases.make () }
 
   let register_worker t = Context.bind ~default:t.alloc ()
 
@@ -26,7 +27,11 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     while not (Locks.Trylock.try_acquire t.lock) do
       Sim.spin ()
     done;
-    let resp = Ds.execute t.ds ~op ~args in
+    (* the locked section is this construction's (degenerate) combine *)
+    let resp =
+      Phases.in_span t.tel (fun pt -> pt.Phases.combine) (fun () ->
+          Ds.execute t.ds ~op ~args)
+    in
     Locks.Trylock.release t.lock;
     resp
 

@@ -116,7 +116,9 @@ let write_payload t idx ~op ~args =
   mirror_store t idx ~word:1 op
 
 (** Queue the entry's line for write-back (durable mode only). *)
-let persist_entry t idx = if t.durable then Memory.clwb t.mem (entry_addr t idx)
+let persist_entry t idx =
+  if t.durable then
+    Memory.clwb ~site:"log.persist_entry" t.mem (entry_addr t idx)
 
 (** Line-coalesced CLWB sweep over entries [first, first + n): one CLWB per
     distinct cache line covered by the batch, not one per entry (durable
@@ -131,7 +133,7 @@ let persist_range t ~first ~n =
       let step = Memory.line_words in
       let l = ref (lo - (lo mod step)) in
       while !l <= hi do
-        Memory.clwb t.mem !l;
+        Memory.clwb ~site:"log.persist_range" t.mem !l;
         l := !l + step
       done
     in
@@ -144,7 +146,7 @@ let persist_range t ~first ~n =
     end
   end
 
-let fence t = if t.durable then Memory.sfence t.mem
+let fence t = if t.durable then Memory.sfence ~site:"log.fence" t.mem
 
 (** Flip the emptyBit, making the entry visible to consumers. The payload
     must reach the mirror before the emptyBit does — consumers poll the

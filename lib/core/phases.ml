@@ -1,0 +1,40 @@
+(** The four core phases every PREP-UC variant is profiled by — combine,
+    publish, persist, catch-up — as telemetry spans, shared by
+    [Prep_uc], [Cx_puc] and [Gl_uc].
+
+    A [t option] is captured once at construction time from the ambient
+    registry ([Telemetry.Registry.current ()]); [None] makes every
+    [in_span] a single match on the option, so an uninstrumented run pays
+    nothing. The span values are created eagerly so a profile always
+    shows all four phases, even ones a variant never enters. *)
+
+type t = {
+  reg : Telemetry.Registry.t;
+  combine : Telemetry.Registry.span;
+  publish : Telemetry.Registry.span;
+  persist : Telemetry.Registry.span;
+  catchup : Telemetry.Registry.span;
+}
+
+(** The four phase names, in canonical display order. *)
+let phase_names = [ "combine"; "publish"; "persist"; "catch-up" ]
+
+let make () =
+  match Telemetry.Registry.current () with
+  | None -> None
+  | Some reg ->
+    Some
+      {
+        reg;
+        combine = Telemetry.Registry.span reg "combine";
+        publish = Telemetry.Registry.span reg "publish";
+        persist = Telemetry.Registry.span reg "persist";
+        catchup = Telemetry.Registry.span reg "catch-up";
+      }
+
+(** [in_span tel sel f] runs [f] inside the phase selected by [sel],
+    or plainly when no registry was attached. Exception-safe. *)
+let in_span tel sel f =
+  match tel with
+  | None -> f ()
+  | Some pt -> Telemetry.Registry.with_span pt.reg (sel pt) f

@@ -107,6 +107,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     (* harness-side optimisation counters (no simulated cost) *)
     mutable bmp_empty_exits : int;
     mutable bmp_slots_skipped : int;
+    tel : Phases.t option;
+        (* phase spans, captured from the ambient telemetry registry at
+           construction; [None] on uninstrumented runs *)
   }
 
   let durable t = t.cfg.Config.mode = Config.Durable
@@ -207,7 +210,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
           if mode = Config.Durable then begin
             let a = Alloc.alloc pa 8 in
             Memory.write mem a 0;
-            Memory.clflush mem a;
+            Memory.clflush ~site:"prep.init" mem a;
             a
           end
           else begin
@@ -256,6 +259,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       p_thread_running = false;
       bmp_empty_exits = 0;
       bmp_slots_skipped = 0;
+      tel = Phases.make ();
     }
 
   (** Create a UC whose initial object state is [prefill] applied to an
@@ -281,13 +285,13 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       holds the replica's write lock and has the right allocator bound. *)
   let update_from_log t r ~upto =
     let lt = read_local_tail t r in
-    if upto > lt then begin
-      for idx = lt to upto - 1 do
-        let op, args = Log.wait_and_read t.log idx in
-        ignore (Ds.execute r.ds ~op ~args)
-      done;
-      Memory.write t.mem r.lt_addr upto
-    end
+    if upto > lt then
+      Phases.in_span t.tel (fun pt -> pt.Phases.catchup) (fun () ->
+          for idx = lt to upto - 1 do
+            let op, args = Log.wait_and_read t.log idx in
+            ignore (Ds.execute r.ds ~op ~args)
+          done;
+          Memory.write t.mem r.lt_addr upto)
 
   (** Algorithm 3's helping mechanism, worker side: while waiting, a
       combiner checks whether someone asked its replica to catch up. *)
@@ -427,7 +431,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     in
     loop ();
     if durable t && t.cfg.Config.fault <> Config.Elide_ct_flush then
-      Memory.clflush t.mem t.ct_addr
+      Phases.in_span t.tel (fun pt -> pt.Phases.persist) (fun () ->
+          Memory.clflush ~site:"prep.completed_tail" t.mem t.ct_addr)
 
   let slot_addr r core = r.slots + (core * slot_words)
 
@@ -444,6 +449,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
   (* The combiner: collect the local batch, append it to the log, bring the
      replica up to date, and apply + answer the batch (paper §3). *)
   let combine t r =
+    Phases.in_span t.tel (fun pt -> pt.Phases.combine) @@ fun () ->
     (* collect and claim full slots *)
     let batch = ref [] in
     if t.cfg.Config.slot_bitmap then begin
@@ -474,22 +480,24 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     if n > 0 then begin
       let tail = reserve_log_entries t r n in
       let new_tail = tail + n in
+      let publish_span f = Phases.in_span t.tel (fun pt -> pt.Phases.publish) f
+      and persist_span f = Phases.in_span t.tel (fun pt -> pt.Phases.persist) f in
       if not t.cfg.Config.flit then begin
         (* phase 1: payloads (arguments then op), write-backs, one fence *)
         List.iteri
           (fun i (_, op, args) ->
-            Log.write_payload t.log (tail + i) ~op ~args;
-            Log.persist_entry t.log (tail + i);
+            publish_span (fun () -> Log.write_payload t.log (tail + i) ~op ~args);
+            persist_span (fun () -> Log.persist_entry t.log (tail + i));
             Trace.logged t.trace (tail + i) ~op ~args)
           batch;
-        Log.fence t.log;
+        persist_span (fun () -> Log.fence t.log);
         (* phase 2: publish emptyBits, write-backs, one fence *)
         List.iteri
           (fun i _ ->
-            Log.publish t.log (tail + i);
-            Log.persist_entry t.log (tail + i))
+            publish_span (fun () -> Log.publish t.log (tail + i));
+            persist_span (fun () -> Log.persist_entry t.log (tail + i)))
           batch;
-        Log.fence t.log
+        persist_span (fun () -> Log.fence t.log)
       end
       else begin
         (* Batched persistence: write every payload, sweep the batch's lines
@@ -502,15 +510,18 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
            two-fence protocol exists to protect. Unfenced publish-then-crash
            only produces holes, which recovery already skips as uncompleted
            operations (§5.2). *)
-        List.iteri
-          (fun i (_, op, args) ->
-            Log.write_payload t.log (tail + i) ~op ~args;
-            Trace.logged t.trace (tail + i) ~op ~args)
-          batch;
-        Log.persist_range t.log ~first:tail ~n;
-        List.iteri (fun i _ -> Log.publish t.log (tail + i)) batch;
-        Log.persist_range t.log ~first:tail ~n;
-        Log.fence t.log
+        publish_span (fun () ->
+            List.iteri
+              (fun i (_, op, args) ->
+                Log.write_payload t.log (tail + i) ~op ~args;
+                Trace.logged t.trace (tail + i) ~op ~args)
+              batch);
+        persist_span (fun () -> Log.persist_range t.log ~first:tail ~n);
+        publish_span (fun () ->
+            List.iteri (fun i _ -> Log.publish t.log (tail + i)) batch);
+        persist_span (fun () ->
+            Log.persist_range t.log ~first:tail ~n;
+            Log.fence t.log)
       end;
       Locks.Rw.write_acquire r.rw;
       update_from_log t r ~upto:tail;
@@ -602,21 +613,22 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
   (* ---- persistence thread (Algorithm 2) ---- *)
 
   let flush_and_swap t =
+    Phases.in_span t.tel (fun pt -> pt.Phases.persist) @@ fun () ->
     (* injected fault: opening the next window before the checkpoint is
        durable lets completed ops race two windows ahead of the stable
        replica, so a crash mid-flush loses up to ~2ε ops *)
     if t.cfg.Config.fault = Config.Early_boundary_advance then
       write_flush_boundary t (read_flush_boundary t + t.cfg.Config.epsilon);
     (match t.cfg.Config.flush with
-     | Config.Wbinvd -> Memory.wbinvd t.mem
+     | Config.Wbinvd -> Memory.wbinvd ~site:"prep.checkpoint" t.mem
      | Config.Flush_heap ->
        (* walk the persistent heap and write back whatever is dirty; pays
           per line instead of the WBINVD stall — the small-structure
           alternative of §6 *)
        List.iter
-         (fun aid -> Memory.flush_arena t.mem aid)
+         (fun aid -> Memory.flush_arena ~site:"prep.checkpoint" t.mem aid)
          (Alloc.arenas (Option.get t.p_alloc)));
-    Memory.sfence t.mem;
+    Memory.sfence ~site:"prep.checkpoint" t.mem;
     (* swap active/stable and persist the switch before opening the next
        window (see module comment on ordering) *)
     let active = Roots.get t.roots slot_active in
@@ -629,6 +641,14 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       ~default:(Alloc.create_volatile t.mem ~home:t.p_socket)
       ?persistent:t.p_alloc ();
     t.p_thread_running <- true;
+    (* the whole loop is one root span, so a profile attributes the
+       persistence thread's entire lifetime (its self-time is the
+       poll/spin overhead left after the catch-up and persist children) *)
+    (match t.tel with
+     | Some pt ->
+       Telemetry.Registry.span_enter pt.Phases.reg
+         (Telemetry.Registry.span pt.Phases.reg "persistence")
+     | None -> ());
     while not t.stop_flag do
       let active = Roots.get t.roots slot_active in
       let rep = t.p_reps.(active) in
@@ -636,17 +656,23 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       let lt = Memory.read t.mem rep.meta in
       if tail > lt then begin
         (* bring the active persistent replica up to date *)
-        Context.with_persistent (fun () ->
-            for idx = lt to tail - 1 do
-              let op, args = Log.wait_and_read t.log idx in
-              ignore (Ds.execute rep.pds ~op ~args)
-            done);
-        Memory.write t.mem rep.meta tail
+        Phases.in_span t.tel (fun pt -> pt.Phases.catchup) (fun () ->
+            Context.with_persistent (fun () ->
+                for idx = lt to tail - 1 do
+                  let op, args = Log.wait_and_read t.log idx in
+                  ignore (Ds.execute rep.pds ~op ~args)
+                done);
+            Memory.write t.mem rep.meta tail)
       end;
       if read_flush_boundary t <= Memory.read t.mem rep.meta then
         flush_and_swap t
       else Sim.spin ()
     done;
+    (match t.tel with
+     | Some pt ->
+       Telemetry.Registry.span_exit pt.Phases.reg
+         (Telemetry.Registry.span pt.Phases.reg "persistence")
+     | None -> ());
     t.p_thread_running <- false
 
   (** Spawn the persistence thread on its dedicated core. No-op for the
@@ -681,6 +707,15 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       ("bitmap_empty_exits", t.bmp_empty_exits);
       ("bitmap_slots_skipped", t.bmp_slots_skipped);
     ]
+
+  (** Port the instance's counters onto registry [reg], *adding* to any
+      values already there — so sampling several instances into one
+      registry sums them. Keys are unchanged from the pre-telemetry bench
+      JSON (the counter-key compatibility guarantee). *)
+  let sample t reg =
+    List.iter
+      (fun (k, v) -> Telemetry.Registry.add_to reg k v)
+      (counters t)
 
   (** Bring every volatile replica up to date with the completedTail.
       Convenience for quiescent observation (tests, examples); not part of

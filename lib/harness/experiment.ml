@@ -14,8 +14,10 @@ type instance = {
   register : unit -> unit; (* bind the calling worker fiber *)
   exec : op:int -> args:int array -> int;
   teardown : unit -> unit; (* stop helper threads so the run can drain *)
-  counters : unit -> (string * int) list;
-      (* system-specific optimisation counters, sampled after the run *)
+  sample : Telemetry.Registry.t -> unit;
+      (* port the instance's counters onto a registry, *adding* to values
+         already there — sampling several instances into one registry sums
+         across instances instead of last-writer-wins *)
 }
 
 (** A system under test: builds an instance inside the setup fiber.
@@ -46,43 +48,112 @@ type result = {
   clwb_coalesced : int;
   clflush_elided : int;
   sfence_elided : int;
-  extra : (string * int) list;
-      (** system-specific counters (distributed-lock acquisitions, log
-          mirror reads/stores, slot-bitmap scans, ...) *)
+  telemetry : Telemetry.Registry.snapshot;
+      (** typed snapshot of the run's registry: system-specific counters
+          (distributed-lock acquisitions, log mirror reads/stores,
+          slot-bitmap scans, ...) summed across instances, plus — when the
+          run was given a live registry — phase spans, histograms and
+          per-primitive NVM accounting *)
 }
 
+(* The system-specific counter keys that predate the telemetry layer, in
+   their original bench-JSON order. [counters] keeps the old
+   [result.extra] contract: exactly these keys, with identical values for
+   a fixed seed — consumers (CLI, bench JSON) must not notice the
+   refactor. *)
+let legacy_counter_keys =
+  [ "rw_read_acquires"; "rw_writer_sweeps"; "log_primary_reads";
+    "log_mirror_reads"; "log_mirror_stores"; "bitmap_empty_exits";
+    "bitmap_slots_skipped" ]
+
+(** The system-specific counters of [r], in the pre-telemetry key order.
+    Keys a system never sampled (GL, CX, SOFT) are absent, exactly as
+    they were absent from the old stringly [extra] list. *)
+let counters r =
+  List.filter_map
+    (fun k ->
+      match List.assoc_opt k r.telemetry.Telemetry.Registry.sn_counters with
+      | Some v -> Some (k, v)
+      | None -> None)
+    legacy_counter_keys
+
+(** Run one throughput experiment.
+
+    [instances] (default 1) builds that many independent instances of the
+    system and assigns worker [w] to instance [w mod instances]; all
+    instances' counters are summed into the result's registry snapshot.
+
+    [telemetry] installs a live registry as the run's ambient registry:
+    the memory model, simulator and constructions record per-primitive
+    costs, scheduler events and phase spans into it, each worker's
+    operations are wrapped in an ["op"] root span, and worker tracks get
+    stable names for the trace export. Without it only the instances'
+    counters are sampled (into a private registry), so the default path
+    stays as cheap and exactly as deterministic as before. *)
 let run ?(seed = 7L) ?(topology = Sim.Topology.default)
     ?(duration_ns = 4_000_000) ?(warmup_ns = 800_000) ?(bg_period = 50_000)
-    ~system ~(workload : Workload.t) ~workers () =
+    ?(instances = 1) ?telemetry ~system ~(workload : Workload.t) ~workers () =
   if workers >= Sim.Topology.total_cores topology then
     invalid_arg "Experiment.run: last core is reserved";
+  if instances < 1 then invalid_arg "Experiment.run: instances < 1";
   let duration_ns = duration_ns * system.duration_factor in
   let warmup_ns = warmup_ns * system.duration_factor in
+  (* the accumulator registry: the caller's live one, or a private
+     harness-side one that only ever receives the counter samples *)
+  let acc =
+    match telemetry with
+    | Some r -> r
+    | None -> Telemetry.Registry.create ()
+  in
+  let saved_reg = Telemetry.Registry.current () in
+  (match telemetry with
+   | Some r -> Telemetry.Registry.set_current (Some r)
+   | None -> ());
+  Fun.protect ~finally:(fun () -> Telemetry.Registry.set_current saved_reg)
+  @@ fun () ->
+  let exec_in_op_span =
+    match telemetry with
+    | Some reg ->
+      let sp = Telemetry.Registry.span reg "op" in
+      fun inst ~op ~args ->
+        Telemetry.Registry.with_span reg sp (fun () -> inst.exec ~op ~args)
+    | None -> fun inst ~op ~args -> inst.exec ~op ~args
+  in
   let sim = Sim.create ~seed topology in
   let mem = Memory.make ~bg_period ~sockets:topology.Sim.Topology.sockets () in
   let counts = Array.make workers 0 in
   let done_count = ref 0 in
-  let extra = ref [] in
   ignore
     (Sim.spawn sim ~socket:0 (fun () ->
+         (* one root directory (it must be arena 0), shared by every
+            instance; a throughput run never recovers, so instances
+            overwriting each other's root slots is harmless *)
          let roots = Roots.make mem in
-         let inst =
-           system.make mem roots ~workers ~prefill:workload.Workload.prefill
+         let insts =
+           Array.init instances (fun _ ->
+               system.make mem roots ~workers
+                 ~prefill:workload.Workload.prefill)
          in
          let t0 = Sim.now () in
          let measure_start = t0 + warmup_ns in
          let deadline = measure_start + duration_ns in
          for w = 0 to workers - 1 do
            let socket, core = Sim.Topology.place topology w in
+           let inst = insts.(w mod instances) in
            ignore
              (Sim.spawn sim ~socket ~core (fun () ->
+                  (match telemetry with
+                   | Some reg ->
+                     Telemetry.Registry.name_track reg (Sim.self ()).Sim.fid
+                       (Printf.sprintf "worker-%d" w)
+                   | None -> ());
                   inst.register ();
                   let rng = Sim.fiber_rng () in
                   let phase = ref 0 in
                   while Sim.now () < deadline do
                     let op, args = workload.Workload.next rng ~phase:!phase in
                     incr phase;
-                    ignore (inst.exec ~op ~args);
+                    ignore (exec_in_op_span inst ~op ~args);
                     if Sim.now () > measure_start && Sim.now () <= deadline
                     then counts.(w) <- counts.(w) + 1
                   done;
@@ -92,8 +163,11 @@ let run ?(seed = 7L) ?(topology = Sim.Topology.default)
          while !done_count < workers do
            Sim.tick 50_000
          done;
-         inst.teardown ();
-         extra := inst.counters ()));
+         Array.iter (fun inst -> inst.teardown ()) insts;
+         (* sample at the same point the old code read its counters, so
+            values stay bit-identical for a fixed seed; [sample] adds, so
+            several instances sum instead of overwriting each other *)
+         Array.iter (fun inst -> inst.sample acc) insts));
   (* The horizon is a safety net: a correct run always finishes by itself. *)
   (match Sim.run ~until:(1_000 * (duration_ns + warmup_ns)) sim () with
    | `Done -> ()
@@ -116,7 +190,7 @@ let run ?(seed = 7L) ?(topology = Sim.Topology.default)
     clwb_coalesced = stats.Memory.clwb_coalesced;
     clflush_elided = stats.Memory.clflush_elided;
     sfence_elided = stats.Memory.sfence_elided;
-    extra = !extra;
+    telemetry = Telemetry.Registry.snapshot acc;
   }
 
 (* ---- system constructors ---- *)
@@ -162,7 +236,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
             register = (fun () -> P.register_worker uc);
             exec = (fun ~op ~args -> P.execute uc ~op ~args);
             teardown = (fun () -> P.stop uc);
-            counters = (fun () -> P.counters uc);
+            sample = (fun reg -> P.sample uc reg);
           });
     }
 
@@ -178,7 +252,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
             register = (fun () -> G.register_worker gl);
             exec = (fun ~op ~args -> G.execute gl ~op ~args);
             teardown = ignore;
-            counters = (fun () -> []);
+            sample = (fun _ -> ());
           });
     }
 
@@ -193,7 +267,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
             register = (fun () -> C.register_worker cx);
             exec = (fun ~op ~args -> C.execute cx ~op ~args);
             teardown = ignore;
-            counters = (fun () -> []);
+            sample = (fun _ -> ());
           });
     }
 end
@@ -214,6 +288,6 @@ let soft ~nbuckets =
           register = (fun () -> Prep.Soft_hash.register_worker s);
           exec = (fun ~op ~args -> Prep.Soft_hash.execute s ~op ~args);
           teardown = ignore;
-          counters = (fun () -> []);
+          sample = (fun _ -> ());
         });
   }

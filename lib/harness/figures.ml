@@ -74,19 +74,63 @@ let heading title =
 
 let subheading s = Printf.printf "\n--- %s ---\n%!" s
 
-let print_header systems =
-  Printf.printf "%8s" "threads";
-  List.iter (fun s -> Printf.printf "  %16s" s) systems;
-  print_newline ()
+(* Pure renderers, separated from the experiment loops so the table shapes
+   can be golden-tested from canned results (test/test_figures.ml) without
+   running a single experiment. The sweep functions still print row by row
+   (a figure takes minutes at full scale; partial output matters). *)
 
-let print_row threads cells =
-  Printf.printf "%8d" threads;
+let render_header systems =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "%8s" "threads");
+  List.iter (fun s -> Buffer.add_string b (Printf.sprintf "  %16s" s)) systems;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let render_row threads cells =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "%8d" threads);
   List.iter
     (function
-      | Some tput -> Printf.printf "  %16.0f" tput
-      | None -> Printf.printf "  %16s" "-")
+      | Some tput -> Buffer.add_string b (Printf.sprintf "  %16.0f" tput)
+      | None -> Buffer.add_string b (Printf.sprintf "  %16s" "-"))
     cells;
-  print_newline ();
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(** A whole sweep table from canned [rows : (threads * cells) list]. *)
+let render_sweep ~systems rows =
+  String.concat ""
+    (render_header systems
+     :: List.map (fun (threads, cells) -> render_row threads cells) rows)
+
+let render_table1 () =
+  String.concat ""
+    (List.map
+       (fun (i, s, m) -> Printf.sprintf "%-15s %-12s %s\n" i s m)
+       [
+         ("Index", "Scope", "Meaning");
+         ("localTail", "Per Replica", "Last update applied to the local replica");
+         ("completedTail", "Global", "Last update applied to any replica");
+         ("logTail", "Global", "Last log entry");
+       ])
+
+let render_eps_header () =
+  Printf.sprintf "%8s  %16s  %16s\n" "epsilon" "PREP-Buffered" "PREP-Durable"
+
+let render_eps_row eps b d =
+  let cell = function Some v -> Printf.sprintf "%.0f" v | None -> "-" in
+  Printf.sprintf "%8d  %16s  %16s\n" eps (cell b) (cell d)
+
+(** The Figure-3 table from canned [rows : (eps * buffered * durable) list]. *)
+let render_eps_table rows =
+  String.concat ""
+    (render_eps_header ()
+     :: List.map (fun (eps, b, d) -> render_eps_row eps b d) rows)
+
+let print_header systems = print_string (render_header systems)
+
+let print_row threads cells =
+  print_string (render_row threads cells);
   flush stdout
 
 (* Run one (system, workload, threads) point, tolerating failures. *)
@@ -129,12 +173,8 @@ let prep_v prep ~log_size =
 
 let table1 () =
   heading "Table 1: indexes used in NR-UC / PREP-UC";
-  Printf.printf "%-15s %-12s %s\n" "Index" "Scope" "Meaning";
-  Printf.printf "%-15s %-12s %s\n" "localTail" "Per Replica"
-    "Last update applied to the local replica";
-  Printf.printf "%-15s %-12s %s\n" "completedTail" "Global"
-    "Last update applied to any replica";
-  Printf.printf "%-15s %-12s %s\n%!" "logTail" "Global" "Last log entry"
+  print_string (render_table1 ());
+  flush stdout
 
 (* ---- Figure 1: volatile UCs (PREP-V vs GL) ---- *)
 
@@ -204,7 +244,7 @@ let fig3 scale =
     Workload.map_workload ~read_pct:90 ~key_range:scale.key_range
       ~prefill_n:(scale.key_range / 2)
   in
-  Printf.printf "%8s  %16s  %16s\n" "epsilon" "PREP-Buffered" "PREP-Durable";
+  print_string (render_eps_header ());
   List.iter
     (fun eps ->
       let b =
@@ -217,9 +257,8 @@ let fig3 scale =
           ~system:(Hm.prep ~log_size:scale.log_size ~mode:Prep.Config.Durable ~epsilon:eps ())
           ~workload ~threads
       in
-      Printf.printf "%8d  %16s  %16s\n%!" eps
-        (match b with Some v -> Printf.sprintf "%.0f" v | None -> "-")
-        (match d with Some v -> Printf.sprintf "%.0f" v | None -> "-"))
+      print_string (render_eps_row eps b d);
+      flush stdout)
     scale.eps_sweep
 
 (* ---- Figure 4: priority queue ---- *)

@@ -1,0 +1,90 @@
+(** Render a telemetry snapshot as a simulated-time profile.
+
+    The phase table attributes simulated nanoseconds to named spans:
+    [total] is inclusive time (the span and everything nested in it),
+    [self] is exclusive time (what remains after subtracting nested
+    spans), so the self column sums to exactly the time covered by
+    top-level spans — every covered nanosecond is attributed to exactly
+    one phase. The four core phases are always shown, even when a system
+    never enters one (their zeros are informative: CX-PUC has no combine).
+
+    The coverage line compares that phase total against the wall fiber
+    time (the sum over tracks of last-span-end minus first-span-start):
+    a healthy instrumented run covers ~100% — anything else means an
+    uninstrumented code path is eating simulated time. *)
+
+open Telemetry
+
+let pct num den =
+  if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+(* self-times of the spans a snapshot holds, canonical phases first *)
+let span_rows (snap : Registry.snapshot) =
+  let canonical = Prep.Phases.phase_names in
+  let all = snap.Registry.sn_spans in
+  let named =
+    List.filter_map
+      (fun name ->
+        match List.assoc_opt name all with
+        | Some ss -> Some (name, ss)
+        | None ->
+          (* a snapshot without spans (counters-only run): show zeros *)
+          Some
+            ( name,
+              Registry.
+                {
+                  ss_stats =
+                    { hs_n = 0; hs_sum = 0; hs_min = 0; hs_max = 0;
+                      hs_p50 = 0; hs_p95 = 0; hs_p99 = 0 };
+                  ss_self = 0;
+                } ))
+      canonical
+  in
+  let rest =
+    List.filter (fun (n, _) -> not (List.mem n canonical)) all
+  in
+  named @ rest
+
+(** The simulated-ns phase total: the self-times of every span, which by
+    construction equals the time covered by top-level spans. *)
+let phase_total (snap : Registry.snapshot) =
+  List.fold_left
+    (fun acc (_, ss) -> acc + ss.Registry.ss_self)
+    0 (span_rows snap)
+
+let render_phase_table (snap : Registry.snapshot) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-12s %10s %14s %14s %6s %10s %10s %10s\n" "phase"
+       "count" "total-ns" "self-ns" "self%" "p50-ns" "p95-ns" "p99-ns");
+  let rows = span_rows snap in
+  let total_self = phase_total snap in
+  List.iter
+    (fun (name, ss) ->
+      let st = ss.Registry.ss_stats in
+      Buffer.add_string b
+        (Printf.sprintf "%-12s %10d %14d %14d %5.1f%% %10d %10d %10d\n" name
+           st.Registry.hs_n st.Registry.hs_sum ss.Registry.ss_self
+           (pct ss.Registry.ss_self total_self)
+           st.Registry.hs_p50 st.Registry.hs_p95 st.Registry.hs_p99))
+    rows;
+  let wall = snap.Registry.sn_track_extent in
+  Buffer.add_string b
+    (Printf.sprintf
+       "phase total: %d ns across %d tracks = %.1f%% of %d ns wall fiber time\n"
+       total_self snap.Registry.sn_tracks
+       (pct total_self wall)
+       wall);
+  Buffer.contents b
+
+let render_counters (snap : Registry.snapshot) =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then Buffer.add_string b (Printf.sprintf "  %-40s %12d\n" name v))
+    snap.Registry.sn_counters;
+  Buffer.contents b
+
+(** The full profile: phase table, then nonzero counters. *)
+let render (snap : Registry.snapshot) =
+  render_phase_table snap ^ "\ncounters:\n" ^ render_counters snap

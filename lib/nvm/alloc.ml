@@ -87,5 +87,7 @@ let free t addr size =
     replica's address range, then fence. *)
 let persist_heap t =
   if t.kind <> Memory.Nvm then invalid_arg "Alloc.persist_heap: volatile heap";
-  List.iter (fun aid -> Memory.flush_arena t.mem aid) t.arenas;
-  Memory.sfence t.mem
+  List.iter
+    (fun aid -> Memory.flush_arena ~site:"alloc.persist_heap" t.mem aid)
+    t.arenas;
+  Memory.sfence ~site:"alloc.persist_heap" t.mem

@@ -107,6 +107,10 @@ type t = {
          (dirty_key | -1 for whole-cache ops, word address | -1, is_write,
          value involved); the explorer derives per-step cache-line
          footprints and fine-grained state hashes from it *)
+  m_tel : Telemetry.Registry.t option;
+      (* telemetry registry captured at [make]; [None] costs one branch per
+         operation and nothing else. Recording never ticks simulated time,
+         so an attached registry cannot change a run's behaviour. *)
 }
 
 let make ?(seed = 42L) ?(sockets = 2) ?(bg_period = 50_000) ?(flit = false) () =
@@ -129,9 +133,36 @@ let make ?(seed = 42L) ?(sockets = 2) ?(bg_period = 50_000) ?(flit = false) () =
       m_dirty_hash = 0;
       m_wpq_hash = 0;
       m_access_hook = None;
+      m_tel = Telemetry.Registry.current ();
     }
   in
   m
+
+(* Per-primitive telemetry: a count and a simulated-ns total per operation
+   kind, e.g. [nvm.clwb] / [nvm.clwb_ns]. Flush/fence call sites may pass
+   [?site] to additionally attribute the call to a named site
+   ([nvm.clwb@log.persist_entry]), which is the per-site accounting the
+   FliT line of work argues from. *)
+let tel_op m name cost =
+  match m.m_tel with
+  | None -> ()
+  | Some r ->
+    if Telemetry.Registry.enabled r then begin
+      Telemetry.Registry.add_to r ("nvm." ^ name) 1;
+      Telemetry.Registry.add_to r ("nvm." ^ name ^ "_ns") cost
+    end
+
+let tel_site m name site =
+  match (m.m_tel, site) with
+  | Some r, Some s ->
+    if Telemetry.Registry.enabled r then
+      Telemetry.Registry.add_to r ("nvm." ^ name ^ "@" ^ s) 1
+  | _ -> ()
+
+let tel_instant m name =
+  match m.m_tel with
+  | None -> ()
+  | Some r -> Telemetry.Registry.instant r name
 
 let stats m = m.m_stats
 
@@ -365,7 +396,9 @@ let read m addr =
   let off = offset_of_addr addr in
   let line = line_of_offset off in
   let line_dirty = Bytes.get_uint8 arena.dirty line <> 0 in
-  Sim.tick (access_cost m arena ~line_dirty);
+  let cost = access_cost m arena ~line_dirty in
+  Sim.tick cost;
+  tel_op m "read" cost;
   m.m_stats.reads <- m.m_stats.reads + 1;
   let v = arena.values.(off) in
   access_point m (dirty_key arena.aid line) ~addr ~write:false v;
@@ -376,7 +409,9 @@ let write m addr v =
   let arena = arena_of_addr m addr in
   let off = offset_of_addr addr in
   let line = line_of_offset off in
-  Sim.tick (access_cost m arena ~line_dirty:true);
+  let cost = access_cost m arena ~line_dirty:true in
+  Sim.tick cost;
+  tel_op m "write" cost;
   m.m_stats.writes <- m.m_stats.writes + 1;
   set_value m arena off v;
   mark_dirty m arena line (Sim.socket ());
@@ -393,7 +428,9 @@ let mirror_write m addr v =
   let arena = arena_of_addr m addr in
   let off = offset_of_addr addr in
   let line = line_of_offset off in
-  Sim.tick (Sim.costs ()).Sim.Costs.mirror_write;
+  let cost = (Sim.costs ()).Sim.Costs.mirror_write in
+  Sim.tick cost;
+  tel_op m "mirror_write" cost;
   m.m_stats.writes <- m.m_stats.writes + 1;
   set_value m arena off v;
   mark_dirty m arena line (Sim.socket ());
@@ -410,7 +447,9 @@ let scrub m addr size =
   let off = offset_of_addr addr in
   let first_line = line_of_offset off in
   let last_line = line_of_offset (off + size - 1) in
-  Sim.tick ((last_line - first_line + 1) * (Sim.costs ()).Sim.Costs.cache_access);
+  let cost = (last_line - first_line + 1) * (Sim.costs ()).Sim.Costs.cache_access in
+  Sim.tick cost;
+  tel_op m "scrub" cost;
   let socket = Sim.socket () in
   for i = off to off + size - 1 do
     set_value m arena i 0
@@ -428,7 +467,9 @@ let cas m addr ~expected ~desired =
   let off = offset_of_addr addr in
   let line = line_of_offset off in
   let c = Sim.costs () in
-  Sim.tick (c.Sim.Costs.cas + access_cost m arena ~line_dirty:true);
+  let cost = c.Sim.Costs.cas + access_cost m arena ~line_dirty:true in
+  Sim.tick cost;
+  tel_op m "cas" cost;
   m.m_stats.cas_ops <- m.m_stats.cas_ops + 1;
   (* the hook fires after the compare so a failed CAS registers as a plain
      read: it changes nothing, so treating it as a write would spuriously
@@ -455,7 +496,9 @@ let faa m addr delta =
   let off = offset_of_addr addr in
   let line = line_of_offset off in
   let c = Sim.costs () in
-  Sim.tick (c.Sim.Costs.cas + access_cost m arena ~line_dirty:true);
+  let cost = c.Sim.Costs.cas + access_cost m arena ~line_dirty:true in
+  Sim.tick cost;
+  tel_op m "faa" cost;
   let old = arena.values.(off) in
   set_value m arena off (old + delta);
   mark_dirty m arena line (Sim.socket ());
@@ -465,8 +508,9 @@ let faa m addr delta =
 (** Asynchronous write-back of the line containing [addr]. The captured
     line contents only reach media at the next [sfence] (or clflush /
     background flush), so a crash in between loses them. *)
-let clwb m addr =
+let clwb ?site m addr =
   op_point m;
+  tel_site m "clwb" site;
   let arena = arena_of_addr m addr in
   if arena.kind <> Nvm then invalid_arg "Memory.clwb: not an NVM address";
   let line = line_of_offset (offset_of_addr addr) in
@@ -474,6 +518,7 @@ let clwb m addr =
   let key = dirty_key arena.aid line in
   if not m.m_flit then begin
     Sim.tick (Sim.costs ()).Sim.Costs.clwb_line;
+    tel_op m "clwb" (Sim.costs ()).Sim.Costs.clwb_line;
     m.m_stats.clwb <- m.m_stats.clwb + 1;
     let words = Array.sub arena.values base line_words in
     m.m_pending <- { p_arena = arena.aid; p_line = line; p_words = words } :: m.m_pending;
@@ -487,6 +532,7 @@ let clwb m addr =
       (* clean line: media or the WPQ already holds the current contents —
          the flush tag says there is nothing to write back *)
       Sim.tick c.Sim.Costs.flush_tag_check;
+      tel_op m "clwb_elided" c.Sim.Costs.flush_tag_check;
       m.m_stats.clwb_elided <- m.m_stats.clwb_elided + 1;
       access_point m key ~addr:(-1) ~write:false 0
     end
@@ -494,10 +540,12 @@ let clwb m addr =
       if Hashtbl.mem m.m_pending_tbl key then begin
         (* same line already queued: update the WPQ entry in place *)
         Sim.tick c.Sim.Costs.clwb_merge;
+        tel_op m "clwb_coalesced" c.Sim.Costs.clwb_merge;
         m.m_stats.clwb_coalesced <- m.m_stats.clwb_coalesced + 1
       end
       else begin
         Sim.tick c.Sim.Costs.clwb_line;
+        tel_op m "clwb" c.Sim.Costs.clwb_line;
         m.m_stats.clwb <- m.m_stats.clwb + 1
       end;
       (* capture after the tick (a yield point): a concurrent fence may have
@@ -516,8 +564,9 @@ let clwb m addr =
   end
 
 (** Blocking flush: the line is persisted before the call returns. *)
-let clflush m addr =
+let clflush ?site m addr =
   op_point m;
+  tel_site m "clflush" site;
   let arena = arena_of_addr m addr in
   if arena.kind <> Nvm then invalid_arg "Memory.clflush: not an NVM address";
   let line = line_of_offset (offset_of_addr addr) in
@@ -527,11 +576,13 @@ let clflush m addr =
   then begin
     (* clean and nothing queued: media already holds the line *)
     Sim.tick (Sim.costs ()).Sim.Costs.flush_tag_check;
+    tel_op m "clflush_elided" (Sim.costs ()).Sim.Costs.flush_tag_check;
     m.m_stats.clflush_elided <- m.m_stats.clflush_elided + 1;
     access_point m (dirty_key arena.aid line) ~addr:(-1) ~write:false 0
   end
   else begin
     Sim.tick (Sim.costs ()).Sim.Costs.clflush_line;
+    tel_op m "clflush" (Sim.costs ()).Sim.Costs.clflush_line;
     m.m_stats.clflush <- m.m_stats.clflush + 1;
     commit_line_to_media m arena line;
     flit_prune m arena line;
@@ -549,16 +600,20 @@ let drain_pending_words m aid line words =
     done
   end
 
-let sfence m =
+let sfence ?site m =
   op_point m;
+  tel_site m "sfence" site;
   if m.m_flit then begin
     if Hashtbl.length m.m_pending_tbl = 0 then begin
       (* empty WPQ: the fence retires immediately, no drain cost *)
+      tel_op m "sfence_elided" 0;
       m.m_stats.sfence_elided <- m.m_stats.sfence_elided + 1;
       access_point m (-1) ~addr:(-1) ~write:false 0
     end
     else begin
       Sim.tick (Sim.costs ()).Sim.Costs.sfence;
+      tel_op m "sfence" (Sim.costs ()).Sim.Costs.sfence;
+      tel_instant m "sfence";
       m.m_stats.sfence <- m.m_stats.sfence + 1;
       Hashtbl.iter
         (fun key words ->
@@ -572,6 +627,8 @@ let sfence m =
   end
   else begin
     Sim.tick (Sim.costs ()).Sim.Costs.sfence;
+    tel_op m "sfence" (Sim.costs ()).Sim.Costs.sfence;
+    tel_instant m "sfence";
     m.m_stats.sfence <- m.m_stats.sfence + 1;
     List.iter
       (fun p -> drain_pending_words m p.p_arena p.p_line p.p_words)
@@ -585,14 +642,18 @@ let sfence m =
     line dirtied by this socket is persisted (NVM) or merely cleaned
     (DRAM). Cost scales with the number of dirty lines, making this the
     expensive hammer the paper says it is. *)
-let wbinvd m =
+let wbinvd ?site m =
   op_point m;
+  tel_site m "wbinvd" site;
   let socket = Sim.socket () in
   let table = m.m_dirty_by_socket.(socket) in
   let keys = Hashtbl.fold (fun k () acc -> k :: acc) table [] in
   let flushed = List.length keys in
   let c = Sim.costs () in
-  Sim.tick (c.Sim.Costs.wbinvd_base + (flushed * c.Sim.Costs.wbinvd_per_line));
+  let cost = c.Sim.Costs.wbinvd_base + (flushed * c.Sim.Costs.wbinvd_per_line) in
+  Sim.tick cost;
+  tel_op m "wbinvd" cost;
+  tel_instant m "wbinvd";
   m.m_stats.wbinvd <- m.m_stats.wbinvd + 1;
   m.m_stats.wbinvd_lines <- m.m_stats.wbinvd_lines + flushed;
   List.iter
@@ -613,21 +674,25 @@ let clean_line_flush_cost = 12
    instruction; this is what makes walking a huge address range more
    expensive than WBINVD for large structures *)
 
-let flush_arena m aid =
+let flush_arena ?site m aid =
   op_point m;
+  tel_site m "flush_arena" site;
   let arena = m.m_arenas.(aid) in
   if arena.kind <> Nvm then invalid_arg "Memory.flush_arena: not an NVM arena";
   let c = Sim.costs () in
+  let total = ref (lines_per_arena * clean_line_flush_cost) in
   Sim.tick (lines_per_arena * clean_line_flush_cost);
   for line = 0 to lines_per_arena - 1 do
     if Bytes.get_uint8 arena.dirty line <> 0 then begin
       Sim.tick c.Sim.Costs.clwb_line;
+      total := !total + c.Sim.Costs.clwb_line;
       m.m_stats.clwb <- m.m_stats.clwb + 1;
       commit_line_to_media m arena line;
       flit_prune m arena line;
       clear_dirty m arena line
     end
   done;
+  tel_op m "flush_arena" !total;
   access_point m (-1) ~addr:(-1) ~write:true 0
 
 (* ---- crash and inspection (no simulated cost: harness-side) ---- *)
@@ -636,6 +701,7 @@ let flush_arena m aid =
     survives. The coherent view of every NVM arena is rebuilt from media;
     DRAM arenas are zeroed. *)
 let crash m =
+  tel_instant m "crash";
   for aid = 0 to m.m_count - 1 do
     let arena = m.m_arenas.(aid) in
     (match arena.kind with

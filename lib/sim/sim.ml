@@ -62,6 +62,17 @@ type _ Effect.t += Yield : unit Effect.t
 let the_sim : t option ref = ref None
 let the_fiber : fiber option ref = ref None
 
+(* Teach the telemetry layer (which sits below us in the dependency order)
+   how to read simulated time and identify the current track. Outside a
+   fiber both report 0, matching Registry's defaults. Recording telemetry
+   never ticks the clock or consumes simulated randomness, so an installed
+   registry cannot perturb a run. *)
+let () =
+  Telemetry.Registry.set_clock (fun () ->
+      match !the_fiber with Some f -> f.clock | None -> 0);
+  Telemetry.Registry.set_track (fun () ->
+      match !the_fiber with Some f -> f.fid | None -> 0)
+
 let instance () =
   match !the_sim with
   | Some s -> s
@@ -222,6 +233,9 @@ let spawn t ~socket ?(core = 0) ?(at = -1) f =
   t.next_fid <- t.next_fid + 1;
   t.live <- t.live + 1;
   Hashtbl.replace t.fibers fiber.fid fiber;
+  Telemetry.Registry.cur_add "sim.fibers_spawned" 1;
+  Telemetry.Registry.cur_name_track fiber.fid
+    (Printf.sprintf "fiber-%d (s%d.c%d)" fiber.fid socket core);
   schedule t ~fid:fiber.fid ~time:start_time (fun () ->
       the_fiber := Some fiber;
       run_under_handler t fiber f);
@@ -320,11 +334,14 @@ let tick cost =
   | None ->
     if t.preempt_prob > 0.0 && Rng.float t.rng < t.preempt_prob then begin
       f.clock <- f.clock + Rng.int t.rng t.quantum;
+      Telemetry.Registry.cur_add "sim.preemptions" 1;
       Effect.perform Yield
     end
     else
       match heap_peek t with
-      | Some e when e.time < f.clock -> Effect.perform Yield
+      | Some e when e.time < f.clock ->
+        Telemetry.Registry.cur_add "sim.switches" 1;
+        Effect.perform Yield
       | Some _ | None -> ()
 
 (** Force a scheduling point without advancing time. *)
@@ -336,6 +353,7 @@ let spin () =
   let f = self () in
   let s = instance () in
   f.clock <- f.clock + s.costs.Costs.spin;
+  Telemetry.Registry.cur_add "sim.spins" 1;
   (match s.spin_hook with Some h -> h f.fid | None -> ());
   Effect.perform Yield
 

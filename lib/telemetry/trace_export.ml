@@ -1,0 +1,83 @@
+(** Chrome trace-event export.
+
+    Writes the registry's event buffer in the JSON trace-event format
+    consumed by Perfetto (ui.perfetto.dev) and chrome://tracing: one
+    thread track per fiber, "X" complete events for spans, "i" instant
+    events for crashes/flushes, "M" metadata naming the tracks.
+
+    Timestamps in the format are microseconds; the simulator counts
+    nanoseconds, so we emit fractional µs with ns resolution
+    ([%.3f]). [displayTimeUnit] is set to "ns" so Perfetto's cursor
+    readout matches the simulator's clock. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let us ns = float_of_int ns /. 1000.0
+
+(** Render registry [t]'s events as a trace-event JSON string. *)
+let to_string t =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema_version\":%d,\"displayTimeUnit\":\"ns\",\n"
+       Json.schema_version);
+  Buffer.add_string b "\"traceEvents\":[\n";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b s
+  in
+  (* track-name metadata first: one process, one thread per fiber *)
+  emit
+    "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"sim\"}}";
+  List.iter
+    (fun tid ->
+      match Registry.track_name t tid with
+      | Some name ->
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+             tid (escape name))
+      | None -> ())
+    (Registry.track_ids t);
+  List.iter
+    (fun ev ->
+      match ev with
+      | Registry.Complete { ev_name; ev_track; ev_t0; ev_dur } ->
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"X\",\"name\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
+             (escape ev_name) ev_track (us ev_t0) (us ev_dur))
+      | Registry.Instant { ev_name; ev_track; ev_t } ->
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"i\",\"name\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\"}"
+             (escape ev_name) ev_track (us ev_t)))
+    (Registry.events t);
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+(** Write the trace to [path], self-validating against the trace schema
+    first. Returns [Error _] (and writes nothing) if the rendered JSON
+    fails its own validator — a writer bug, caught before CI does. *)
+let write t path =
+  let s = to_string t in
+  match Json.validate_string Json.validate_trace s with
+  | Error errs -> Error errs
+  | Ok () ->
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc;
+    Ok ()

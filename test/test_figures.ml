@@ -1,0 +1,82 @@
+(* Golden-file tests for the figure renderers.
+
+   The renderers in Harness.Figures are pure string functions over canned
+   results, so their exact output is pinned against files in
+   test/golden/. A formatting change (column width, alignment, header
+   text) shows up as a readable diff instead of silently reshaping every
+   table in EXPERIMENTS.md.
+
+   To regenerate after an intentional change:
+     dune exec test/test_figures.exe -- --regen && dune runtest *)
+
+open Harness
+
+(* Canned Figure-1-style sweep: throughputs chosen to exercise large and
+   small magnitudes plus a failed point (the "-" cell). *)
+let canned_sweep () =
+  Figures.render_sweep
+    ~systems:[ "PREP-V"; "GL" ]
+    [
+      (1, [ Some 1_517_000.; Some 1_489_333.4 ]);
+      (8, [ Some 9_102_500.; Some 2_210_000. ]);
+      (16, [ Some 14_800_666.7; None ]);
+      (23, [ None; Some 987.6 ]);
+    ]
+
+(* Canned Figure-3-style epsilon sweep. *)
+let canned_eps () =
+  Figures.render_eps_table
+    [
+      (50, Some 2_000_000., Some 400_000.);
+      (1600, Some 5_250_000., Some 4_999_999.6);
+      (12000, None, Some 5_100_000.);
+    ]
+
+let goldens =
+  [
+    ("golden/table1.txt", Figures.render_table1);
+    ("golden/sweep.txt", canned_sweep);
+    ("golden/eps_table.txt", canned_eps);
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let check_golden (path, render) () =
+  let got = render () in
+  let want =
+    try read_file path
+    with Sys_error _ ->
+      Alcotest.fail
+        (Printf.sprintf "golden file %s missing; regenerate with --regen" path)
+  in
+  if got <> want then
+    Alcotest.fail
+      (Printf.sprintf
+         "%s: rendering drifted from golden file\n--- golden ---\n%s--- got ---\n%s"
+         path want got)
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--regen" then
+    List.iter
+      (fun (path, render) ->
+        write_file path (render ());
+        Printf.printf "wrote %s\n" path)
+      goldens
+  else
+    Alcotest.run "figures"
+      [
+        ( "golden",
+          List.map
+            (fun (path, _ as g) ->
+              Alcotest.test_case path `Quick (check_golden g))
+            goldens );
+      ]
