@@ -46,7 +46,7 @@ let prep mk mode eps =
   mk
     ?log_size:(Some micro_scale.Figures.log_size)
     ?flush:None ?flit:None ?dist_rw:None ?log_mirror:None ?slot_bitmap:None
-    ?name:None ~mode ~epsilon:eps ()
+    ?detect:None ?name:None ~mode ~epsilon:eps ()
 
 (* One Bechamel test per table/figure of the paper. *)
 let bechamel_tests =

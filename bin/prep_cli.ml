@@ -96,6 +96,7 @@ module type SYSTEMS = sig
     ?dist_rw:bool ->
     ?log_mirror:bool ->
     ?slot_bitmap:bool ->
+    ?detect:bool ->
     ?name:string ->
     mode:Prep.Config.mode ->
     epsilon:int ->
@@ -134,6 +135,15 @@ let slot_bitmap_arg =
   in
   Arg.(value & flag & info [ "slot-bitmap" ] ~doc)
 
+let detect_arg =
+  let doc =
+    "Enable detectable execution (PREP-Durable only): per-thread persistent \
+     announce/response records, so after a crash every client can resolve \
+     whether its in-flight op took effect and re-submit exactly the lost \
+     ones."
+  in
+  Arg.(value & flag & info [ "detect" ] ~doc)
+
 let trace_arg =
   let doc =
     "Write a Chrome trace-event JSON file of the run (one track per fiber, \
@@ -142,7 +152,7 @@ let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let run_point ~profile system ds threads epsilon read_pct keys duration seed
-    flit dist_rw log_mirror slot_bitmap trace =
+    flit dist_rw log_mirror slot_bitmap detect trace =
   let workload_map, workload_pairs =
     ( (fun () -> Workload.map_workload ~read_pct ~key_range:keys ~prefill_n:(keys / 2)),
       fun pairs -> pairs ~prefill_n:(keys / 2) )
@@ -206,19 +216,22 @@ let run_point ~profile system ds threads epsilon read_pct keys duration seed
     | _ -> `Ok ()
   in
   let prep_sys (module Sy : SYSTEMS) =
-    match system with
-    | "gl" -> Ok Sy.global_lock
-    | "prep-v" -> Ok (Sy.prep ~log_size ~mode:Prep.Config.Volatile ~epsilon:1 ())
-    | "prep-buffered" ->
-      Ok (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap
-            ~mode:Prep.Config.Buffered ~epsilon ())
-    | "prep-durable" ->
-      Ok (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap
-            ~mode:Prep.Config.Durable ~epsilon ())
-    | "cx" -> Ok (Sy.cx ())
-    | "soft-1k" -> Ok (Experiment.soft ~nbuckets:1000)
-    | "soft-10k" -> Ok (Experiment.soft ~nbuckets:10_000)
-    | other -> Error (Printf.sprintf "unknown system %S" other)
+    if detect && system <> "prep-durable" then
+      Error "--detect requires --system prep-durable"
+    else
+      match system with
+      | "gl" -> Ok Sy.global_lock
+      | "prep-v" -> Ok (Sy.prep ~log_size ~mode:Prep.Config.Volatile ~epsilon:1 ())
+      | "prep-buffered" ->
+        Ok (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap
+              ~mode:Prep.Config.Buffered ~epsilon ())
+      | "prep-durable" ->
+        Ok (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
+              ~mode:Prep.Config.Durable ~epsilon ())
+      | "cx" -> Ok (Sy.cx ())
+      | "soft-1k" -> Ok (Experiment.soft ~nbuckets:1000)
+      | "soft-10k" -> Ok (Experiment.soft ~nbuckets:10_000)
+      | other -> Error (Printf.sprintf "unknown system %S" other)
   in
   match ds with
   | "hashmap" ->
@@ -258,7 +271,8 @@ let point_term ~profile =
     ret
       (const (run_point ~profile) $ system_arg $ ds_arg $ threads_arg
      $ epsilon_arg $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg
-     $ flit_arg $ dist_rw_arg $ log_mirror_arg $ slot_bitmap_arg $ trace_arg))
+     $ flit_arg $ dist_rw_arg $ log_mirror_arg $ slot_bitmap_arg $ detect_arg
+     $ trace_arg))
 
 let run_cmd =
   Cmd.v
@@ -410,10 +424,19 @@ let variant_arg =
 
 let fault_arg =
   let doc =
-    "Injected protocol fault: none, early-boundary, elide-ct-flush or \
-     mirror-read-recovery."
+    "Injected protocol fault: none, early-boundary, elide-ct-flush, \
+     mirror-read-recovery or response-before-log-persist (the latter \
+     requires --detect)."
   in
   Arg.(value & opt string "none" & info [ "fault" ] ~docv:"FAULT" ~doc)
+
+let parse_fault = function
+  | "none" -> Ok Prep.Config.No_fault
+  | "early-boundary" -> Ok Prep.Config.Early_boundary_advance
+  | "elide-ct-flush" -> Ok Prep.Config.Elide_ct_flush
+  | "mirror-read-recovery" -> Ok Prep.Config.Mirror_read_on_recovery
+  | "response-before-log-persist" -> Ok Prep.Config.Response_before_log_persist
+  | other -> Error (Printf.sprintf "unknown fault %S" other)
 
 let fuzz_threads_arg =
   Arg.(value & opt int 6 & info [ "threads"; "t" ] ~docv:"N" ~doc:"Worker threads (1-7).")
@@ -479,7 +502,7 @@ let fuzz_ds ds =
   | other -> Error (Printf.sprintf "unknown data structure %S" other)
 
 let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
-    crash_time no_crash bg_period flit dist_rw log_mirror slot_bitmap =
+    crash_time no_crash bg_period flit dist_rw log_mirror slot_bitmap detect =
   let variant_v =
     match variant with
     | "volatile" -> Ok Prep.Config.Volatile
@@ -487,15 +510,7 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
     | "durable" -> Ok Prep.Config.Durable
     | other -> Error (Printf.sprintf "unknown variant %S" other)
   in
-  let fault_v =
-    match fault with
-    | "none" -> Ok Prep.Config.No_fault
-    | "early-boundary" -> Ok Prep.Config.Early_boundary_advance
-    | "elide-ct-flush" -> Ok Prep.Config.Elide_ct_flush
-    | "mirror-read-recovery" -> Ok Prep.Config.Mirror_read_on_recovery
-    | other -> Error (Printf.sprintf "unknown fault %S" other)
-  in
-  match (variant_v, fault_v, fuzz_ds ds) with
+  match (variant_v, parse_fault fault, fuzz_ds ds) with
   | Error m, _, _ | _, Error m, _ | _, _, Error m -> `Error (true, m)
   | Ok mode, Ok fault, Ok ((module Ds), gen_op) ->
     let module F = Check.Fuzz.Make (Ds) in
@@ -508,6 +523,10 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
       mode = Prep.Config.Volatile && (crash_op <> None || crash_time <> None)
     then
       `Error (true, "volatile episodes cannot crash: drop the crash flag")
+    else if detect && mode <> Prep.Config.Durable then
+      `Error (true, "--detect requires --variant durable")
+    else if fault = Prep.Config.Response_before_log_persist && not detect then
+      `Error (true, "--fault response-before-log-persist requires --detect")
     else
     let template =
       {
@@ -533,8 +552,8 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
        (* replay a single, fully specified episode (shrunk repro) *)
        let ep = { template with crash } in
        let out =
-         F.run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~mode ~fault
-           ~gen_op ep
+         F.run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~mode
+           ~fault ~gen_op ep
        in
        Printf.printf
          "episode %s: crashed=%b logged=%d completed=%d applied=%d\n"
@@ -555,8 +574,8 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
        end
      | None ->
        let res =
-         F.fuzz ~flit ~dist_rw ~log_mirror ~slot_bitmap ~mode ~fault ~gen_op
-           ~template ~iters ~log:print_endline ()
+         F.fuzz ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~mode ~fault
+           ~gen_op ~template ~iters ~log:print_endline ()
        in
        Printf.printf "%d episodes (%d crashed), %d failing\n"
          res.Check.Fuzz.episodes res.Check.Fuzz.crashes
@@ -566,13 +585,13 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
         | first :: _ ->
           print_endline "shrinking first failure...";
           let small =
-            F.shrink ~flit ~dist_rw ~log_mirror ~slot_bitmap ~mode ~fault
-              ~gen_op first.Check.Fuzz.episode
+            F.shrink ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~mode
+              ~fault ~gen_op first.Check.Fuzz.episode
           in
           Printf.printf "shrunk to: %s\nreplay with:\n  %s\n"
             (Fmt.str "%a" Check.Fuzz.pp_episode small)
             (Check.Fuzz.repro_command ~flit ~dist_rw ~log_mirror ~slot_bitmap
-               ~mode ~fault ~ds small);
+               ~detect ~mode ~fault ~ds small);
           `Error (false, "durable-linearizability violations found")))
 
 let fuzz_cmd =
@@ -587,7 +606,7 @@ let fuzz_cmd =
        $ fuzz_epsilon_arg $ fuzz_log_size_arg $ fuzz_ops_arg $ fuzz_seed_arg
        $ fault_arg $ crash_op_arg $ crash_time_arg $ no_crash_arg
        $ bg_period_arg $ flit_arg $ dist_rw_arg $ log_mirror_arg
-       $ slot_bitmap_arg))
+       $ slot_bitmap_arg $ detect_arg))
 
 (* ---- explore ---- *)
 
@@ -657,8 +676,8 @@ let frontier_arg =
   Arg.(value & opt int 0 & info [ "frontier" ] ~docv:"MASK" ~doc)
 
 let explore variant ds threads ops epsilon log_size seed sockets cores fault
-    flit dist_rw log_mirror slot_bitmap max_schedules max_states max_steps
-    frontier_lines no_prune replay crash_step frontier =
+    flit dist_rw log_mirror slot_bitmap detect max_schedules max_states
+    max_steps frontier_lines no_prune replay crash_step frontier =
   let variant_v =
     match variant with
     | "volatile" -> Ok Prep.Config.Volatile
@@ -666,16 +685,13 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
     | "durable" -> Ok Prep.Config.Durable
     | other -> Error (Printf.sprintf "unknown variant %S" other)
   in
-  let fault_v =
-    match fault with
-    | "none" -> Ok Prep.Config.No_fault
-    | "early-boundary" -> Ok Prep.Config.Early_boundary_advance
-    | "elide-ct-flush" -> Ok Prep.Config.Elide_ct_flush
-    | "mirror-read-recovery" -> Ok Prep.Config.Mirror_read_on_recovery
-    | other -> Error (Printf.sprintf "unknown fault %S" other)
-  in
-  match (variant_v, fault_v, fuzz_ds ds) with
+  match (variant_v, parse_fault fault, fuzz_ds ds) with
   | Error m, _, _ | _, Error m, _ | _, _, Error m -> `Error (true, m)
+  | _, _, _ when detect && variant <> "durable" ->
+    `Error (true, "--detect requires --variant durable")
+  | _, Ok f, _ when f = Prep.Config.Response_before_log_persist && not detect
+    ->
+    `Error (true, "--fault response-before-log-persist requires --detect")
   | Ok mode, Ok fault_v, Ok ((module Ds), gen_op) ->
     let module E = Check.Explore.Make (Ds) in
     let scope =
@@ -711,6 +727,7 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
             (if dist_rw then " --dist-rw" else "");
             (if log_mirror then " --log-mirror" else "");
             (if slot_bitmap then " --slot-bitmap" else "");
+            (if detect then " --detect" else "");
           ]
       in
       let repro_command decisions crash =
@@ -730,8 +747,8 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
         let decisions = Check.Explore.decisions_of_string trace_str in
         let crash = Option.map (fun s -> (s, frontier)) crash_step in
         let violations, crashed, logged, completed, applied =
-          E.replay ~flit ~dist_rw ~log_mirror ~slot_bitmap ~mode ~fault:fault_v ~gen_op
-            ~scope ~decisions ?crash ()
+          E.replay ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~mode
+            ~fault:fault_v ~gen_op ~scope ~decisions ?crash ()
         in
         Printf.printf "replay: crashed=%b logged=%d completed=%d applied=%d\n"
           crashed logged completed applied;
@@ -749,8 +766,8 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
         end
       | None ->
         let res =
-          E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap ~budget ~mode
-            ~fault:fault_v ~gen_op ~scope ()
+          E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~budget
+            ~mode ~fault:fault_v ~gen_op ~scope ()
         in
         let s = res.Check.Explore.stats in
         Printf.printf
@@ -804,9 +821,194 @@ let explore_cmd =
         (const explore $ variant_arg $ ds_arg $ exp_threads_arg $ exp_ops_arg
        $ exp_epsilon_arg $ exp_log_size_arg $ exp_seed_arg $ exp_sockets_arg
        $ exp_cores_arg $ fault_arg $ flit_arg $ dist_rw_arg $ log_mirror_arg
-       $ slot_bitmap_arg $ max_schedules_arg $ max_states_arg $ max_steps_arg
+       $ slot_bitmap_arg $ detect_arg $ max_schedules_arg $ max_states_arg $ max_steps_arg
        $ frontier_lines_arg $ no_prune_arg $ replay_arg $ crash_step_arg
        $ frontier_arg))
+
+(* ---- session ---- *)
+
+let session_threads_arg =
+  Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"N"
+         ~doc:"Client threads (1-7).")
+
+let session_ops_arg =
+  Arg.(value & opt int 40 & info [ "ops" ] ~docv:"N"
+         ~doc:"Scripted update operations per client.")
+
+let session_epsilon_arg =
+  Arg.(value & opt int 8 & info [ "epsilon"; "e" ] ~docv:"EPS"
+         ~doc:"Flush boundary step.")
+
+let session_log_size_arg =
+  Arg.(value & opt int 1024 & info [ "log-size" ] ~docv:"N"
+         ~doc:"Shared log entries.")
+
+let session_crashes_arg =
+  Arg.(value & opt int 3 & info [ "crashes" ] ~docv:"N"
+         ~doc:"Power failures to inject per session.")
+
+let session_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
+
+let sessions_arg =
+  Arg.(value & opt int 1 & info [ "sessions" ] ~docv:"N"
+         ~doc:"Independent sessions on consecutive seeds.")
+
+let session_json_arg =
+  let doc = "Write a bench-schema JSON artifact of the campaign to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let json_of_outcome ~ds ~threads (o : Session.outcome) =
+  let st = o.Session.mem_stats in
+  let counters =
+    [ ("seed", 0); ("epochs", List.length o.Session.epochs);
+      ("crashes", o.Session.crashes_injected);
+      ("submitted", o.Session.submitted);
+      ("resubmitted", o.Session.resubmitted);
+      ("completed", o.Session.completed); ("lost", o.Session.lost);
+      ("duplicated", o.Session.duplicated);
+      ("violations", List.length o.Session.violations) ]
+  in
+  let json_counters =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) counters)
+    ^ "}"
+  in
+  Printf.sprintf
+    {|{"system": %S, "workload": %S, "workers": %d, "ops": %d, "duration_ns": %d, "throughput": %.1f, "wbinvd": %d, "clwb": %d, "clwb_elided": %d, "clwb_coalesced": %d, "clflush": %d, "clflush_elided": %d, "sfence": %d, "sfence_elided": %d, "bg_flushes": %d, "counters": %s}|}
+    "PREP-Durable/det" ("session " ^ ds) threads o.Session.history_len
+    o.Session.duration_ns
+    (float_of_int o.Session.history_len
+    *. 1e9
+    /. float_of_int o.Session.duration_ns)
+    st.Nvm.Memory.wbinvd st.Nvm.Memory.clwb st.Nvm.Memory.clwb_elided
+    st.Nvm.Memory.clwb_coalesced st.Nvm.Memory.clflush
+    st.Nvm.Memory.clflush_elided st.Nvm.Memory.sfence
+    st.Nvm.Memory.sfence_elided st.Nvm.Memory.bg_flushes json_counters
+
+let session ds threads ops epsilon log_size crashes seed sessions bg_period
+    detect json =
+  match fuzz_ds ds with
+  | Error m -> `Error (true, m)
+  | Ok ((module Ds), gen_op) ->
+    let module S = Session.Make (Ds) in
+    if threads < 1 || threads > S.max_threads then
+      `Error
+        ( true,
+          Printf.sprintf "--threads must be between 1 and %d (got %d)"
+            S.max_threads threads )
+    else begin
+      let cfg =
+        {
+          Session.default_config with
+          Session.seed;
+          threads;
+          ops_per_client = ops;
+          epsilon;
+          log_size;
+          crashes;
+          detect;
+          bg_period;
+        }
+      in
+      let outcomes = S.campaign cfg ~gen_op ~sessions in
+      List.iteri
+        (fun i (o : Session.outcome) ->
+          Printf.printf "session %d (seed %d):\n" i (seed + i);
+          List.iter
+            (fun (e : Session.epoch_info) ->
+              Printf.printf
+                "  epoch %d: %s, %d re-submitted\n" e.Session.epoch
+                (if e.Session.crashed then "crashed" else "quiescent")
+                e.Session.resubmitted)
+            o.Session.epochs;
+          Printf.printf
+            "  submitted %d  applied %d  completed %d/%d  lost %d  \
+             duplicated %d  violations %d\n"
+            o.Session.submitted o.Session.history_len o.Session.completed
+            (threads * ops) o.Session.lost o.Session.duplicated
+            (List.length o.Session.violations);
+          List.iter
+            (fun v ->
+              Printf.printf "  VIOLATION: %s\n"
+                (Check.Durable_lin.violation_to_string v))
+            o.Session.violations)
+        outcomes;
+      let total f = List.fold_left (fun a o -> a + f o) 0 outcomes in
+      let crashes_tot = total (fun o -> o.Session.crashes_injected) in
+      let resub = total (fun o -> o.Session.resubmitted) in
+      let lost = total (fun o -> o.Session.lost) in
+      let dup = total (fun o -> o.Session.duplicated) in
+      let viol = total (fun o -> List.length o.Session.violations) in
+      (match json with
+       | None -> ()
+       | Some path ->
+         let contents =
+           Printf.sprintf
+             "{\n  \"schema_version\": %d,\n\
+             \  \"config\": {\"ds\": %S, \"threads\": %d, \"ops\": %d, \
+              \"epsilon\": %d, \"log_size\": %d, \"crashes\": %d, \"seed\": \
+              %d, \"detect\": %b},\n\
+             \  \"sessions\": [\n    %s\n  ]\n}\n"
+             Telemetry.Json.schema_version ds threads ops epsilon log_size
+             crashes seed detect
+             (String.concat ",\n    "
+                (List.map (json_of_outcome ~ds ~threads) outcomes));
+         in
+         let oc = open_out path in
+         output_string oc contents;
+         close_out oc;
+         (match Telemetry.Json.(validate_string validate_bench contents) with
+          | Ok () -> Printf.printf "artifact: %s\n" path
+          | Error errs ->
+            List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) errs;
+            Printf.eprintf
+              "session FAILED: %s does not validate against the bench schema\n"
+              path;
+            exit 1));
+      if detect then
+        if lost = 0 && dup = 0 && viol = 0 then begin
+          Printf.printf
+            "exactly-once: PASS (%d clients, %d crashes, %d resubmitted, 0 \
+             lost, 0 duplicated)\n"
+            (threads * sessions) crashes_tot resub;
+          `Ok ()
+        end
+        else begin
+          Printf.printf
+            "exactly-once: FAIL (%d lost, %d duplicated, %d violations)\n"
+            lost dup viol;
+          `Error (false, "exactly-once contract violated")
+        end
+      else if dup = 0 && viol = 0 then begin
+        Printf.printf
+          "baseline (no --detect): %d crashes, %d lost, 0 duplicated — \
+           losses are the gap --detect closes\n"
+          crashes_tot lost;
+        `Ok ()
+      end
+      else begin
+        Printf.printf
+          "baseline (no --detect): FAIL (%d duplicated, %d violations)\n" dup
+          viol;
+        `Error (false, "durable-linearizability violations found")
+      end
+    end
+
+let session_cmd =
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:
+         "Crash-restart-continue sessions: scripted clients survive injected \
+          power failures, resume via resolve under --detect, and the \
+          cumulative history is checked for exactly-once application")
+    Term.(
+      ret
+        (const session $ ds_arg $ session_threads_arg $ session_ops_arg
+       $ session_epsilon_arg $ session_log_size_arg $ session_crashes_arg
+       $ session_seed_arg $ sessions_arg $ bg_period_arg $ detect_arg
+       $ session_json_arg))
 
 let () =
   let info =
@@ -817,4 +1019,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ bench_cmd; run_cmd; profile_cmd; validate_cmd; crash_cmd;
-            fuzz_cmd; explore_cmd ]))
+            fuzz_cmd; explore_cmd; session_cmd ]))

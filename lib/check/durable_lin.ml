@@ -27,6 +27,19 @@ type violation =
   | Out_of_order of { before : int; after : int }
       (** recovery applied [after] then [before] *)
   | State_mismatch of { expected : int list; recovered : int list }
+  | Duplicate_application of { tid : int; seqno : int }
+      (** exactly-once violation: client op (tid, seqno) took effect more
+          than once across the resubmission-closed history *)
+  | Lost_client_op of { tid : int; seqno : int }
+      (** exactly-once violation: a scripted client op never took effect
+          even though detectability let the client re-submit losses *)
+  | Resolve_mismatch of { tid : int; resolved : int; applied : int }
+      (** the recovery-side resolve verdict disagrees with ghost truth:
+          the response covers seqno [resolved] but the recovered state's
+          latest applied op for [tid] is [applied]. [resolved] ahead means
+          a false Completed (the client would skip a lost op); [resolved]
+          behind means the client would re-submit an op that survived
+          (duplicate on resubmission). *)
 
 let pp_violation ppf = function
   | Loss_bound_exceeded { lost; bound } ->
@@ -45,8 +58,43 @@ let pp_violation ppf = function
       expected
       Fmt.(list ~sep:semi int)
       recovered
+  | Duplicate_application { tid; seqno } ->
+    Fmt.pf ppf "exactly-once violation: op (tid %d, seq %d) applied twice"
+      tid seqno
+  | Lost_client_op { tid; seqno } ->
+    Fmt.pf ppf "exactly-once violation: client op (tid %d, seq %d) lost" tid
+      seqno
+  | Resolve_mismatch { tid; resolved; applied } ->
+    Fmt.pf ppf
+      "resolve mismatch for tid %d: response covers seq %d but latest \
+       applied seq is %d"
+      tid resolved applied
 
 let violation_to_string v = Fmt.str "%a" pp_violation v
+
+(** Judge each thread's post-recovery [Prep_uc.resolve] verdict against
+    ghost truth. [resolutions] pairs thread ids with their verdicts;
+    [applied_seqno tid] is the latest client seqno of [tid] present in the
+    recovered state (0 if none), which the caller computes from the tagged
+    ghost trace. The invariant (clean protocol, loss bound 0): the verdict
+    names exactly the frontier of what survived — [Completed s] iff [s] is
+    the latest applied, [Lost a] iff everything before [a] but not [a]
+    survived, [Unannounced] iff nothing of the thread's survived. *)
+let check_resolutions ~resolutions ~applied_seqno =
+  List.filter_map
+    (fun (tid, r) ->
+      let m = applied_seqno tid in
+      match (r : Prep.Prep_uc.resolution) with
+      | Prep.Prep_uc.Completed { seqno; _ } when seqno <> m ->
+        Some (Resolve_mismatch { tid; resolved = seqno; applied = m })
+      | Prep.Prep_uc.Lost { seqno } when m >= seqno ->
+        (* the op resolve told the client to re-submit actually survived:
+           resubmission would apply it twice *)
+        Some (Resolve_mismatch { tid; resolved = seqno - 1; applied = m })
+      | Prep.Prep_uc.Unannounced when m > 0 ->
+        Some (Resolve_mismatch { tid; resolved = 0; applied = m })
+      | _ -> None)
+    resolutions
 
 module Make (Model : Seqds.Ds_intf.MODEL) = struct
   (** Check one recovery. [applied] is the recovery report's list of trace
@@ -96,6 +144,42 @@ module Make (Model : Seqds.Ds_intf.MODEL) = struct
           let e = Prep.Trace.get trace i in
           fst (Model.apply m ~op:e.Prep.Trace.op ~args:e.Prep.Trace.args))
         state applied
+    in
+    let expected = Model.snapshot state in
+    if expected <> recovered_snapshot then
+      add (State_mismatch { expected; recovered = recovered_snapshot });
+    List.rev !violations
+
+  (** Exactly-once check over a resubmission-closed cumulative history.
+
+      [history] is every application across every incarnation of a
+      crash-restart-continue session, in application order, as
+      [(tid, seqno, op, args)]; seqno 0 marks untagged (prefill) entries,
+      exempt from the tagging checks. [scripted] is every [(tid, seqno)]
+      the clients were scripted to apply. With detectability on, clients
+      re-submit exactly what [resolve] reports lost, so the closed history
+      must contain each scripted op exactly once — loss bound 0 — and the
+      final structure must equal the model's replay of the history. *)
+  let check_exactly_once ~history ~scripted ~recovered_snapshot () =
+    let violations = ref [] in
+    let add v = violations := v :: !violations in
+    let seen = Hashtbl.create 256 in
+    List.iter
+      (fun (tid, seqno, _, _) ->
+        if seqno > 0 then
+          if Hashtbl.mem seen (tid, seqno) then
+            add (Duplicate_application { tid; seqno })
+          else Hashtbl.replace seen (tid, seqno) ())
+      history;
+    List.iter
+      (fun (tid, seqno) ->
+        if not (Hashtbl.mem seen (tid, seqno)) then
+          add (Lost_client_op { tid; seqno }))
+      scripted;
+    let state =
+      List.fold_left
+        (fun m (_, _, op, args) -> fst (Model.apply m ~op ~args))
+        Model.empty history
     in
     let expected = Model.snapshot state in
     if expected <> recovered_snapshot then

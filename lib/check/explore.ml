@@ -251,22 +251,52 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
           (h2 e.Prep.Trace.op
              (h2
                 (Array.fold_left h2 0 e.Prep.Trace.args)
-                (if e.Prep.Trace.completed then 1 else 0)))
+                (h2
+                   (if e.Prep.Trace.completed then 1 else 0)
+                   (h2 e.Prep.Trace.tid e.Prep.Trace.seqno))))
     done;
     !h
 
+  (* latest applied client seqno per thread, from the tagged ghost trace *)
+  let applied_seqno_fn trace applied =
+    let tbl : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun i ->
+        let e = Prep.Trace.get trace i in
+        if e.Prep.Trace.seqno > 0 then
+          let cur =
+            Option.value ~default:0 (Hashtbl.find_opt tbl e.Prep.Trace.tid)
+          in
+          if e.Prep.Trace.seqno > cur then
+            Hashtbl.replace tbl e.Prep.Trace.tid e.Prep.Trace.seqno)
+      applied;
+    fun tid -> Option.value ~default:0 (Hashtbl.find_opt tbl tid)
+
   (* Run recovery for [uc] on the memory's *current* (post-crash) state in
      a fresh nested timed simulation, preserving and restoring the global
-     allocator-context table around it. Returns (report, snapshot). *)
-  let run_recovery ~scope uc =
+     allocator-context table around it. Returns
+     (report, snapshot, resolutions) — resolutions is the per-thread
+     [Uc.resolve] verdict list, empty unless [detect]. *)
+  let run_recovery ~scope ~detect uc =
     let saved_ctx = Hashtbl.copy Context.table in
     Context.reset ();
-    let sim2 = Sim.create ~seed:97L (topology scope) in
+    let topo = topology scope in
+    let sim2 = Sim.create ~seed:97L topo in
     let out = ref None in
     ignore
       (Sim.spawn sim2 ~socket:0 (fun () ->
            let uc', report = Uc.recover uc in
-           out := Some (report, Uc.snapshot uc')));
+           let resolutions =
+             if not detect then []
+             else
+               List.init scope.threads (fun w ->
+                   let socket, core = Sim.Topology.place topo w in
+                   let tid =
+                     (socket * topo.Sim.Topology.cores_per_socket) + core
+                   in
+                   (tid, Uc.resolve uc' ~tid))
+           in
+           out := Some (report, Uc.snapshot uc', resolutions)));
     (match Sim.run sim2 () with
      | `Done -> ()
      | `Cut _ -> failwith "Explore: recovery did not finish");
@@ -278,8 +308,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       small-scope workload. Stops at the first violation (it carries a
       replayable decision trace) or when the space/budget is exhausted. *)
   let explore ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
-      ?(slot_bitmap = false) ?(budget = default_budget) ~mode ~fault ~gen_op
-      ~scope () =
+      ?(slot_bitmap = false) ?(detect = false) ?(budget = default_budget)
+      ~mode ~fault ~gen_op ~scope () =
     if scope.threads < 1 || scope.threads > max_threads scope then
       invalid_arg "Explore: thread count out of range";
     let topo = topology scope in
@@ -379,7 +409,10 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         let uc_ghost =
           match !uc_ref with
           | Some uc ->
-            h2 (if uc.Uc.stop_flag then 1 else 0) (trace_hash uc.Uc.trace)
+            h2
+              (if uc.Uc.stop_flag then 1 else 0)
+              (h2 (trace_hash uc.Uc.trace)
+                 (Array.fold_left h2 0 uc.Uc.next_seq))
           | None -> 0
         in
         h2 !done_count uc_ghost
@@ -419,11 +452,16 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         Memory.crash mem;
         let trace = Uc.trace uc in
         let completed = Prep.Trace.completed_indexes trace in
-        let report, recovered_snapshot = run_recovery ~scope uc in
+        let report, recovered_snapshot, resolutions =
+          run_recovery ~scope ~detect uc
+        in
         let violations =
           Dl.check ~trace ~prefill:(Uc.prefill_ops uc)
             ~applied:report.Prep.Prep_uc.applied ~completed ~recovered_snapshot
             ~loss_bound ()
+          @ Durable_lin.check_resolutions ~resolutions
+              ~applied_seqno:
+                (applied_seqno_fn trace report.Prep.Prep_uc.applied)
         in
         let lost = report.Prep.Prep_uc.lost_completed in
         if lost > stats.max_completed_loss then stats.max_completed_loss <- lost;
@@ -639,7 +677,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
              let cfg =
                Prep.Config.make ~mode ~log_size:scope.log_size
                  ~epsilon:scope.epsilon ~flit ~dist_rw ~log_mirror ~slot_bitmap
-                 ~fault ~workers:scope.threads ()
+                 ~detect ~fault ~workers:scope.threads ()
              in
              let uc = Uc.create mem roots cfg in
              uc_ref := Some uc;
@@ -752,8 +790,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       check. Everything is deterministic: replaying a violation's trace
       reproduces its violation. *)
   let replay ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
-      ?(slot_bitmap = false) ~mode ~fault ~gen_op ~scope ~decisions ?crash ()
-      =
+      ?(slot_bitmap = false) ?(detect = false) ~mode ~fault ~gen_op ~scope
+      ~decisions ?crash () =
     let topo = topology scope in
     let beta = topo.Sim.Topology.cores_per_socket in
     let loss_bound =
@@ -790,7 +828,10 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       let uc_ghost =
         match !uc_ref with
         | Some uc ->
-          h2 (if uc.Uc.stop_flag then 1 else 0) (trace_hash uc.Uc.trace)
+          h2
+            (if uc.Uc.stop_flag then 1 else 0)
+            (h2 (trace_hash uc.Uc.trace)
+               (Array.fold_left h2 0 uc.Uc.next_seq))
         | None -> 0
       in
       h2 !done_count uc_ghost
@@ -849,7 +890,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
            let cfg =
              Prep.Config.make ~mode ~log_size:scope.log_size
                ~epsilon:scope.epsilon ~flit ~dist_rw ~log_mirror ~slot_bitmap
-               ~fault ~workers:scope.threads ()
+               ~detect ~fault ~workers:scope.threads ()
            in
            let uc = Uc.create mem roots cfg in
            uc_ref := Some uc;
@@ -887,15 +928,25 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       ignore
         (Sim.spawn sim2 ~socket:0 (fun () ->
              let uc', report = Uc.recover uc in
-             out := Some (report, Uc.snapshot uc')));
+             let resolutions =
+               if not detect then []
+               else
+                 List.init scope.threads (fun w ->
+                     let socket, core = Sim.Topology.place topo w in
+                     let tid = (socket * beta) + core in
+                     (tid, Uc.resolve uc' ~tid))
+             in
+             out := Some (report, Uc.snapshot uc', resolutions)));
       (match Sim.run sim2 () with
        | `Done -> ()
        | `Cut _ -> failwith "Explore.replay: recovery did not finish");
-      let report, recovered_snapshot = Option.get !out in
+      let report, recovered_snapshot, resolutions = Option.get !out in
       let violations =
         Dl.check ~trace ~prefill:(Uc.prefill_ops uc)
           ~applied:report.Prep.Prep_uc.applied ~completed ~recovered_snapshot
           ~loss_bound ()
+        @ Durable_lin.check_resolutions ~resolutions
+            ~applied_seqno:(applied_seqno_fn trace report.Prep.Prep_uc.applied)
       in
       ( violations,
         true,

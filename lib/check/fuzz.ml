@@ -69,16 +69,17 @@ let variant_name = function
 
 (** A copy-pasteable replay of [ep]: runs exactly one episode. *)
 let repro_command ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
-    ?(slot_bitmap = false) ~mode ~fault ~ds ep =
+    ?(slot_bitmap = false) ?(detect = false) ~mode ~fault ~ds ep =
   Printf.sprintf
     "dune exec bin/prep_cli.exe -- fuzz --variant %s --ds %s --threads %d \
-     --epsilon %d --log-size %d --ops %d --seed %d --fault %s%s%s%s%s %s"
+     --epsilon %d --log-size %d --ops %d --seed %d --fault %s%s%s%s%s%s %s"
     (variant_name mode) ds ep.threads ep.epsilon ep.log_size ep.ops_per_worker
     ep.workload_seed (Prep.Config.fault_name fault)
     (if flit then " --flit" else "")
     (if dist_rw then " --dist-rw" else "")
     (if log_mirror then " --log-mirror" else "")
     (if slot_bitmap then " --slot-bitmap" else "")
+    (if detect then " --detect" else "")
     (crash_flag ep.crash)
 
 let pp_episode ppf ep =
@@ -99,9 +100,11 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
   (** Run one episode: workload, optional crash, recovery, checks.
       [gen_op] draws one (op, args) pair from the fiber's rng. [flit],
       [dist_rw], [log_mirror] and [slot_bitmap] fuzz the corresponding
-      gated optimisation instead of the baseline. *)
+      gated optimisation instead of the baseline; [detect] additionally
+      drives the announce/response protocol and, after a crash, judges
+      every thread's [resolve] verdict against ghost truth. *)
   let run_episode ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
-      ?(slot_bitmap = false) ~mode ~fault ~gen_op ep =
+      ?(slot_bitmap = false) ?(detect = false) ~mode ~fault ~gen_op ep =
     if ep.threads < 1 || ep.threads > max_threads then
       invalid_arg "Fuzz: thread count out of range";
     let sim =
@@ -122,7 +125,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
            let roots = Roots.make mem in
            let cfg =
              Prep.Config.make ~mode ~log_size:ep.log_size ~epsilon:ep.epsilon
-               ~flit ~dist_rw ~log_mirror ~slot_bitmap ~fault
+               ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~fault
                ~workers:ep.threads ()
            in
            let uc = Uc.create mem roots cfg in
@@ -203,11 +206,19 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         ignore
           (Sim.spawn sim2 ~socket:0 (fun () ->
                let uc', report = Uc.recover uc in
-               out := Some (report, Uc.snapshot uc')));
+               let resolutions =
+                 if not detect then []
+                 else
+                   List.init ep.threads (fun w ->
+                       let socket, core = Sim.Topology.place topology w in
+                       let tid = (socket * beta) + core in
+                       (tid, Uc.resolve uc' ~tid))
+               in
+               out := Some (report, Uc.snapshot uc', resolutions)));
         (match Sim.run sim2 () with
          | `Done -> ()
          | `Cut _ -> failwith "Fuzz: recovery did not finish");
-        let report, snap = Option.get !out in
+        let report, snap, resolutions = Option.get !out in
         let loss_bound =
           if mode = Prep.Config.Durable then 0 else ep.epsilon + beta - 1
         in
@@ -215,6 +226,29 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
           Dl.check ~trace ~prefill:(Uc.prefill_ops uc)
             ~applied:report.Prep.Prep_uc.applied
             ~completed ~recovered_snapshot:snap ~loss_bound ()
+        in
+        let violations =
+          if not detect then violations
+          else
+            (* resolve-consistency: each thread's verdict must name exactly
+               the frontier of what the recovered state contains *)
+            let applied_seqno =
+              let tbl = Hashtbl.create 16 in
+              List.iter
+                (fun i ->
+                  let e = Prep.Trace.get trace i in
+                  if e.Prep.Trace.seqno > 0 then
+                    let cur =
+                      Option.value ~default:0
+                        (Hashtbl.find_opt tbl e.Prep.Trace.tid)
+                    in
+                    if e.Prep.Trace.seqno > cur then
+                      Hashtbl.replace tbl e.Prep.Trace.tid e.Prep.Trace.seqno)
+                report.Prep.Prep_uc.applied;
+              fun tid -> Option.value ~default:0 (Hashtbl.find_opt tbl tid)
+            in
+            violations
+            @ Durable_lin.check_resolutions ~resolutions ~applied_seqno
         in
         {
           crashed = true;
@@ -253,9 +287,11 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       alternating between memory-operation-index and simulated-time
       injection. Deterministic in [template]. *)
   let fuzz ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
-      ?(slot_bitmap = false) ~mode ~fault ~gen_op ~template ~iters
-      ?(log = fun _ -> ()) () =
-    let run_episode = run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap in
+      ?(slot_bitmap = false) ?(detect = false) ~mode ~fault ~gen_op ~template
+      ~iters ?(log = fun _ -> ()) () =
+    let run_episode =
+      run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
+    in
     let calib =
       run_episode ~mode ~fault ~gen_op { template with crash = No_crash }
     in
@@ -293,10 +329,10 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       crash points, since fewer threads shift the schedule), then an
       earlier crash point, then less work per worker. *)
   let shrink ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
-      ?(slot_bitmap = false) ~mode ~fault ~gen_op ep =
+      ?(slot_bitmap = false) ?(detect = false) ~mode ~fault ~gen_op ep =
     let fails ep =
-      (run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~mode ~fault
-         ~gen_op ep).violations
+      (run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~mode
+         ~fault ~gen_op ep).violations
       <> []
     in
     let scale_crash ep num den =

@@ -42,12 +42,23 @@ type fault =
           power failure it reads back zeroed; any durably completed
           operations sitting between the stable replica's tail and the
           completedTail are silently dropped from the recovered prefix *)
+  | Response_before_log_persist
+      (** detectability mode only: persist each response slot (CLFLUSH,
+          straight to media) while *hoisting* the log-entry fences to a
+          single fence after the responses — the plausible "one fence at
+          the end is enough" batching bug. In the window between a
+          response reaching media and the final fence draining the
+          entries' write-backs, a crash leaves a durable response whose
+          log entry never made it: recovery then reports the op completed
+          although the recovered state lost it, breaking the exactly-once
+          contract the announce/response protocol exists to provide *)
 
 let fault_name = function
   | No_fault -> "none"
   | Early_boundary_advance -> "early-boundary"
   | Elide_ct_flush -> "elide-ct-flush"
   | Mirror_read_on_recovery -> "mirror-read-recovery"
+  | Response_before_log_persist -> "response-before-log-persist"
 
 type t = {
   mode : mode;
@@ -75,6 +86,15 @@ type t = {
       (** per-replica slot-occupancy summary word: [execute_update] sets
           its core's bit when publishing a slot and the combiner collects
           only set bits, turning the O(β) slot sweep into O(occupied). *)
+  detect : bool;
+      (** detectable execution (durable mode only): every update is
+          announced to a per-thread persistent record (op descriptor +
+          monotonic client seqno, flushed before the flat-combining slot
+          is published) and its result is persisted to a per-thread
+          response slot by the combiner before the completedTail may
+          advance past it. After a crash, [Prep_uc.resolve] tells each
+          client whether its last announced op survived, so clients
+          re-submit exactly the lost ones — exactly-once end to end. *)
   fault : fault;
 }
 
@@ -90,11 +110,18 @@ let validate t ~beta =
     invalid_arg "Config: epsilon must be positive";
   if t.workers < 1 then invalid_arg "Config: need at least one worker";
   if t.slot_bitmap && beta > 62 then
-    invalid_arg "Config: slot bitmap supports at most 62 slots per replica"
+    invalid_arg "Config: slot bitmap supports at most 62 slots per replica";
+  if t.detect && t.mode <> Durable then
+    invalid_arg
+      "Config: detectable execution requires durable mode (a buffered \
+       checkpoint cannot be gated on response persistence)";
+  if t.fault = Response_before_log_persist && not t.detect then
+    invalid_arg
+      "Config: response-before-log-persist fault only exists under --detect"
 
 let make ?(mode = Buffered) ?(log_size = 65536) ?(epsilon = 1024)
     ?(flush = Wbinvd) ?(flit = false) ?(dist_rw = false)
-    ?(log_mirror = false) ?(slot_bitmap = false) ?(fault = No_fault)
-    ~workers () =
+    ?(log_mirror = false) ?(slot_bitmap = false) ?(detect = false)
+    ?(fault = No_fault) ~workers () =
   { mode; log_size; epsilon; workers; flush; flit; dist_rw; log_mirror;
-    slot_bitmap; fault }
+    slot_bitmap; detect; fault }

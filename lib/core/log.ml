@@ -1,7 +1,11 @@
 (** The shared circular operation log (paper §3, §4.1, Table 1).
 
     Each entry occupies one cache line:
-    [0] emptyBit | [1] op | [2] argc | [3..5] args | [6..7] unused.
+    [0] emptyBit | [1] op | [2] argc | [3..5] args | [6] tid | [7] seqno.
+    Words 6–7 are zero unless detectable execution is on, in which case the
+    combiner tags each entry with the submitting thread and its client
+    seqno before publishing, so recovery's replay can reconcile response
+    slots from the log itself.
 
     The various indexes (logTail, localTail, completedTail, logMin) are
     monotonically increasing; the entry for index [i] is [i mod size]. The
@@ -114,6 +118,21 @@ let write_payload t idx ~op ~args =
     args;
   Memory.write t.mem (a + 1) op;
   mirror_store t idx ~word:1 op
+
+(** Tag entry [idx] with the submitting thread and its client seqno
+    (detectable execution only). Written between payload and publish, so
+    the tag is covered by the same line persist as the rest of the entry. *)
+let write_tag t idx ~tid ~seqno =
+  let a = entry_addr t idx in
+  Memory.write t.mem (a + 6) tid;
+  mirror_store t idx ~word:6 tid;
+  Memory.write t.mem (a + 7) seqno;
+  mirror_store t idx ~word:7 seqno
+
+(** Read entry [idx]'s (tid, seqno) tag; (0, 0) when untagged. *)
+let read_tag t idx =
+  let a = read_addr t idx in
+  (Memory.read t.mem (a + 6), Memory.read t.mem (a + 7))
 
 (** Queue the entry's line for write-back (durable mode only). *)
 let persist_entry t idx =

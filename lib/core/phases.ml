@@ -1,12 +1,12 @@
-(** The four core phases every PREP-UC variant is profiled by — combine,
-    publish, persist, catch-up — as telemetry spans, shared by
-    [Prep_uc], [Cx_puc] and [Gl_uc].
+(** The core phases every PREP-UC variant is profiled by — combine,
+    publish, persist, catch-up, plus the detectability announce/response
+    work — as telemetry spans, shared by [Prep_uc], [Cx_puc] and [Gl_uc].
 
     A [t option] is captured once at construction time from the ambient
     registry ([Telemetry.Registry.current ()]); [None] makes every
     [in_span] a single match on the option, so an uninstrumented run pays
     nothing. The span values are created eagerly so a profile always
-    shows all four phases, even ones a variant never enters. *)
+    shows all phases, even ones a variant never enters. *)
 
 type t = {
   reg : Telemetry.Registry.t;
@@ -14,10 +14,13 @@ type t = {
   publish : Telemetry.Registry.span;
   persist : Telemetry.Registry.span;
   catchup : Telemetry.Registry.span;
+  detect : Telemetry.Registry.span;
+      (** announce writes + flushes (worker side) and response-slot
+          persistence (combiner side) under detectable execution *)
 }
 
-(** The four phase names, in canonical display order. *)
-let phase_names = [ "combine"; "publish"; "persist"; "catch-up" ]
+(** The phase names, in canonical display order. *)
+let phase_names = [ "combine"; "publish"; "persist"; "catch-up"; "detect" ]
 
 let make () =
   match Telemetry.Registry.current () with
@@ -30,6 +33,7 @@ let make () =
         publish = Telemetry.Registry.span reg "publish";
         persist = Telemetry.Registry.span reg "persist";
         catchup = Telemetry.Registry.span reg "catch-up";
+        detect = Telemetry.Registry.span reg "detect";
       }
 
 (** [in_span tel sel f] runs [f] inside the phase selected by [sel],

@@ -36,6 +36,7 @@ let slot_meta0 = 2 (* address of persistent replica 0's metadata block *)
 let slot_meta1 = 3 (* address of persistent replica 1's metadata block *)
 let slot_ct = 4 (* address of d_completedTail (durable only) *)
 let slot_log = 5 (* log base address (durable only) *)
+let slot_announce = 6 (* announce/response table base (detect only) *)
 
 (* Control-arena word offsets (one cache line apart). *)
 let off_log_tail = 8
@@ -53,6 +54,7 @@ let sl_args = 3 (* 3 words *)
 let sl_resp = 6
 let sl_ready = 7
 let sl_ghost = 8
+let sl_seq = 9 (* client seqno of the published op (detect only) *)
 
 type recovery_report = {
   applied : int list;
@@ -63,7 +65,23 @@ type recovery_report = {
       (** completed operations skipped as log holes — must always be 0 *)
   contiguous_prefix : bool;
       (** whether [applied] is a gap-free prefix of the linearization *)
+  reconciled : int;
+      (** response slots rewritten by replay reconciliation (detect only) *)
 }
+
+(** Verdict of the recovery-side detectability query ([resolve]): what a
+    client should conclude about its last announced operation. *)
+type resolution =
+  | Completed of { seqno : int; result : int }
+      (** the op with this seqno took effect and its result is durable;
+          anything the client submitted after it was never announced *)
+  | Lost of { seqno : int }
+      (** the announce for [seqno] is durable but no response covers it:
+          the op did not survive the crash and must be re-submitted *)
+  | Unannounced
+      (** no trustworthy announce or response exists for this thread —
+          it never submitted anything (or tore its very first announce,
+          which is the same thing: nothing can have taken effect) *)
 
 module Make (Ds : Seqds.Ds_intf.S) = struct
   type replica = {
@@ -102,11 +120,21 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     trace : Trace.t;
     prefill : (int * int array) list;
         (* ops establishing the initial state, for the checkers *)
+    ann : Announce.t option;
+        (* persistent announce/response table ([Config.detect] only) *)
+    next_seq : int array;
+        (* ghost per-thread auto-seqno counters, seeded from the announce
+           table at build time so recovered clients continue their own
+           sequence; empty unless detect *)
     mutable stop_flag : bool;
     mutable p_thread_running : bool;
     (* harness-side optimisation counters (no simulated cost) *)
     mutable bmp_empty_exits : int;
     mutable bmp_slots_skipped : int;
+    (* detectability counters (no simulated cost) *)
+    mutable detect_announces : int;
+    mutable detect_responses : int;
+    mutable detect_reconciled : int;
     tel : Phases.t option;
         (* phase spans, captured from the ambient telemetry registry at
            construction; [None] on uninstrumented runs *)
@@ -240,6 +268,28 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         (Some pa, [| p0; p1 |], ct_addr)
       end
     in
+    (* announce/response table: reattach the pre-crash one through its root
+       (recovery must keep the records a crash left behind), create and
+       register a fresh one on first build *)
+    let n_threads = Sim.Topology.total_cores topo in
+    let ann =
+      if not cfg.Config.detect then None
+      else begin
+        let existing = Roots.get roots slot_announce in
+        if existing <> Memory.null then
+          Some (Announce.attach mem ~base:existing ~threads:n_threads)
+        else begin
+          let a = Announce.create (Option.get p_alloc) ~threads:n_threads in
+          Roots.set roots slot_announce (Announce.base a);
+          Some a
+        end
+      end
+    in
+    let next_seq =
+      match ann with
+      | None -> [||]
+      | Some a -> Array.init n_threads (Announce.peek_seqno a)
+    in
     {
       mem;
       roots;
@@ -255,10 +305,15 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       p_socket;
       trace = Trace.create ();
       prefill;
+      ann;
+      next_seq;
       stop_flag = false;
       p_thread_running = false;
       bmp_empty_exits = 0;
       bmp_slots_skipped = 0;
+      detect_announces = 0;
+      detect_responses = 0;
+      detect_reconciled = 0;
       tel = Phases.make ();
     }
 
@@ -443,7 +498,10 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       let op = Memory.read t.mem (s + sl_op) in
       let argc = Memory.read t.mem (s + sl_argc) in
       let args = Array.init argc (fun i -> Memory.read t.mem (s + sl_args + i)) in
-      batch := (core, op, args) :: !batch
+      let seq =
+        if t.cfg.Config.detect then Memory.read t.mem (s + sl_seq) else 0
+      in
+      batch := (core, op, args, seq) :: !batch
     end
 
   (* The combiner: collect the local batch, append it to the log, bring the
@@ -478,26 +536,40 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     let batch = !batch in
     let n = List.length batch in
     if n > 0 then begin
+      let detect = t.cfg.Config.detect in
+      (* the planted fence-hoisting fault: leave the log entries' write-backs
+         queued (no fence) while responses go straight to media below *)
+      let hoist_fences =
+        detect && t.cfg.Config.fault = Config.Response_before_log_persist
+      in
+      let tid_of core = (r.socket * t.beta) + core in
       let tail = reserve_log_entries t r n in
       let new_tail = tail + n in
       let publish_span f = Phases.in_span t.tel (fun pt -> pt.Phases.publish) f
       and persist_span f = Phases.in_span t.tel (fun pt -> pt.Phases.persist) f in
+      let log_fence () =
+        if not hoist_fences then persist_span (fun () -> Log.fence t.log)
+      in
       if not t.cfg.Config.flit then begin
         (* phase 1: payloads (arguments then op), write-backs, one fence *)
         List.iteri
-          (fun i (_, op, args) ->
-            publish_span (fun () -> Log.write_payload t.log (tail + i) ~op ~args);
+          (fun i (core, op, args, seq) ->
+            publish_span (fun () ->
+                Log.write_payload t.log (tail + i) ~op ~args;
+                if detect then
+                  Log.write_tag t.log (tail + i) ~tid:(tid_of core) ~seqno:seq);
             persist_span (fun () -> Log.persist_entry t.log (tail + i));
-            Trace.logged t.trace (tail + i) ~op ~args)
+            Trace.logged ~tid:(tid_of core) ~seqno:seq t.trace (tail + i) ~op
+              ~args)
           batch;
-        persist_span (fun () -> Log.fence t.log);
+        log_fence ();
         (* phase 2: publish emptyBits, write-backs, one fence *)
         List.iteri
           (fun i _ ->
             publish_span (fun () -> Log.publish t.log (tail + i));
             persist_span (fun () -> Log.persist_entry t.log (tail + i)))
           batch;
-        persist_span (fun () -> Log.fence t.log)
+        log_fence ()
       end
       else begin
         (* Batched persistence: write every payload, sweep the batch's lines
@@ -512,39 +584,81 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
            operations (§5.2). *)
         publish_span (fun () ->
             List.iteri
-              (fun i (_, op, args) ->
+              (fun i (core, op, args, seq) ->
                 Log.write_payload t.log (tail + i) ~op ~args;
-                Trace.logged t.trace (tail + i) ~op ~args)
+                if detect then
+                  Log.write_tag t.log (tail + i) ~tid:(tid_of core) ~seqno:seq;
+                Trace.logged ~tid:(tid_of core) ~seqno:seq t.trace (tail + i)
+                  ~op ~args)
               batch);
         persist_span (fun () -> Log.persist_range t.log ~first:tail ~n);
         publish_span (fun () ->
             List.iteri (fun i _ -> Log.publish t.log (tail + i)) batch);
         persist_span (fun () ->
             Log.persist_range t.log ~first:tail ~n;
-            Log.fence t.log)
+            if not hoist_fences then Log.fence t.log)
       end;
       Locks.Rw.write_acquire r.rw;
       update_from_log t r ~upto:tail;
       Memory.write t.mem r.lt_addr new_tail;
-      advance_completed_tail t new_tail;
-      (* apply own batch from the collected copies and answer *)
-      List.iteri
-        (fun i (core, op, args) ->
-          let resp = Ds.execute r.ds ~op ~args in
-          let s = slot_addr r core in
-          Memory.write t.mem (s + sl_resp) resp;
-          Memory.write t.mem (s + sl_ghost) (tail + i);
-          Memory.write t.mem (s + sl_ready) 1)
-        batch;
+      if not detect then begin
+        advance_completed_tail t new_tail;
+        (* apply own batch from the collected copies and answer *)
+        List.iteri
+          (fun i (core, op, args, _) ->
+            let resp = Ds.execute r.ds ~op ~args in
+            let s = slot_addr r core in
+            Memory.write t.mem (s + sl_resp) resp;
+            Memory.write t.mem (s + sl_ghost) (tail + i);
+            Memory.write t.mem (s + sl_ready) 1)
+          batch
+      end
+      else begin
+        (* Detectable execution reorders completion: every response must be
+           durable *before* the completedTail may advance past its entry
+           (exactly-once R2 — an op the checkpoint or replay recovers must
+           have a recoverable response, else the client re-submits it), and
+           the log fence above already made every entry durable before any
+           response is written (R1 — a durable response must never outrun
+           its entry). Only then are the flat-combining slots answered. *)
+        let resps =
+          List.map
+            (fun (core, op, args, seq) ->
+              let resp = Ds.execute r.ds ~op ~args in
+              (match t.ann with
+               | Some ann ->
+                 Phases.in_span t.tel (fun pt -> pt.Phases.detect) (fun () ->
+                     let tid = tid_of core in
+                     Announce.write_response ann ~tid ~seqno:seq ~result:resp;
+                     if hoist_fences then Announce.flush_response ann ~tid
+                     else Announce.persist_response ann ~tid);
+                 t.detect_responses <- t.detect_responses + 1
+               | None -> ());
+              (core, resp))
+            batch
+        in
+        if not hoist_fences then
+          Phases.in_span t.tel (fun pt -> pt.Phases.detect) (fun () ->
+              Memory.sfence ~site:"detect.response" t.mem);
+        advance_completed_tail t new_tail;
+        List.iteri
+          (fun i (core, resp) ->
+            let s = slot_addr r core in
+            Memory.write t.mem (s + sl_resp) resp;
+            Memory.write t.mem (s + sl_ghost) (tail + i);
+            Memory.write t.mem (s + sl_ready) 1)
+          resps
+      end;
       Locks.Rw.write_release r.rw
     end
 
-  let execute_update t r ~op ~args =
+  let execute_update t r ~seq ~op ~args =
     let core = (Sim.self ()).Sim.core in
     let s = slot_addr r core in
     Memory.write t.mem (s + sl_op) op;
     Memory.write t.mem (s + sl_argc) (Array.length args);
     Array.iteri (fun i v -> Memory.write t.mem (s + sl_args + i) v) args;
+    if t.cfg.Config.detect then Memory.write t.mem (s + sl_seq) seq;
     Memory.write t.mem (s + sl_ready) 0;
     Memory.write t.mem (s + sl_full) 1;
     (* raise the occupancy bit strictly after [sl_full]: the combiner
@@ -601,14 +715,44 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     in
     loop ()
 
+  (** The stable global thread id of the calling worker fiber: its socket
+      times β plus its core — the index into the announce/response table
+      and the tag recovery reconciles against. *)
+  let thread_id t =
+    let f = Sim.self () in
+    (f.Sim.socket * t.beta) + f.Sim.core
+
   (** ExecuteConcurrent (paper §3/§4.1): run [op] with [args] on the
       concurrent object and return its response. [readonly] defaults to
-      the sequential object's own classification. *)
-  let execute ?readonly t ~op ~args =
+      the sequential object's own classification.
+
+      Under detectable execution every update is first announced: the op
+      descriptor and a client seqno are written to the calling thread's
+      persistent announce record and CLFLUSHed before the flat-combining
+      slot is published, so the intent is on media before the system can
+      act on it. [seqno] must be strictly increasing per thread; when
+      omitted, an internal per-thread counter (seeded from the announce
+      table itself on recovery) assigns the next one. *)
+  let execute ?readonly ?seqno t ~op ~args =
     let r = my_replica t in
     let ro = match readonly with Some b -> b | None -> Ds.is_readonly ~op in
     if ro then execute_readonly t r ~op ~args
-    else execute_update t r ~op ~args
+    else
+      match t.ann with
+      | None -> execute_update t r ~seq:0 ~op ~args
+      | Some ann ->
+        let tid = thread_id t in
+        let seq =
+          match seqno with Some s -> s | None -> t.next_seq.(tid) + 1
+        in
+        Phases.in_span t.tel (fun pt -> pt.Phases.detect) (fun () ->
+            Announce.announce ann ~tid ~seqno:seq ~op ~args);
+        t.next_seq.(tid) <- seq;
+        t.detect_announces <- t.detect_announces + 1;
+        (match t.tel with
+         | Some pt -> Telemetry.Registry.add_to pt.Phases.reg "detect.announce" 1
+         | None -> ());
+        execute_update t r ~seq ~op ~args
 
   (* ---- persistence thread (Algorithm 2) ---- *)
 
@@ -706,6 +850,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       ("log_mirror_stores", t.log.Log.mirror_stores);
       ("bitmap_empty_exits", t.bmp_empty_exits);
       ("bitmap_slots_skipped", t.bmp_slots_skipped);
+      ("detect_announces", t.detect_announces);
+      ("detect_responses", t.detect_responses);
+      ("detect_reconciled", t.detect_reconciled);
     ]
 
   (** Port the instance's counters onto registry [reg], *adding* to any
@@ -761,6 +908,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     Context.set_persistent (Alloc.create_persistent mem ~home:p_home);
     (* decide which trace indexes the recovered state contains *)
     let applied_prefix = List.init stable_lt (fun i -> i) in
+    let reconciled = ref 0 in
     let replayed =
       if cfg.Config.mode = Config.Durable then begin
         (* replay the recovered log from the stable replica's tail to the
@@ -780,13 +928,54 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
           Log.attach mem ~base:log_base ~size:cfg.Config.log_size
             ~durable:true ~mirror
         in
+        let ann =
+          if cfg.Config.detect then
+            let base = Roots.get roots slot_announce in
+            if base <> Memory.null then
+              Some
+                (Announce.attach mem ~base
+                   ~threads:(Sim.Topology.total_cores (Sim.topology ())))
+            else None
+          else None
+        in
+        (* Under detectable execution the scan continues past the recovered
+           completedTail: a combiner's responses are fenced *before* its
+           completedTail CLFLUSH, so a crash in between leaves durable
+           responses whose entries sit beyond the media completedTail —
+           skipping them would break R1 (resolve would say Completed for an
+           op the recovered state lost). One log lap bounds the scan: no
+           live entry can sit further ahead, and stale-lap slots read as
+           holes (or, for never-reserved slots on odd laps, carry no seqno
+           tag and are rejected below). Holes anywhere are uncompleted ops,
+           which durable linearizability already permits dropping. *)
+        let scan_to =
+          if cfg.Config.detect then ct + cfg.Config.log_size else ct
+        in
         let replayed = ref [] in
         Context.with_persistent (fun () ->
-            for idx = stable_lt to ct - 1 do
-              if Log.is_full log idx then begin
+            for idx = stable_lt to scan_to - 1 do
+              if
+                Log.is_full log idx
+                && (idx < ct || snd (Log.read_tag log idx) > 0)
+              then begin
                 let op, args = Log.read_payload log idx in
-                ignore (Ds.execute stable_ds ~op ~args);
-                replayed := idx :: !replayed
+                let resp = Ds.execute stable_ds ~op ~args in
+                replayed := idx :: !replayed;
+                (* replay reconciliation: rewrite the submitting thread's
+                   response slot with the replay-computed result so resolve
+                   reflects every op the recovered state actually contains
+                   (R2 for replayed entries). Monotone: never regress a slot
+                   that already covers a later seqno. *)
+                match ann with
+                | Some a ->
+                  let tid, seqno = Log.read_tag log idx in
+                  if seqno > 0 && Announce.response_seqno a ~tid < seqno
+                  then begin
+                    Announce.write_response a ~tid ~seqno ~result:resp;
+                    Announce.flush_response a ~tid;
+                    incr reconciled
+                  end
+                | None -> ()
               end
             done);
         List.rev !replayed
@@ -822,7 +1011,10 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       in
       check 0 applied
     in
-    let report = { applied; lost_completed; skipped_completed; contiguous_prefix } in
+    let report =
+      { applied; lost_completed; skipped_completed; contiguous_prefix;
+        reconciled = !reconciled }
+    in
     (* fold the recovered ops into the new instance's prefill so that
        checkers after a subsequent crash keep working *)
     let recovered_ops =
@@ -834,5 +1026,51 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     in
     let prefill = old_t.prefill @ recovered_ops in
     let t = build mem roots cfg ~prefill ~master:(Some stable_ds) in
+    t.detect_reconciled <- !reconciled;
     (t, report)
+
+  (* ---- detectability queries ---- *)
+
+  let require_ann t =
+    match t.ann with
+    | Some a -> a
+    | None -> invalid_arg "Prep_uc: detectable execution is not enabled"
+
+  (** Raw view of thread [tid]'s announce and response records. Charged
+      simulated reads; coherent view (equals media right after a crash). *)
+  let detect_state t ~tid =
+    let a = require_ann t in
+    (Announce.announced a ~tid, Announce.response a ~tid)
+
+  (** The recovery-side detectability query (run it on the *recovered*
+      instance, after [recover] has reconciled response slots from the
+      log): what should thread [tid] conclude about its last announced
+      operation? Clients re-submit exactly when the verdict is [Lost] —
+      or [Unannounced] while they know they had something in flight,
+      which can only happen if the very first announce tore before its
+      flush returned, i.e. before the op could have been submitted. *)
+  let resolve t ~tid =
+    let a = require_ann t in
+    match (Announce.response a ~tid, Announce.announced a ~tid) with
+    | ( Announce.Valid { seqno; payload = result; _ },
+        Announce.Valid { seqno = announced; _ } ) ->
+      if announced > seqno then
+        (* announced a later op than any response covers: it is lost *)
+        Lost { seqno = announced }
+      else Completed { seqno; result }
+    | Announce.Valid { seqno; payload = result; _ },
+      (Announce.Torn _ | Announce.Empty) ->
+      (* the response is the latest trustworthy word: a torn announce's op
+         was never submitted (its flush never returned), so the response
+         still names the last op that took effect *)
+      Completed { seqno; result }
+    | (Announce.Torn _ | Announce.Empty), Announce.Valid { seqno; _ } ->
+      (* a durable intent with no durable effect. A torn response slot
+         cannot hide a completed op: responses are fenced before the
+         completedTail advances and rewritten by replay reconciliation, so
+         anything recovered has a valid response *)
+      Lost { seqno }
+    | (Announce.Torn _ | Announce.Empty), (Announce.Torn _ | Announce.Empty)
+      ->
+      Unannounced
 end

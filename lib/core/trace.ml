@@ -12,6 +12,8 @@
 type entry = {
   op : int;
   args : int array;
+  tid : int; (** submitting thread id; 0 when untagged *)
+  seqno : int; (** client seqno under detectable execution; 0 when untagged *)
   mutable completed : bool;
 }
 
@@ -23,12 +25,13 @@ type t = {
 (* Never-logged slots need *distinct* sentinel records: [completed] is
    mutable, so a shared sentinel would let [completed] on one unlogged
    index mark every unlogged slot completed. *)
-let sentinel () = { op = -1; args = [||]; completed = false }
+let sentinel () = { op = -1; args = [||]; tid = 0; seqno = 0; completed = false }
 
 let create () = { entries = Array.init 1024 (fun _ -> sentinel ()); len = 0 }
 
-(** Record the op logged at index [idx] (combiner side, at log-write time). *)
-let logged t idx ~op ~args =
+(** Record the op logged at index [idx] (combiner side, at log-write time).
+    [tid]/[seqno] carry the detectability tag when that layer is on. *)
+let logged ?(tid = 0) ?(seqno = 0) t idx ~op ~args =
   if idx >= Array.length t.entries then begin
     let bigger =
       Array.init
@@ -38,7 +41,7 @@ let logged t idx ~op ~args =
     Array.blit t.entries 0 bigger 0 t.len;
     t.entries <- bigger
   end;
-  t.entries.(idx) <- { op; args; completed = false };
+  t.entries.(idx) <- { op; args; tid; seqno; completed = false };
   if idx + 1 > t.len then t.len <- idx + 1
 
 (** Mark the op at log index [idx] completed (worker side, at return). *)

@@ -202,7 +202,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
 
   let prep ?(log_size = 65536) ?(flush = Prep.Config.Wbinvd) ?(flit = false)
       ?(dist_rw = false) ?(log_mirror = false) ?(slot_bitmap = false)
-      ?name ~mode ~epsilon () =
+      ?(detect = false) ?name ~mode ~epsilon () =
     let name =
       match name with
       | Some n -> n
@@ -217,7 +217,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
           List.filter_map
             (fun (on, tag) -> if on then Some tag else None)
             [ (flit, "flit"); (dist_rw, "dist"); (log_mirror, "mir");
-              (slot_bitmap, "bmp") ]
+              (slot_bitmap, "bmp"); (detect, "det") ]
         in
         if tags = [] then base else base ^ "/" ^ String.concat "+" tags
     in
@@ -228,7 +228,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
         (fun mem roots ~workers ~prefill ->
           let cfg =
             Prep.Config.make ~mode ~log_size ~epsilon ~flush ~flit ~dist_rw
-              ~log_mirror ~slot_bitmap ~workers ()
+              ~log_mirror ~slot_bitmap ~detect ~workers ()
           in
           let uc = P.create ~prefill mem roots cfg in
           P.start_persistence uc;

@@ -1,0 +1,376 @@
+(** Crash–restart–continue sessions: the end-to-end exactly-once harness.
+
+    A session gives every client thread a fixed script of update operations
+    and runs it to completion across [crashes] full-system power failures.
+    Each epoch is one simulated incarnation: the first builds the UC, every
+    later one recovers it from NVM media and lets the clients resume.
+
+    How a client resumes is the point of the harness:
+
+    - with [detect] on, the client consults [Prep_uc.resolve] — and nothing
+      else — to learn where its script stands: [Completed s] resumes at
+      [s + 1], [Lost s] re-submits [s] (same seqno, so the system can
+      deduplicate), [Unannounced] restarts the script. The session's
+      cumulative history must then contain every scripted op exactly once;
+    - with [detect] off, the client cannot distinguish "my in-flight op
+      applied" from "it was lost", so the honest client never re-submits
+      and skips past it. The harness counts those ghost-truth losses —
+      the baseline the detectability layer exists to eliminate.
+
+    Every crash is additionally judged by [Durable_lin.check] (loss bound 0
+    — sessions run PREP-Durable) and, under [detect], by
+    [Durable_lin.check_resolutions] against the cumulative tagged history.
+    The final state is judged by [Durable_lin.check_exactly_once].
+
+    Crashes are injected at calibrated memory-operation indexes, with the
+    crash hook armed only *after* create/recover returns: a restart epoch
+    must never lose power mid-recovery (recovery replay is not idempotent
+    and crash-during-recovery is outside the paper's model). *)
+
+open Nvm
+
+type config = {
+  seed : int;  (** seeds scripts, schedules and crash points *)
+  threads : int;  (** client threads (≤ total cores − 1) *)
+  ops_per_client : int;  (** scripted update ops per client *)
+  epsilon : int;
+  log_size : int;
+  crashes : int;  (** crash epochs to inject (best effort: a session that
+                      finishes early injects fewer) *)
+  detect : bool;  (** detectable execution: resume via [resolve] *)
+  bg_period : int;  (** mean ops between background cache write-backs *)
+  preempt_prob : float;
+}
+
+let default_config =
+  {
+    seed = 1;
+    threads = 4;
+    ops_per_client = 40;
+    epsilon = 8;
+    log_size = 1024;
+    crashes = 3;
+    detect = true;
+    bg_period = 2_000;
+    preempt_prob = 0.02;
+  }
+
+type epoch_info = {
+  epoch : int;
+  crashed : bool;  (** this epoch ended in a power failure *)
+  resubmitted : int;  (** ops re-submitted during this epoch (post-restart) *)
+}
+
+type outcome = {
+  epochs : epoch_info list;
+  crashes_injected : int;
+  submitted : int;  (** execute calls issued, resubmissions included *)
+  resubmitted : int;  (** execute calls that repeated an earlier seqno *)
+  completed : int;  (** scripted ops present in the final state *)
+  lost : int;  (** scripted ops that never took effect *)
+  duplicated : int;  (** scripted ops that took effect more than once *)
+  violations : Check.Durable_lin.violation list;
+  history_len : int;  (** ops applied across all epochs (survivors) *)
+  runtime_ops : int;  (** memory operations issued outside construction *)
+  duration_ns : int;  (** simulated ns summed over completed epochs *)
+  mem_stats : Memory.stats;
+}
+
+module Make (Ds : Seqds.Ds_intf.S) = struct
+  module Uc = Prep.Prep_uc.Make (Ds)
+  module Dl = Check.Durable_lin.Make (Ds.Model)
+
+  (* Same fixed machine as the fuzzer: 2 sockets × 4 cores, last core
+     reserved for the persistence thread. *)
+  let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 }
+  let beta = topology.Sim.Topology.cores_per_socket
+  let max_threads = Sim.Topology.total_cores topology - 1
+
+  let tid_of w =
+    let socket, core = Sim.Topology.place topology w in
+    (socket * beta) + core
+
+  (** Run one session. [gen_op] draws candidate ops; read-only draws are
+      re-drawn (scripts are updates — only updates are announced, and the
+      exactly-once contract is about effects). The session is a
+      deterministic function of [cfg]. *)
+  let rec run (cfg : config) ~gen_op =
+    if cfg.threads < 1 || cfg.threads > max_threads then
+      invalid_arg "Session: thread count out of range";
+    if cfg.crashes < 0 then invalid_arg "Session: negative crash count";
+    (* calibration: the same session without crashes sizes the
+       crash-point space (memory ops per full run) *)
+    let calib =
+      if cfg.crashes = 0 then None else Some (run { cfg with crashes = 0 } ~gen_op)
+    in
+    let crash_rng =
+      Sim.Rng.create (Int64.of_int ((cfg.seed * 1_000_003) + 41))
+    in
+    let pick_crash () =
+      match calib with
+      | None -> assert false
+      | Some c ->
+        (* one slice of the full run per crash, so epochs make progress *)
+        let slice = max 1 (c.runtime_ops / (cfg.crashes + 1)) in
+        Check.Fuzz.At_op (1 + Sim.Rng.int crash_rng slice)
+    in
+    (* per-client scripts, drawn once outside the simulation *)
+    let script_rng =
+      Sim.Rng.create (Int64.of_int ((cfg.seed * 1_000_003) + 29))
+    in
+    let draw_update rng =
+      let rec go budget =
+        if budget = 0 then invalid_arg "Session: gen_op never yields updates";
+        let op, args = gen_op rng in
+        if Ds.is_readonly ~op then go (budget - 1) else (op, args)
+      in
+      go 1_000
+    in
+    let scripts =
+      Array.init cfg.threads (fun _ ->
+          Array.init cfg.ops_per_client (fun _ -> draw_update script_rng))
+    in
+    let mem =
+      Memory.make
+        ~seed:(Int64.of_int (cfg.seed + 7919))
+        ~sockets:topology.Sim.Topology.sockets ~bg_period:cfg.bg_period ()
+    in
+    let uc_cfg =
+      Prep.Config.make ~mode:Prep.Config.Durable ~log_size:cfg.log_size
+        ~epsilon:cfg.epsilon ~detect:cfg.detect ~workers:cfg.threads ()
+    in
+    (* client ghost state; [next] is rebuilt from [resolve] on restart when
+       detectability is on, so it is client knowledge, not an oracle *)
+    let next = Array.make cfg.threads 1 in
+    let submitted = Array.make cfg.threads 0 in
+    let submit_total = ref 0 in
+    let resubmit_total = ref 0 in
+    let history = ref [] in
+    let violations = ref [] in
+    let epoch_infos = ref [] in
+    let uc_ref = ref None in
+    let crashes_done = ref 0 in
+    let duration = ref 0 in
+    let runtime_ops = ref 0 in
+    let applied_seqno_cum tid =
+      List.fold_left
+        (fun acc (t, s, _, _) -> if t = tid && s > acc then s else acc)
+        0 !history
+    in
+
+    let run_epoch ~plan =
+      let epoch = List.length !epoch_infos in
+      let resub_here = ref 0 in
+      let sim =
+        Sim.create
+          ~seed:(Int64.of_int (cfg.seed + (31 * epoch)))
+          ~preempt_prob:cfg.preempt_prob topology
+      in
+      let setup_ops = ref 0 in
+      let end_time = ref 0 in
+      let done_count = ref 0 in
+      ignore
+        (Sim.spawn sim ~socket:0 (fun () ->
+             let uc =
+               match !uc_ref with
+               | None ->
+                 let roots = Roots.make mem in
+                 Uc.create mem roots uc_cfg
+               | Some old_uc ->
+                 (* restart epoch: recover, judge the crash, append the
+                    survivors to the cumulative history, resume clients *)
+                 let old_trace = Uc.trace old_uc in
+                 let uc', report = Uc.recover old_uc in
+                 let completed = Prep.Trace.completed_indexes old_trace in
+                 violations :=
+                   !violations
+                   @ Dl.check ~trace:old_trace
+                       ~prefill:(Uc.prefill_ops old_uc)
+                       ~applied:report.Prep.Prep_uc.applied ~completed
+                       ~recovered_snapshot:(Uc.snapshot uc') ~loss_bound:0 ();
+                 List.iter
+                   (fun i ->
+                     let e = Prep.Trace.get old_trace i in
+                     history :=
+                       ( e.Prep.Trace.tid,
+                         e.Prep.Trace.seqno,
+                         e.Prep.Trace.op,
+                         e.Prep.Trace.args )
+                       :: !history)
+                   report.Prep.Prep_uc.applied;
+                 if cfg.detect then begin
+                   let resolutions =
+                     List.init cfg.threads (fun w ->
+                         (tid_of w, Uc.resolve uc' ~tid:(tid_of w)))
+                   in
+                   violations :=
+                     !violations
+                     @ Check.Durable_lin.check_resolutions ~resolutions
+                         ~applied_seqno:applied_seqno_cum;
+                   List.iteri
+                     (fun w (_, r) ->
+                       let resume =
+                         match (r : Prep.Prep_uc.resolution) with
+                         | Prep.Prep_uc.Completed { seqno; _ } -> seqno + 1
+                         | Prep.Prep_uc.Lost { seqno } -> seqno
+                         | Prep.Prep_uc.Unannounced -> 1
+                       in
+                       next.(w) <- min resume (cfg.ops_per_client + 1))
+                     resolutions
+                 end
+                 else
+                   (* no detectability: skip past the uncertain in-flight
+                      op rather than risk a duplicate *)
+                   Array.iteri
+                     (fun w s -> next.(w) <- max next.(w) (s + 1))
+                     submitted;
+                 uc'
+             in
+             uc_ref := Some uc;
+             setup_ops := Memory.op_index mem;
+             (* arm the crash strictly after construction/recovery *)
+             (match plan with
+              | Some n ->
+                let base = !setup_ops in
+                Memory.set_crash_hook mem (fun i ->
+                    if i - base >= n then raise Check.Fuzz.Crash_injected)
+              | None -> ());
+             Uc.start_persistence uc;
+             for w = 0 to cfg.threads - 1 do
+               let socket, core = Sim.Topology.place topology w in
+               Sim.spawn_here ~socket ~core (fun () ->
+                   Uc.register_worker uc;
+                   while next.(w) <= cfg.ops_per_client do
+                     let s = next.(w) in
+                     let op, args = scripts.(w).(s - 1) in
+                     if s <= submitted.(w) then begin
+                       incr resubmit_total;
+                       incr resub_here;
+                       Telemetry.Registry.cur_add "detect.resubmit" 1
+                     end;
+                     if s > submitted.(w) then submitted.(w) <- s;
+                     incr submit_total;
+                     ignore (Uc.execute uc ~seqno:s ~op ~args);
+                     next.(w) <- s + 1
+                   done;
+                   incr done_count)
+             done;
+             while !done_count < cfg.threads do
+               Sim.tick 10_000
+             done;
+             Uc.stop uc;
+             Uc.sync uc;
+             end_time := Sim.now ()));
+      let crashed =
+        match plan with
+        | None -> (
+          match Sim.run sim () with `Done -> false | `Cut _ -> assert false)
+        | Some _ -> (
+          try
+            ignore (Sim.run sim ());
+            false
+          with Check.Fuzz.Crash_injected -> true)
+      in
+      Memory.clear_crash_hook mem;
+      runtime_ops := !runtime_ops + (Memory.op_index mem - !setup_ops);
+      if not crashed then duration := !duration + !end_time;
+      epoch_infos :=
+        { epoch; crashed; resubmitted = !resub_here } :: !epoch_infos;
+      crashed
+    in
+
+    let continue_ = ref true in
+    while !continue_ do
+      let plan =
+        if !crashes_done < cfg.crashes then
+          match pick_crash () with Check.Fuzz.At_op n -> Some n | _ -> None
+        else None
+      in
+      if run_epoch ~plan then begin
+        incr crashes_done;
+        Memory.crash mem;
+        Context.reset ()
+      end
+      else continue_ := false
+    done;
+
+    (* final epoch ran to quiescence: its whole trace applied *)
+    let uc = Option.get !uc_ref in
+    let trace = Uc.trace uc in
+    for i = 0 to Prep.Trace.length trace - 1 do
+      let e = Prep.Trace.get trace i in
+      history :=
+        (e.Prep.Trace.tid, e.Prep.Trace.seqno, e.Prep.Trace.op, e.Prep.Trace.args)
+        :: !history
+    done;
+    let history = List.rev !history in
+    let scripted =
+      if not cfg.detect then []
+      else
+        List.concat
+          (List.init cfg.threads (fun w ->
+               List.init cfg.ops_per_client (fun i -> (tid_of w, i + 1))))
+    in
+    violations :=
+      !violations
+      @ Dl.check_exactly_once ~history ~scripted
+          ~recovered_snapshot:(Uc.snapshot uc) ();
+    (* lost/duplicated accounting: exact per-(tid, seqno) under [detect];
+       per-thread totals otherwise (seqno tags are only written under
+       [detect]) — sound because without resubmission each scripted op is
+       submitted, hence applied, at most once *)
+    let total_scripted = cfg.threads * cfg.ops_per_client in
+    let lost, duplicated =
+      if cfg.detect then begin
+        let counts = Hashtbl.create 256 in
+        List.iter
+          (fun (t, s, _, _) ->
+            if s > 0 then
+              Hashtbl.replace counts (t, s)
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts (t, s))))
+          history;
+        let lost = ref 0 and dup = ref 0 in
+        for w = 0 to cfg.threads - 1 do
+          for s = 1 to cfg.ops_per_client do
+            match Hashtbl.find_opt counts (tid_of w, s) with
+            | None -> incr lost
+            | Some 1 -> ()
+            | Some _ -> incr dup
+          done
+        done;
+        (!lost, !dup)
+      end
+      else begin
+        let per_tid = Hashtbl.create 16 in
+        List.iter
+          (fun (t, _, _, _) ->
+            Hashtbl.replace per_tid t
+              (1 + Option.value ~default:0 (Hashtbl.find_opt per_tid t)))
+          history;
+        let lost = ref 0 in
+        for w = 0 to cfg.threads - 1 do
+          let n = Option.value ~default:0 (Hashtbl.find_opt per_tid (tid_of w)) in
+          lost := !lost + max 0 (cfg.ops_per_client - n)
+        done;
+        (!lost, 0)
+      end
+    in
+    {
+      epochs = List.rev !epoch_infos;
+      crashes_injected = !crashes_done;
+      submitted = !submit_total;
+      resubmitted = !resubmit_total;
+      completed = total_scripted - lost;
+      lost;
+      duplicated;
+      violations = !violations;
+      history_len = List.length history;
+      runtime_ops = !runtime_ops;
+      duration_ns = max 1 !duration;
+      mem_stats = Memory.stats mem;
+    }
+
+  (** [sessions] independent sessions on consecutive seeds. *)
+  let campaign (cfg : config) ~gen_op ~sessions =
+    List.init sessions (fun i -> run { cfg with seed = cfg.seed + i } ~gen_op)
+end

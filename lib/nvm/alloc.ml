@@ -74,6 +74,17 @@ let alloc t size =
     t.bump_off <- t.bump_off + size;
     addr
 
+(** Allocate [lines] whole cache lines, zero-initialised and line-aligned.
+    Over-allocates by one line and rounds the returned address up to a line
+    boundary, so structures whose crash atomicity depends on line layout
+    (announce/response records, open-coded locks) never straddle lines. The
+    padding is never reclaimed — line-aligned blocks are not [free]d. *)
+let alloc_lines t lines =
+  if lines <= 0 then invalid_arg "Alloc.alloc_lines: bad count";
+  let lw = Memory.line_words in
+  let raw = alloc t ((lines + 1) * lw) in
+  (raw + lw - 1) / lw * lw
+
 (** Return a block of [size] words to the allocator's free list. *)
 let free t addr size =
   Sim.tick alloc_cost;

@@ -1,0 +1,164 @@
+(** Persistent per-thread announce and response records — the detectability
+    layer of Ben-David et al. ("Delay-Free Concurrency on Faulty Persistent
+    Memory") adapted to PREP-UC's flat-combining front end.
+
+    Each thread owns two dedicated cache lines in NVM:
+
+    - an *announce* line, written and CLFLUSHed by the thread itself before
+      it publishes its flat-combining slot. It carries the full op
+      descriptor plus a monotonically increasing client sequence number,
+      so after a crash the thread's last *intent* is always recoverable;
+    - a *response* line, written by whichever combiner executes the op and
+      made durable before the completedTail may advance past the op's log
+      entry. It carries the result plus the same seqno, so after a crash
+      the last *effect* the system promised is also recoverable.
+
+    [resolve]-style queries compare the two: announce ahead of response
+    means the op was lost in the crash and must be re-submitted; response
+    at (or beyond) the announce means it took effect exactly once.
+
+    Crash atomicity: a line commits to media atomically, but a background
+    flush may capture the line *between* word writes. Both records therefore
+    end in a commit word that repeats the seqno and is written last; any
+    media state whose first and commit words disagree is a torn record and
+    is reported as such rather than trusted. *)
+
+let words_per_record = Memory.line_words
+let words_per_thread = 2 * words_per_record
+
+(* announce line layout *)
+let an_seq = 0 (* client seqno, written after the payload *)
+let an_op = 1
+let an_argc = 2
+let an_args = 3 (* 3 words *)
+let an_commit = 6 (* seqno again, written last *)
+let max_args = 3
+
+(* response line layout *)
+let rs_seq = 0
+let rs_result = 1
+let rs_commit = 2 (* seqno again, written last *)
+
+type t = { mem : Memory.t; base : int; threads : int }
+
+type record =
+  | Valid of { seqno : int; payload : int; args : int array }
+      (** [payload] is the op code for announces, the result for
+          responses; [args] is empty for responses *)
+  | Torn of { seqno : int; commit : int }
+      (** first word and commit word disagree: a background flush caught
+          the record mid-write and the crash landed before the final
+          drain. Never trusted — the payload may be any interleaving. *)
+  | Empty  (** never written (both words still zero) *)
+
+let base t = t.base
+let threads t = t.threads
+
+let check_tid t tid =
+  if tid < 0 || tid >= t.threads then invalid_arg "Announce: bad thread id"
+
+let announce_addr t tid =
+  check_tid t tid;
+  t.base + (tid * words_per_thread)
+
+let response_addr t tid = announce_addr t tid + words_per_record
+
+(** Allocate and persist a zeroed table for [threads] threads. The fresh
+    table is flushed before use so a crash prior to the first announce
+    recovers a well-formed [Empty] record for every thread. *)
+let create alloc ~threads =
+  if threads < 1 then invalid_arg "Announce.create: bad thread count";
+  let mem = Alloc.mem alloc in
+  let base = Alloc.alloc_lines alloc (2 * threads) in
+  let t = { mem; base; threads } in
+  for tid = 0 to threads - 1 do
+    Memory.clwb ~site:"detect.announce_init" mem (announce_addr t tid);
+    Memory.clwb ~site:"detect.announce_init" mem (response_addr t tid)
+  done;
+  Memory.sfence ~site:"detect.announce_init" mem;
+  t
+
+(** Attach to a table recovered through a persistent root. *)
+let attach mem ~base ~threads =
+  if threads < 1 then invalid_arg "Announce.attach: bad thread count";
+  { mem; base; threads }
+
+(** Last announced seqno for [tid], read without simulated cost (ghost).
+    Used to seed volatile per-thread seqno counters on build/recover. *)
+let peek_seqno t tid = Memory.peek t.mem (announce_addr t tid + an_seq)
+
+(** Persist the op descriptor for [tid] before submission. Writes the
+    payload, then the seqno, then the commit marker, then CLFLUSHes the
+    line — blocking, so on return the announce is on media. Seqnos must be
+    non-decreasing per thread: strictly greater for a fresh op, equal only
+    when a client re-submits the op a crash lost (the announce already
+    carries that seqno). *)
+let announce t ~tid ~seqno ~op ~args =
+  let a = announce_addr t tid in
+  let argc = Array.length args in
+  if argc > max_args then invalid_arg "Announce.announce: too many args";
+  if seqno <= 0 then invalid_arg "Announce.announce: seqno must be positive";
+  let prev = Memory.read t.mem (a + an_seq) in
+  if seqno < prev then
+    invalid_arg "Announce.announce: seqno regressed";
+  (* retract the commit marker first: any intermediate media state of this
+     rewrite must read as torn, never as a valid mix of old and new *)
+  Memory.write t.mem (a + an_commit) 0;
+  Memory.write t.mem (a + an_op) op;
+  Memory.write t.mem (a + an_argc) argc;
+  for i = 0 to max_args - 1 do
+    Memory.write t.mem (a + an_args + i) (if i < argc then args.(i) else 0)
+  done;
+  Memory.write t.mem (a + an_seq) seqno;
+  Memory.write t.mem (a + an_commit) seqno;
+  Memory.clflush ~site:"detect.announce" t.mem a
+
+(** Record the result for [tid]'s op [seqno]. Persistence is the caller's
+    job ([persist_response] / [flush_response]): the combiner batches CLWBs
+    and fences once per combine round. *)
+let write_response t ~tid ~seqno ~result =
+  let a = response_addr t tid in
+  Memory.write t.mem (a + rs_commit) 0;
+  Memory.write t.mem (a + rs_result) result;
+  Memory.write t.mem (a + rs_seq) seqno;
+  Memory.write t.mem (a + rs_commit) seqno
+
+(** Queue the response line for write-back (CLWB; caller fences). *)
+let persist_response t ~tid =
+  Memory.clwb ~site:"detect.response" t.mem (response_addr t tid)
+
+(** Write the response line straight to media (CLFLUSH, blocking). *)
+let flush_response t ~tid =
+  Memory.clflush ~site:"detect.response" t.mem (response_addr t tid)
+
+let read_record mem a ~payload_word ~commit_word ~with_args =
+  let seq = Memory.read mem (a + 0) in
+  let commit = Memory.read mem (a + commit_word) in
+  if seq = 0 && commit = 0 then Empty
+  else if seq <> commit then Torn { seqno = seq; commit }
+  else
+    let payload = Memory.read mem (a + payload_word) in
+    let args =
+      if not with_args then [||]
+      else
+        let argc = Memory.read mem (a + an_argc) in
+        let argc = if argc < 0 || argc > max_args then 0 else argc in
+        Array.init argc (fun i -> Memory.read mem (a + an_args + i))
+    in
+    Valid { seqno = seq; payload; args }
+
+(** Read [tid]'s announce record (coherent view; equals media after a
+    crash). *)
+let announced t ~tid =
+  read_record t.mem (announce_addr t tid) ~payload_word:an_op
+    ~commit_word:an_commit ~with_args:true
+
+(** Read [tid]'s response record. *)
+let response t ~tid =
+  read_record t.mem (response_addr t tid) ~payload_word:rs_result
+    ~commit_word:rs_commit ~with_args:false
+
+(** Seqno of [tid]'s response if it is valid, else 0. Used by recovery's
+    replay reconciliation to advance response slots monotonically. *)
+let response_seqno t ~tid =
+  match response t ~tid with Valid { seqno; _ } -> seqno | Torn _ | Empty -> 0

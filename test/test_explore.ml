@@ -43,10 +43,10 @@ let scope_1w =
 let budget =
   { Check.Explore.default_budget with Check.Explore.max_schedules = 20_000 }
 
-let explore ?flit ?dist_rw ?log_mirror ?slot_bitmap ?(budget = budget)
-    ?(scope = scope_1w) mode fault =
-  E.explore ?flit ?dist_rw ?log_mirror ?slot_bitmap ~budget ~mode ~fault
-    ~gen_op ~scope ()
+let explore ?flit ?dist_rw ?log_mirror ?slot_bitmap ?detect
+    ?(budget = budget) ?(scope = scope_1w) mode fault =
+  E.explore ?flit ?dist_rw ?log_mirror ?slot_bitmap ?detect ~budget ~mode
+    ~fault ~gen_op ~scope ()
 
 let exhausted_clean label (res : Check.Explore.result) =
   check_bool (label ^ ": no violation") true
@@ -58,15 +58,15 @@ let exhausted_clean label (res : Check.Explore.result) =
 (* A violation's decision trace must replay to the same violation — the
    round-trip through the textual run-length encoding included, because
    that is what the CLI repro command ships. *)
-let replay_reproduces ?flit ?dist_rw ?log_mirror ?slot_bitmap label mode fault
-    scope (v : Check.Explore.violation) =
+let replay_reproduces ?flit ?dist_rw ?log_mirror ?slot_bitmap ?detect label
+    mode fault scope (v : Check.Explore.violation) =
   let decisions =
     Check.Explore.decisions_of_string
       (Check.Explore.decisions_to_string v.Check.Explore.v_decisions)
   in
   let violations, crashed, logged, completed, applied =
-    E.replay ?flit ?dist_rw ?log_mirror ?slot_bitmap ~mode ~fault ~gen_op
-      ~scope ~decisions ?crash:v.Check.Explore.v_crash ()
+    E.replay ?flit ?dist_rw ?log_mirror ?slot_bitmap ?detect ~mode ~fault
+      ~gen_op ~scope ~decisions ?crash:v.Check.Explore.v_crash ()
   in
   check_bool (label ^ ": replay violates") true (violations <> []);
   check_bool (label ^ ": replay crashed") true
@@ -288,6 +288,80 @@ let test_equiv_two_thread_budgeted () =
       ("combined", true, true, true);
     ]
 
+(* ---- detectability layer ----
+
+   Durable mode with persistent announces and combiner-persisted
+   responses: every explored crash frontier runs recovery *and* the
+   resolve consistency check (a response claiming seqno s with s not
+   applied, or a Lost/Unannounced verdict contradicting the replayed
+   log, is a violation). Exhausting a scope therefore proves that no
+   reachable crash point can make a client lose or duplicate an op it
+   resolves on. *)
+
+let test_detect_scope_exhausts () =
+  let res = explore ~detect:true Config.Durable Config.No_fault in
+  exhausted_clean "detect" res;
+  check "durable+detect: no completed op ever lost" 0
+    res.Check.Explore.stats.Check.Explore.max_completed_loss;
+  check_bool "crash frontiers ran resolve checks" true
+    (res.Check.Explore.stats.Check.Explore.recoveries > 0);
+  check "single quiescent state" 1
+    (List.length res.Check.Explore.terminal_states)
+
+let test_detect_two_thread_budgeted () =
+  (* two announcing clients racing the combiner and the crash frontier:
+     the interleaving space is too large to exhaust in runtest, so the
+     scope gets a fixed schedule budget (the CI explore smoke job runs
+     the exhaustive version) and must stay free of resolve and
+     exactly-once violations across every explored frontier *)
+  let scope =
+    {
+      Check.Explore.seed = 1;
+      threads = 2;
+      ops_per_worker = 2;
+      epsilon = 2;
+      log_size = 16;
+      sockets = 2;
+      cores_per_socket = 2;
+      prune = true;
+    }
+  in
+  let budget =
+    { Check.Explore.default_budget with Check.Explore.max_schedules = 1_500 }
+  in
+  let res = explore ~detect:true ~budget ~scope Config.Durable Config.No_fault in
+  check_bool "no violation in budget" true
+    (res.Check.Explore.violation = None);
+  check "durable+detect: no loss at any explored crash" 0
+    res.Check.Explore.stats.Check.Explore.max_completed_loss;
+  check_bool "crash frontiers were checked" true
+    (res.Check.Explore.stats.Check.Explore.recoveries > 0)
+
+let test_detect_response_fault_found () =
+  (* responses flushed to media while the log write-backs stay unfenced:
+     the explorer must find a frontier where a response promises an op
+     the replayed log cannot back, deterministically, and the decision
+     trace must replay to the same violation *)
+  let res =
+    explore ~detect:true Config.Durable Config.Response_before_log_persist
+  in
+  match res.Check.Explore.violation with
+  | None ->
+    Alcotest.fail "response-before-log-persist fault not found within budget"
+  | Some v ->
+    check_bool "found at a crash frontier" true
+      (v.Check.Explore.v_crash <> None);
+    check_bool "found as resolve mismatch or durable loss" true
+      (List.exists
+         (function
+           | Check.Durable_lin.Resolve_mismatch _
+           | Check.Durable_lin.Loss_bound_exceeded _
+           | Check.Durable_lin.Prefix_violation _ -> true
+           | _ -> false)
+         v.Check.Explore.v_violations);
+    replay_reproduces ~detect:true "response-before-log-persist"
+      Config.Durable Config.Response_before_log_persist scope_1w v
+
 (* ---- decision-trace encoding ---- *)
 
 let test_rle_roundtrip () =
@@ -341,5 +415,14 @@ let () =
             test_equiv_combined;
           Alcotest.test_case "two threads, six ops, budgeted sweep" `Slow
             test_equiv_two_thread_budgeted;
+        ] );
+      ( "detect",
+        [
+          Alcotest.test_case "detect scope exhausts clean" `Slow
+            test_detect_scope_exhausts;
+          Alcotest.test_case "two announcing clients, budgeted sweep" `Slow
+            test_detect_two_thread_budgeted;
+          Alcotest.test_case "response-before-log-persist found and replays"
+            `Slow test_detect_response_fault_found;
         ] );
     ]

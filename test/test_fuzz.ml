@@ -375,6 +375,79 @@ let test_mirror_fault_inert_without_mirror () =
   in
   no_failures "fault without mirror" res
 
+(* ---- detectability layer ----
+
+   Same methodology again: the detect protocol (persistent announces,
+   combiner-persisted responses) gets a seeded crash-point budget of its
+   own, and its planted fault — responses reaching media before the log
+   entries they answer for — must be caught and shrunk. *)
+
+let test_fuzz_detect_clean () =
+  let res =
+    F.fuzz ~detect:true ~mode:Config.Durable ~fault:Config.No_fault ~gen_op
+      ~template:(template ~seed:5600 ~epsilon:16 ~ops:120)
+      ~iters:10 ()
+  in
+  no_failures "detect" res;
+  check_bool "detect crash points explored" true (res.Check.Fuzz.crashes > 0)
+
+let test_response_before_log_persist_caught_and_shrunk () =
+  (* the planted fault persists responses eagerly (CLFLUSH to media) while
+     leaving the log entries' write-backs unfenced: a crash in the window
+     leaves a response promising seqno s with no durable log entry to back
+     it, which recovery surfaces as a resolve mismatch (Completed claimed,
+     op not applied) or as completed-op loss *)
+  let mode = Config.Durable and fault = Config.Response_before_log_persist in
+  let tpl = template ~seed:9400 ~epsilon:16 ~ops:60 in
+  let res = F.fuzz ~detect:true ~mode ~fault ~gen_op ~template:tpl ~iters:8 () in
+  check_bool "planted fault caught" true (res.Check.Fuzz.failures <> []);
+  let first = List.hd res.Check.Fuzz.failures in
+  check_bool "caught as resolve mismatch or durable loss" true
+    (List.exists
+       (function
+         | Check.Durable_lin.Resolve_mismatch _
+         | Check.Durable_lin.Loss_bound_exceeded _
+         | Check.Durable_lin.Prefix_violation _ -> true
+         | _ -> false)
+       first.Check.Fuzz.violations);
+  let small = F.shrink ~detect:true ~mode ~fault ~gen_op first.Check.Fuzz.episode in
+  check_bool
+    (Fmt.str "shrunk to <= 4 threads (%a)" Check.Fuzz.pp_episode small)
+    true
+    (small.Check.Fuzz.threads <= 4);
+  let out = F.run_episode ~detect:true ~mode ~fault ~gen_op small in
+  check_bool "shrunk repro still fails" true (out.Check.Fuzz.violations <> []);
+  let cmd =
+    Check.Fuzz.repro_command ~detect:true ~mode ~fault ~ds:"hashmap" small
+  in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "repro names the fault" true
+    (contains cmd "response-before-log-persist");
+  check_bool "repro passes --detect" true (contains cmd "--detect")
+
+let test_response_fault_requires_detect () =
+  (* without the detectability layer there are no response records to
+     persist early: the config layer rejects the combination outright, so
+     the fault can never masquerade as a baseline bug *)
+  Alcotest.check_raises "config rejects fault without detect"
+    (Invalid_argument
+       "Config: response-before-log-persist fault only exists under --detect")
+    (fun () ->
+      Config.validate ~beta:4
+        (Config.make ~mode:Config.Durable
+           ~fault:Config.Response_before_log_persist ~workers:1 ()));
+  Alcotest.check_raises "config rejects detect outside durable"
+    (Invalid_argument
+       "Config: detectable execution requires durable mode (a buffered \
+        checkpoint cannot be gated on response persistence)")
+    (fun () ->
+      Config.validate ~beta:4
+        (Config.make ~mode:Config.Buffered ~detect:true ~workers:1 ()))
+
 (* A second data structure through the same harness: the fuzzing oracle is
    the pure model, so any Ds_intf.S implementation plugs in. *)
 module Fq = Check.Fuzz.Make (Seqds.Queue_ds)
@@ -518,5 +591,13 @@ let () =
             test_mirror_read_recovery_caught_and_shrunk;
           Alcotest.test_case "mirror fault inert without mirror" `Slow
             test_mirror_fault_inert_without_mirror;
+        ] );
+      ( "detect",
+        [
+          Alcotest.test_case "detect clean" `Slow test_fuzz_detect_clean;
+          Alcotest.test_case "response-before-log-persist caught and shrunk"
+            `Slow test_response_before_log_persist_caught_and_shrunk;
+          Alcotest.test_case "response fault requires detect" `Quick
+            test_response_fault_requires_detect;
         ] );
     ]

@@ -218,6 +218,74 @@ let test_unflushed_nvm_structure_corrupts_on_crash () =
       check "table pointer lost" 0 (Memory.peek m root);
       Context.reset ())
 
+(* ---- model-based crash paths ----
+
+   The crash-path contract every PUC leans on, checked per structure
+   against the pure model: ops up to a checkpoint survive a crash
+   bit-exactly, ops after the checkpoint are taken away *exactly* (the
+   coherent view loses precisely the unpersisted suffix), and the
+   recovered structure keeps agreeing with the model under further
+   updates — a recovered heap must be indistinguishable from a fresh
+   one. *)
+
+let crash_path_agrees (type h)
+    (module Ds : Seqds.Ds_intf.S with type handle = h) ~gen_op ~steps seed =
+  Sim.run_one (fun () ->
+      let m = Memory.make ~bg_period:0 () in
+      let vol = Alloc.create_volatile m ~home:0 in
+      let pers = Alloc.create_persistent m ~home:0 in
+      Context.bind ~default:vol ~persistent:pers ();
+      let rng = Sim.Rng.create seed in
+      let model = ref Ds.Model.empty in
+      let drive ds n phase =
+        for step = 1 to n do
+          let op, args = gen_op rng in
+          let got = Context.with_persistent (fun () -> Ds.execute ds ~op ~args) in
+          let model', expected = Ds.Model.apply !model ~op ~args in
+          model := model';
+          if got <> expected then
+            Alcotest.failf "%s: %s step %d op %d: got %d, model says %d"
+              Ds.name phase step op got expected
+        done
+      in
+      let ds = Context.with_persistent (fun () -> Ds.create m) in
+      drive ds steps "pre-checkpoint";
+      (* checkpoint: persist the whole NVM heap, as a PUC does every
+         epsilon ops for its stable replica *)
+      Alloc.persist_heap pers;
+      let checkpoint = !model in
+      let root = Ds.root_addr ds in
+      (* unpersisted tail: more ops, nothing flushed, then power failure *)
+      drive ds (steps / 2) "post-checkpoint";
+      Memory.crash m;
+      Context.reset ();
+      (* next incarnation: fresh allocators over the surviving media *)
+      let vol' = Alloc.create_volatile m ~home:0 in
+      let pers' = Alloc.create_persistent m ~home:0 in
+      Context.bind ~default:vol' ~persistent:pers' ();
+      let recovered = Ds.attach m root in
+      check_list
+        (Ds.name ^ " crash keeps checkpoint, loses unpersisted tail")
+        (Ds.Model.snapshot checkpoint)
+        (Ds.snapshot recovered);
+      (* the recovered structure must stay model-correct under updates *)
+      model := checkpoint;
+      drive recovered steps "post-recovery";
+      check_list
+        (Ds.name ^ " post-recovery snapshot agrees")
+        (Ds.Model.snapshot !model)
+        (Ds.snapshot recovered);
+      Context.reset ())
+
+let test_crash_path_pqueue () =
+  crash_path_agrees (module Pqueue) ~gen_op:pq_op ~steps:400 21L
+
+let test_crash_path_rbtree () =
+  crash_path_agrees (module Rbtree) ~gen_op:(map_op 100) ~steps:400 22L
+
+let test_crash_path_skiplist () =
+  crash_path_agrees (module Skiplist) ~gen_op:(map_op 100) ~steps:400 23L
+
 (* ---- qcheck properties ---- *)
 
 let ops_arbitrary =
@@ -356,6 +424,10 @@ let () =
             test_hashmap_in_nvm_recovers_when_flushed;
           Alcotest.test_case "unflushed structure lost" `Quick
             test_unflushed_nvm_structure_corrupts_on_crash;
+          Alcotest.test_case "crash path: pqueue" `Quick test_crash_path_pqueue;
+          Alcotest.test_case "crash path: rbtree" `Quick test_crash_path_rbtree;
+          Alcotest.test_case "crash path: skiplist" `Quick
+            test_crash_path_skiplist;
         ] );
       ( "properties",
         [
