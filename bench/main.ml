@@ -326,6 +326,90 @@ let run_readscale path =
        (String.concat ",\n" (List.rev !points)));
   Printf.printf "artifact: %s\n%!" path
 
+(* ---- bench loadcurve: open-loop latency-vs-offered-load sweep ----
+
+   For each system variant (PREP-Durable baseline, --flit, the full NUMA
+   package, --detect), calibrate closed-loop capacity at the same scale,
+   then sweep a Poisson arrival ladder from 25% to 150% of that capacity
+   through the open-loop runner. Past capacity the admission queue grows
+   without bound, censored sojourns blow up the p99, and the knee locator
+   marks the first saturated rate — the JSON artifact is the repo's first
+   offered-load (rather than closed-loop) result. *)
+
+let loadcurve_ladder = [ 0.25; 0.5; 0.75; 0.9; 1.1; 1.5 ]
+
+let run_loadcurve path =
+  let scale = smoke_scale in
+  let workers = 8 in
+  let theta = 0.99 in
+  let workload =
+    Workload.map_workload_zipf ~theta ~read_pct:50
+      ~key_range:scale.Figures.key_range
+      ~prefill_n:(scale.Figures.key_range / 2)
+  in
+  let ls = scale.Figures.log_size and eps = scale.Figures.eps_large in
+  let variants =
+    [
+      Hm.prep ~log_size:ls ~mode:Prep.Config.Durable ~epsilon:eps ();
+      Hm.prep ~log_size:ls ~flit:true ~mode:Prep.Config.Durable ~epsilon:eps ();
+      Hm.prep ~log_size:ls ~flit:true ~dist_rw:true ~log_mirror:true
+        ~slot_bitmap:true ~mode:Prep.Config.Durable ~epsilon:eps ();
+      Hm.prep ~log_size:ls ~detect:true ~mode:Prep.Config.Durable ~epsilon:eps
+        ();
+    ]
+  in
+  let curve system =
+    let closed =
+      Experiment.run ~topology:scale.Figures.topology
+        ~duration_ns:scale.Figures.duration_ns
+        ~warmup_ns:scale.Figures.warmup_ns ~system ~workload ~workers ()
+    in
+    let capacity = closed.Experiment.throughput in
+    let points =
+      List.map
+        (fun frac ->
+          Openloop.run ~topology:scale.Figures.topology
+            ~duration_ns:scale.Figures.duration_ns
+            ~warmup_ns:scale.Figures.warmup_ns ~system ~workload
+            ~arrival:(Workload.Arrival.Poisson { rate = frac *. capacity })
+            ~workers ())
+        loadcurve_ladder
+    in
+    Printf.printf "%-24s capacity %9.0f ops/s  knee %s\n%!"
+      system.Experiment.sys_name capacity
+      (match Openloop.knee points with
+       | Some k -> Printf.sprintf "%9.0f ops/s" k
+       | None -> "not reached");
+    List.iter
+      (fun (p : Openloop.point) ->
+        Printf.printf
+          "  offered %9.0f  completed %6d/%-6d  p50 %8d  p99 %10d  qpeak %d\n%!"
+          p.Openloop.ol_offered p.Openloop.ol_completed p.Openloop.ol_arrivals
+          p.Openloop.ol_sojourn.Telemetry.Registry.hs_p50
+          p.Openloop.ol_sojourn.Telemetry.Registry.hs_p99 p.Openloop.ol_qmax)
+      points;
+    points
+  in
+  let curves = List.map curve variants in
+  write_validated path
+    (Printf.sprintf
+       "{\n  \"schema_version\": %d,\n\
+       \  \"config\": {\"workers\": %d, \"read_pct\": 50, \"zipf_theta\": \
+        %.2f, \"key_range\": %d, \"log_size\": %d, \"epsilon\": %d, \
+        \"duration_ns\": %d},\n\
+       \  \"curves\": [\n%s\n  ]\n}\n"
+       Telemetry.Json.schema_version workers theta scale.Figures.key_range
+       scale.Figures.log_size scale.Figures.eps_large
+       scale.Figures.duration_ns
+       (String.concat ",\n"
+          (List.map (Openloop.curve_to_json ~indent:4) curves)));
+  Printf.printf "artifact: %s\n%!" path;
+  (* the sweep must actually reach saturation on every curve *)
+  if List.exists (fun pts -> Openloop.knee pts = None) curves then begin
+    prerr_endline "bench loadcurve FAILED: a curve never saturated";
+    exit 1
+  end
+
 let () =
   let scale = Figures.scale_of_env () in
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -345,8 +429,12 @@ let () =
   | "readscale" ->
     run_readscale
       (if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench-readscale.json")
+  | "loadcurve" ->
+    run_loadcurve
+      (if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench-loadcurve.json")
   | other ->
     Printf.eprintf
       "unknown command %S (expected \
-       all|table1|fig1..fig6|ablation|flushstats|micro|smoke|readscale)\n" other;
+       all|table1|fig1..fig6|ablation|flushstats|micro|smoke|readscale|loadcurve)\n"
+      other;
     exit 1

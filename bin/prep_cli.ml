@@ -1,12 +1,20 @@
 (* prep-cli: drive the PREP-UC reproduction from the command line.
 
    Subcommands:
-     bench    run one figure (or all) of the paper's evaluation
-     run      run a single throughput point with explicit parameters
-     profile  run one point with telemetry and print the phase breakdown
-     validate check a bench-JSON or trace-JSON artifact against its schema
-     crash    run a crash/recovery episode and print the loss accounting
-     fuzz     crash-point fuzzing with durable-linearizability checking
+     bench     run one figure (or all) of the paper's evaluation
+     run       run a single throughput point with explicit parameters
+     profile   run one point with telemetry and print the phase breakdown
+     validate  check a bench-JSON or trace-JSON artifact against its schema
+     crash     run a crash/recovery episode and print the loss accounting
+     fuzz      crash-point fuzzing with durable-linearizability checking
+     explore   bounded exhaustive schedule-and-crash exploration
+     session   crash-restart-continue client sessions (exactly-once check)
+     sweep     closed-loop threads x read-pct grid, bench-schema JSON
+     serve-sim open-loop arrival-process points (offered load vs sojourn)
+
+   The harness subcommands take [-j N] to fan independent simulations
+   across N domains (Harness.Campaign); results are deterministic — byte
+   identical at any -j.
 
    Examples:
      dune exec bin/prep_cli.exe -- bench --figure fig3
@@ -16,9 +24,14 @@
        --trace trace.json               # open trace.json in ui.perfetto.dev
      dune exec bin/prep_cli.exe -- validate --kind trace trace.json
      dune exec bin/prep_cli.exe -- crash --mode buffered --epsilon 128
-     dune exec bin/prep_cli.exe -- fuzz --iters 200 --variant buffered
+     dune exec bin/prep_cli.exe -- fuzz --iters 200 --variant buffered -j 4
      dune exec bin/prep_cli.exe -- fuzz --variant durable --ds rbtree \
-       --seed 57 --crash-op 81000        # replay one exact episode *)
+       --seed 57 --crash-op 81000        # replay one exact episode
+     dune exec bin/prep_cli.exe -- explore --threads 2 --ops 2 --shards 8 -j 4
+     dune exec bin/prep_cli.exe -- sweep --threads-list 2,8,16 \
+       --read-pcts 50,90 -j 4 --json sweep.json
+     dune exec bin/prep_cli.exe -- serve-sim --arrival bursty \
+       --rates 5e5,1e6,2e6 --theta 0.99 --json curve.json *)
 
 open Cmdliner
 open Harness
@@ -151,6 +164,36 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run independent simulations on $(docv) domains. Deterministic: the \
+     output is byte-identical at any -j."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Map a --system name to an [Experiment.system] under a data structure's
+   [SYSTEMS] instantiation; shared by run/profile/sweep/serve-sim. *)
+let select_system ~system ~epsilon ~flit ~dist_rw ~log_mirror ~slot_bitmap
+    ~detect (module Sy : SYSTEMS) =
+  if detect && system <> "prep-durable" then
+    Error "--detect requires --system prep-durable"
+  else
+    match system with
+    | "gl" -> Ok Sy.global_lock
+    | "prep-v" -> Ok (Sy.prep ~log_size ~mode:Prep.Config.Volatile ~epsilon:1 ())
+    | "prep-buffered" ->
+      Ok
+        (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap
+           ~mode:Prep.Config.Buffered ~epsilon ())
+    | "prep-durable" ->
+      Ok
+        (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
+           ~mode:Prep.Config.Durable ~epsilon ())
+    | "cx" -> Ok (Sy.cx ())
+    | "soft-1k" -> Ok (Experiment.soft ~nbuckets:1000)
+    | "soft-10k" -> Ok (Experiment.soft ~nbuckets:10_000)
+    | other -> Error (Printf.sprintf "unknown system %S" other)
+
 let run_point ~profile system ds threads epsilon read_pct keys duration seed
     flit dist_rw log_mirror slot_bitmap detect trace =
   let workload_map, workload_pairs =
@@ -215,23 +258,9 @@ let run_point ~profile system ds threads epsilon read_pct keys duration seed
             "trace failed self-validation:\n  " ^ String.concat "\n  " errs ))
     | _ -> `Ok ()
   in
-  let prep_sys (module Sy : SYSTEMS) =
-    if detect && system <> "prep-durable" then
-      Error "--detect requires --system prep-durable"
-    else
-      match system with
-      | "gl" -> Ok Sy.global_lock
-      | "prep-v" -> Ok (Sy.prep ~log_size ~mode:Prep.Config.Volatile ~epsilon:1 ())
-      | "prep-buffered" ->
-        Ok (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap
-              ~mode:Prep.Config.Buffered ~epsilon ())
-      | "prep-durable" ->
-        Ok (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
-              ~mode:Prep.Config.Durable ~epsilon ())
-      | "cx" -> Ok (Sy.cx ())
-      | "soft-1k" -> Ok (Experiment.soft ~nbuckets:1000)
-      | "soft-10k" -> Ok (Experiment.soft ~nbuckets:10_000)
-      | other -> Error (Printf.sprintf "unknown system %S" other)
+  let prep_sys =
+    select_system ~system ~epsilon ~flit ~dist_rw ~log_mirror ~slot_bitmap
+      ~detect
   in
   match ds with
   | "hashmap" ->
@@ -502,7 +531,8 @@ let fuzz_ds ds =
   | other -> Error (Printf.sprintf "unknown data structure %S" other)
 
 let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
-    crash_time no_crash bg_period flit dist_rw log_mirror slot_bitmap detect =
+    crash_time no_crash bg_period flit dist_rw log_mirror slot_bitmap detect
+    jobs =
   let variant_v =
     match variant with
     | "volatile" -> Ok Prep.Config.Volatile
@@ -575,7 +605,8 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
      | None ->
        let res =
          F.fuzz ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~mode ~fault
-           ~gen_op ~template ~iters ~log:print_endline ()
+           ~gen_op ~template ~iters ~log:print_endline
+           ~runner:(Campaign.run ~j:jobs) ()
        in
        Printf.printf "%d episodes (%d crashed), %d failing\n"
          res.Check.Fuzz.episodes res.Check.Fuzz.crashes
@@ -606,7 +637,7 @@ let fuzz_cmd =
        $ fuzz_epsilon_arg $ fuzz_log_size_arg $ fuzz_ops_arg $ fuzz_seed_arg
        $ fault_arg $ crash_op_arg $ crash_time_arg $ no_crash_arg
        $ bg_period_arg $ flit_arg $ dist_rw_arg $ log_mirror_arg
-       $ slot_bitmap_arg $ detect_arg))
+       $ slot_bitmap_arg $ detect_arg $ jobs_arg))
 
 (* ---- explore ---- *)
 
@@ -657,6 +688,16 @@ let no_prune_arg =
   in
   Arg.(value & flag & info [ "no-prune" ] ~doc)
 
+let shards_arg =
+  let doc =
+    "Split the oracle work (crash recoveries, terminal model-replays) into \
+     $(docv) independent shards run as a campaign; the merged result is \
+     audited against the replicated schedule DFS. Keep $(docv) fixed while \
+     varying -j: the merge is a function of the shard set, not of how many \
+     domains ran it."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+
 let replay_arg =
   let doc =
     "Replay a single schedule from a run-length-encoded decision trace \
@@ -677,7 +718,7 @@ let frontier_arg =
 
 let explore variant ds threads ops epsilon log_size seed sockets cores fault
     flit dist_rw log_mirror slot_bitmap detect max_schedules max_states
-    max_steps frontier_lines no_prune replay crash_step frontier =
+    max_steps frontier_lines no_prune shards jobs replay crash_step frontier =
   let variant_v =
     match variant with
     | "volatile" -> Ok Prep.Config.Volatile
@@ -719,6 +760,7 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
         ( true,
           Printf.sprintf "--threads must be between 1 and %d (got %d)"
             (E.max_threads scope) threads )
+    else if shards < 1 then `Error (true, "--shards must be at least 1")
     else begin
       let flag_str =
         String.concat ""
@@ -766,8 +808,16 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
         end
       | None ->
         let res =
-          E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~budget
-            ~mode ~fault:fault_v ~gen_op ~scope ()
+          if shards = 1 then
+            E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~budget
+              ~mode ~fault:fault_v ~gen_op ~scope ()
+          else
+            Check.Explore.merge_shards
+              (Campaign.run ~j:jobs
+                 (Array.init shards (fun i () ->
+                      E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap
+                        ~detect ~budget ~shard:(i, shards) ~mode
+                        ~fault:fault_v ~gen_op ~scope ())))
         in
         let s = res.Check.Explore.stats in
         Printf.printf
@@ -822,8 +872,8 @@ let explore_cmd =
        $ exp_epsilon_arg $ exp_log_size_arg $ exp_seed_arg $ exp_sockets_arg
        $ exp_cores_arg $ fault_arg $ flit_arg $ dist_rw_arg $ log_mirror_arg
        $ slot_bitmap_arg $ detect_arg $ max_schedules_arg $ max_states_arg $ max_steps_arg
-       $ frontier_lines_arg $ no_prune_arg $ replay_arg $ crash_step_arg
-       $ frontier_arg))
+       $ frontier_lines_arg $ no_prune_arg $ shards_arg $ jobs_arg
+       $ replay_arg $ crash_step_arg $ frontier_arg))
 
 (* ---- session ---- *)
 
@@ -888,7 +938,7 @@ let json_of_outcome ~ds ~threads (o : Session.outcome) =
     st.Nvm.Memory.sfence_elided st.Nvm.Memory.bg_flushes json_counters
 
 let session ds threads ops epsilon log_size crashes seed sessions bg_period
-    detect json =
+    detect jobs json =
   match fuzz_ds ds with
   | Error m -> `Error (true, m)
   | Ok ((module Ds), gen_op) ->
@@ -912,7 +962,7 @@ let session ds threads ops epsilon log_size crashes seed sessions bg_period
           bg_period;
         }
       in
-      let outcomes = S.campaign cfg ~gen_op ~sessions in
+      let outcomes = S.campaign ~j:jobs cfg ~gen_op ~sessions in
       List.iteri
         (fun i (o : Session.outcome) ->
           Printf.printf "session %d (seed %d):\n" i (seed + i);
@@ -1008,7 +1058,297 @@ let session_cmd =
         (const session $ ds_arg $ session_threads_arg $ session_ops_arg
        $ session_epsilon_arg $ session_log_size_arg $ session_crashes_arg
        $ session_seed_arg $ sessions_arg $ bg_period_arg $ detect_arg
-       $ session_json_arg))
+       $ jobs_arg $ session_json_arg))
+
+(* ---- sweep: closed-loop threads x read-pct grid, campaign-parallel ---- *)
+
+let json_of_result (r : Experiment.result) =
+  let counters =
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%S: %d" k v)
+           (Experiment.counters r))
+    ^ "}"
+  in
+  Printf.sprintf
+    {|{"system": %S, "workload": %S, "workers": %d, "ops": %d, "duration_ns": %d, "throughput": %.1f, "wbinvd": %d, "clwb": %d, "clwb_elided": %d, "clwb_coalesced": %d, "clflush": %d, "clflush_elided": %d, "sfence": %d, "sfence_elided": %d, "bg_flushes": %d, "counters": %s}|}
+    r.Experiment.system r.Experiment.workload r.Experiment.workers
+    r.Experiment.ops r.Experiment.duration_ns r.Experiment.throughput
+    r.Experiment.wbinvd r.Experiment.clwb r.Experiment.clwb_elided
+    r.Experiment.clwb_coalesced r.Experiment.clflush
+    r.Experiment.clflush_elided r.Experiment.sfence r.Experiment.sfence_elided
+    r.Experiment.bg_flushes counters
+
+let write_bench_json path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  match Telemetry.Json.(validate_string validate_bench contents) with
+  | Ok () ->
+    Printf.printf "artifact: %s\n" path;
+    Ok ()
+  | Error errs ->
+    List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) errs;
+    Error
+      (Printf.sprintf "%s does not validate against the bench schema" path)
+
+let int_list_of_string s =
+  try
+    Ok
+      (String.split_on_char ',' s
+      |> List.filter (fun t -> String.trim t <> "")
+      |> List.map (fun t -> int_of_string (String.trim t)))
+  with _ -> Error (Printf.sprintf "bad integer list %S" s)
+
+let float_list_of_string s =
+  try
+    Ok
+      (String.split_on_char ',' s
+      |> List.filter (fun t -> String.trim t <> "")
+      |> List.map (fun t -> float_of_string (String.trim t)))
+  with _ -> Error (Printf.sprintf "bad number list %S" s)
+
+let map_systems ds : ((module SYSTEMS), string) result =
+  match ds with
+  | "hashmap" -> Ok (module Experiment.Systems (Seqds.Hashmap) : SYSTEMS)
+  | "rbtree" -> Ok (module Experiment.Systems (Seqds.Rbtree) : SYSTEMS)
+  | "skiplist" -> Ok (module Experiment.Systems (Seqds.Skiplist) : SYSTEMS)
+  | other ->
+    Error
+      (Printf.sprintf
+         "data structure %S is not a map (sweep/serve-sim need --read-pct \
+          workloads: hashmap, rbtree or skiplist)"
+         other)
+
+let threads_list_arg =
+  let doc = "Comma-separated worker-thread counts to sweep." in
+  Arg.(value & opt string "2,8,16" & info [ "threads-list" ] ~docv:"LIST" ~doc)
+
+let read_pcts_arg =
+  let doc = "Comma-separated read percentages to sweep." in
+  Arg.(value & opt string "50,90" & info [ "read-pcts" ] ~docv:"LIST" ~doc)
+
+let sweep_json_arg =
+  let doc = "Write a bench-schema JSON artifact of the grid to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let sweep system ds threads_list read_pcts epsilon keys duration seed flit
+    dist_rw log_mirror slot_bitmap detect jobs json =
+  let fail msg = `Error (true, msg) in
+  match
+    (int_list_of_string threads_list, int_list_of_string read_pcts,
+     map_systems ds)
+  with
+  | Error m, _, _ | _, Error m, _ | _, _, Error m -> fail m
+  | Ok threads_l, Ok pcts, Ok (module Sy) -> (
+    let max_workers = Sim.Topology.total_cores Sim.Topology.default - 1 in
+    if threads_l = [] || pcts = [] then fail "empty sweep grid"
+    else if
+      List.exists (fun t -> t < 1 || t > max_workers) threads_l
+      || List.exists (fun p -> p < 0 || p > 100) pcts
+    then
+      fail
+        (Printf.sprintf "grid out of range (threads 1-%d, read-pct 0-100)"
+           max_workers)
+    else
+      match
+        select_system ~system ~epsilon ~flit ~dist_rw ~log_mirror
+          ~slot_bitmap ~detect (module Sy)
+      with
+      | Error m -> fail m
+      | Ok sys ->
+        let grid =
+          Array.of_list
+            (List.concat_map
+               (fun t -> List.map (fun p -> (t, p)) pcts)
+               threads_l)
+        in
+        let results =
+          Campaign.map ~j:jobs
+            (fun (t, p) ->
+              Experiment.run ~seed:(Int64.of_int seed) ~duration_ns:duration
+                ~warmup_ns:(duration / 5) ~system:sys
+                ~workload:
+                  (Workload.map_workload ~read_pct:p ~key_range:keys
+                     ~prefill_n:(keys / 2))
+                ~workers:t ())
+            grid
+        in
+        Array.iter
+          (fun (r : Experiment.result) ->
+            Printf.printf "%s | %s | %2d threads: %.0f ops/sec (%d ops)\n"
+              r.Experiment.system r.Experiment.workload r.Experiment.workers
+              r.Experiment.throughput r.Experiment.ops)
+          results;
+        (match json with
+         | None -> `Ok ()
+         | Some path -> (
+           let contents =
+             Printf.sprintf
+               "{\n  \"schema_version\": %d,\n\
+               \  \"config\": {\"system_name\": %S, \"ds\": %S, \"epsilon\": %d, \
+                \"key_range\": %d, \"duration_ns\": %d, \"seed\": %d},\n\
+               \  \"results\": [\n    %s\n  ]\n}\n"
+               Telemetry.Json.schema_version system ds epsilon keys duration
+               seed
+               (String.concat ",\n    "
+                  (Array.to_list (Array.map json_of_result results)))
+           in
+           match write_bench_json path contents with
+           | Ok () -> `Ok ()
+           | Error m -> `Error (false, m))))
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Closed-loop throughput grid over worker threads x read percentage, \
+          fanned across domains with -j; emits a bench-schema JSON artifact")
+    Term.(
+      ret
+        (const sweep $ system_arg $ ds_arg $ threads_list_arg $ read_pcts_arg
+       $ epsilon_arg $ keys_arg $ duration_arg $ seed_arg $ flit_arg
+       $ dist_rw_arg $ log_mirror_arg $ slot_bitmap_arg $ detect_arg
+       $ jobs_arg $ sweep_json_arg))
+
+(* ---- serve-sim: open-loop arrival-process points ---- *)
+
+let arrival_arg =
+  let doc = "Arrival process: poisson, bursty (MMPP-2) or diurnal." in
+  Arg.(value & opt string "poisson" & info [ "arrival" ] ~docv:"PROC" ~doc)
+
+let rates_arg =
+  let doc = "Comma-separated mean offered loads, simulated ops/s." in
+  Arg.(value & opt string "1e6" & info [ "rates" ] ~docv:"LIST" ~doc)
+
+let theta_arg =
+  let doc = "Zipfian key-popularity skew in (0,1); 0 means uniform keys." in
+  Arg.(value & opt float 0.0 & info [ "theta" ] ~docv:"THETA" ~doc)
+
+let burst_ratio_arg =
+  let doc = "Bursty arrivals: high-phase rate over low-phase rate." in
+  Arg.(value & opt float 4.0 & info [ "burst-ratio" ] ~docv:"R" ~doc)
+
+let dwell_arg =
+  let doc = "Bursty arrivals: mean phase dwell time, simulated ns." in
+  Arg.(value & opt int 200_000 & info [ "dwell" ] ~docv:"NS" ~doc)
+
+let period_arg =
+  let doc = "Diurnal arrivals: modulation period, simulated ns." in
+  Arg.(value & opt int 2_000_000 & info [ "period" ] ~docv:"NS" ~doc)
+
+(* An arrival process with the requested mean rate. Bursty splits the mean
+   across the two phases at [burst_ratio]; diurnal inverts the 0.55-of-peak
+   mean of the thinned cosine profile. *)
+let arrival_of ~arrival ~burst_ratio ~dwell ~period rate =
+  match arrival with
+  | "poisson" -> Ok (Workload.Arrival.Poisson { rate })
+  | "bursty" ->
+    let rate_low = 2.0 *. rate /. (1.0 +. burst_ratio) in
+    Ok
+      (Workload.Arrival.Bursty
+         {
+           rate_low;
+           rate_high = burst_ratio *. rate_low;
+           dwell_ns = float_of_int dwell;
+         })
+  | "diurnal" ->
+    Ok
+      (Workload.Arrival.Diurnal
+         { rate_peak = rate /. 0.55; period_ns = float_of_int period })
+  | other -> Error (Printf.sprintf "unknown arrival process %S" other)
+
+let serve_sim system ds threads epsilon read_pct keys duration seed flit
+    dist_rw log_mirror slot_bitmap detect arrival rates theta burst_ratio
+    dwell period jobs json =
+  let fail msg = `Error (true, msg) in
+  match (float_list_of_string rates, map_systems ds) with
+  | Error m, _ | _, Error m -> fail m
+  | Ok rates_l, Ok (module Sy) -> (
+    if rates_l = [] then fail "empty --rates list"
+    else if List.exists (fun r -> r <= 0.0) rates_l then
+      fail "--rates must be positive"
+    else if theta < 0.0 || theta >= 1.0 then
+      fail "--theta must be 0 (uniform) or in (0,1)"
+    else
+      match
+        ( select_system ~system ~epsilon ~flit ~dist_rw ~log_mirror
+            ~slot_bitmap ~detect (module Sy),
+          arrival_of ~arrival ~burst_ratio ~dwell ~period 1.0 )
+      with
+      | Error m, _ | _, Error m -> fail m
+      | Ok sys, Ok _ ->
+        let workload =
+          if theta = 0.0 then
+            Workload.map_workload ~read_pct ~key_range:keys
+              ~prefill_n:(keys / 2)
+          else
+            Workload.map_workload_zipf ~theta ~read_pct ~key_range:keys
+              ~prefill_n:(keys / 2)
+        in
+        let points =
+          Campaign.map ~j:jobs
+            (fun rate ->
+              let arr =
+                match arrival_of ~arrival ~burst_ratio ~dwell ~period rate with
+                | Ok a -> a
+                | Error m -> failwith m
+              in
+              Openloop.run ~seed:(Int64.of_int seed) ~duration_ns:duration
+                ~system:sys ~workload ~arrival:arr ~workers:threads ())
+            (Array.of_list rates_l)
+          |> Array.to_list
+        in
+        List.iter
+          (fun (p : Openloop.point) ->
+            Printf.printf
+              "%s | %s | offered %.0f/s: completed %d/%d (backlog %d, qpeak \
+               %d)  sojourn p50 %d p95 %d p99 %d ns\n"
+              p.Openloop.ol_system p.Openloop.ol_workload
+              p.Openloop.ol_offered p.Openloop.ol_completed
+              p.Openloop.ol_arrivals p.Openloop.ol_backlogged
+              p.Openloop.ol_qmax
+              p.Openloop.ol_sojourn.Telemetry.Registry.hs_p50
+              p.Openloop.ol_sojourn.Telemetry.Registry.hs_p95
+              p.Openloop.ol_sojourn.Telemetry.Registry.hs_p99)
+          points;
+        (match Openloop.knee points with
+         | Some k -> Printf.printf "saturation knee: %.0f ops/s\n" k
+         | None -> print_endline "saturation knee: not reached");
+        (match json with
+         | None -> `Ok ()
+         | Some path -> (
+           let contents =
+             Printf.sprintf
+               "{\n  \"schema_version\": %d,\n\
+               \  \"config\": {\"system_name\": %S, \"ds\": %S, \"arrival\": %S, \
+                \"read_pct\": %d, \"zipf_theta\": %.2f, \"epsilon\": %d, \
+                \"duration_ns\": %d, \"seed\": %d},\n\
+               \  \"curves\": [\n%s\n  ]\n}\n"
+               Telemetry.Json.schema_version system ds arrival read_pct theta
+               epsilon duration seed
+               (Openloop.curve_to_json ~indent:4 points)
+           in
+           match write_bench_json path contents with
+           | Ok () -> `Ok ()
+           | Error m -> `Error (false, m))))
+
+let serve_sim_cmd =
+  Cmd.v
+    (Cmd.info "serve-sim"
+       ~doc:
+         "Open-loop service simulation: a Poisson/bursty/diurnal arrival \
+          process feeds an admission queue in front of the flat-combining \
+          slots; reports arrival-to-response sojourn percentiles per \
+          offered load and the saturation knee")
+    Term.(
+      ret
+        (const serve_sim $ system_arg $ ds_arg $ threads_arg $ epsilon_arg
+       $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg $ flit_arg
+       $ dist_rw_arg $ log_mirror_arg $ slot_bitmap_arg $ detect_arg
+       $ arrival_arg $ rates_arg $ theta_arg $ burst_ratio_arg $ dwell_arg
+       $ period_arg $ jobs_arg $ sweep_json_arg))
 
 let () =
   let info =
@@ -1019,4 +1359,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ bench_cmd; run_cmd; profile_cmd; validate_cmd; crash_cmd;
-            fuzz_cmd; explore_cmd; session_cmd ]))
+            fuzz_cmd; explore_cmd; session_cmd; sweep_cmd; serve_sim_cmd ]))

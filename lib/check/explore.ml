@@ -147,6 +147,92 @@ type result = {
           frontier cap was hit and no violation cut the search short *)
 }
 
+(* inverse gray code: the enumeration index whose gray code is [g] *)
+let ungray g =
+  let i = ref g and s = ref (g lsr 1) in
+  while !s <> 0 do
+    i := !i lxor !s;
+    s := !s lsr 1
+  done;
+  !i
+
+(* Position of a shard's violation in the serial check order: checks run in
+   increasing (schedule, step, frontier-enumeration index); the terminal
+   model-replay of a schedule runs after all of its crash checks. A shard
+   stops at its first violation, so its [stats.schedules] at that moment is
+   the schedule ordinal. *)
+let violation_ordinal (r : result) =
+  match r.violation with
+  | None -> None
+  | Some v ->
+    (match v.v_crash with
+     | Some (step, mask) -> Some (r.stats.schedules, step, ungray mask)
+     | None -> Some (r.stats.schedules, max_int, max_int))
+
+(** Merge the results of running [explore ~shard:(i, n)] for every
+    [i < n] (any order — shards are independent). Every shard replays the
+    identical DFS and differs only in which oracle checks it performs, so
+    when no shard found a violation all scheduling statistics must be
+    bit-identical — verified here as a determinism audit; [recoveries]
+    (the sharded work) sums and [max_completed_loss] maxes. The merged
+    violation, if any, is the one the unsharded serial search would have
+    hit first: minimal [violation_ordinal] across shards. *)
+let merge_shards (shards : result array) : result =
+  if Array.length shards = 0 then invalid_arg "Explore.merge_shards: empty";
+  if Array.length shards = 1 then shards.(0)
+  else begin
+    let winner =
+      Array.to_list shards
+      |> List.filter_map (fun r ->
+             Option.map (fun o -> (o, r)) (violation_ordinal r))
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> function
+      | [] -> None
+      | (_, r) :: _ -> Some r
+    in
+    let base = match winner with Some r -> r | None -> shards.(0) in
+    if winner = None then
+      (* no shard stopped early: the replicated DFS bookkeeping must agree *)
+      Array.iteri
+        (fun i r ->
+          let s = r.stats and s0 = base.stats in
+          let same =
+            s.schedules = s0.schedules
+            && s.steps = s0.steps && s.states = s0.states
+            && s.dedup_hits = s0.dedup_hits
+            && s.sleep_skips = s0.sleep_skips
+            && s.terminals = s0.terminals
+            && s.crash_points = s0.crash_points
+            && s.frontiers = s0.frontiers
+            && s.frontier_truncations = s0.frontier_truncations
+            && s.depth_cutoffs = s0.depth_cutoffs
+            && s.stutter_cuts = s0.stutter_cuts
+            && r.terminal_states = base.terminal_states
+            && r.exhausted = base.exhausted
+          in
+          if not same then
+            failwith
+              (Printf.sprintf
+                 "Explore.merge_shards: shard %d diverged from shard 0 \
+                  (exploration is not deterministic)"
+                 i))
+        shards;
+    let recoveries =
+      Array.fold_left (fun a r -> a + r.stats.recoveries) 0 shards
+    in
+    let max_completed_loss =
+      Array.fold_left (fun a r -> max a r.stats.max_completed_loss) 0 shards
+    in
+    {
+      stats = { base.stats with recoveries; max_completed_loss };
+      violation = base.violation;
+      terminal_states = base.terminal_states;
+      exhausted =
+        base.violation = None
+        && Array.for_all (fun r -> r.exhausted) shards;
+    }
+  end
+
 (* run-length encoding of decision traces: "0*12,2,1*3" *)
 let decisions_to_string ds =
   let buf = Buffer.create 64 in
@@ -278,7 +364,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
      (report, snapshot, resolutions) — resolutions is the per-thread
      [Uc.resolve] verdict list, empty unless [detect]. *)
   let run_recovery ~scope ~detect uc =
-    let saved_ctx = Hashtbl.copy Context.table in
+    let saved_ctx = Context.save () in
     Context.reset ();
     let topo = topology scope in
     let sim2 = Sim.create ~seed:97L topo in
@@ -300,18 +386,31 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     (match Sim.run sim2 () with
      | `Done -> ()
      | `Cut _ -> failwith "Explore: recovery did not finish");
-    Context.reset ();
-    Hashtbl.iter (fun k v -> Hashtbl.replace Context.table k v) saved_ctx;
+    Context.restore saved_ctx;
     Option.get !out
 
   (** Explore every interleaving and every reachable crash frontier of the
       small-scope workload. Stops at the first violation (it carries a
-      replayable decision trace) or when the space/budget is exhausted. *)
+      replayable decision trace) or when the space/budget is exhausted.
+
+      [shard = (i, n)] splits the oracle work for a parallel campaign:
+      every shard replays the *identical* schedule DFS (all sleep-set and
+      state-dedup bookkeeping included — scheduling cost is replicated,
+      not divided), but performs only the crash recoveries and terminal
+      model-replays whose dedup hash falls in its residue class. A skipped
+      check is state-neutral (the memory snapshot would have been restored
+      anyway), so shards stay in lockstep; [merge_shards] reassembles the
+      full result and audits that lockstep. The default [(0, 1)] is the
+      exact unsharded search. *)
   let explore ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
       ?(slot_bitmap = false) ?(detect = false) ?(budget = default_budget)
-      ~mode ~fault ~gen_op ~scope () =
+      ?(shard = (0, 1)) ~mode ~fault ~gen_op ~scope () =
     if scope.threads < 1 || scope.threads > max_threads scope then
       invalid_arg "Explore: thread count out of range";
+    let shard_ix, shard_n = shard in
+    if shard_n < 1 || shard_ix < 0 || shard_ix >= shard_n then
+      invalid_arg "Explore: shard index out of range";
+    let mine h = shard_n = 1 || (h land max_int) mod shard_n = shard_ix in
     let topo = topology scope in
     let beta = topo.Sim.Topology.cores_per_socket in
     let loss_bound =
@@ -518,15 +617,17 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
             let sg = h2 (base_media lxor !cur) th in
             if not (Hashtbl.mem seen_crash sg) then begin
               Hashtbl.add seen_crash sg ();
-              let snap =
-                match !snap with
-                | Some s -> s
-                | None ->
-                  let s = Memory.snapshot mem in
-                  snap := Some s;
-                  s
-              in
-              check_crash uc ~snap ~lines ~mask:gray ~this_step
+              if mine sg then begin
+                let snap =
+                  match !snap with
+                  | Some s -> s
+                  | None ->
+                    let s = Memory.snapshot mem in
+                    snap := Some s;
+                    s
+                in
+                check_crash uc ~snap ~lines ~mask:gray ~this_step
+              end
             end
           done
         end
@@ -708,21 +809,28 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       let applied = List.init logged (fun i -> i) in
       let snapshot = Uc.snapshot uc in
       Hashtbl.replace terminal_states snapshot ();
-      let violations =
-        Dl.check ~trace ~prefill:(Uc.prefill_ops uc) ~applied ~completed
-          ~recovered_snapshot:snapshot ~loss_bound:0 ()
+      (* terminal model-replay is sharded by decision-trace hash; snapshot
+         collection above is not (every shard sees every terminal) *)
+      let dh =
+        List.fold_left h2 (mix (List.length !decisions_rev)) !decisions_rev
       in
-      if violations <> [] then
-        raise
-          (Violation_found
-             {
-               v_decisions = List.rev !decisions_rev;
-               v_crash = None;
-               v_violations = violations;
-               v_logged = logged;
-               v_completed = List.length completed;
-               v_applied = logged;
-             })
+      if mine dh then begin
+        let violations =
+          Dl.check ~trace ~prefill:(Uc.prefill_ops uc) ~applied ~completed
+            ~recovered_snapshot:snapshot ~loss_bound:0 ()
+        in
+        if violations <> [] then
+          raise
+            (Violation_found
+               {
+                 v_decisions = List.rev !decisions_rev;
+                 v_crash = None;
+                 v_violations = violations;
+                 v_logged = logged;
+                 v_completed = List.length completed;
+                 v_applied = logged;
+               })
+      end
     in
 
     (* ---- DFS driver ---- *)

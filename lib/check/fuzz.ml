@@ -285,10 +285,18 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       ignored): one calibration run sizes the crash-point space, then each
       episode gets a fresh workload seed and a random crash point —
       alternating between memory-operation-index and simulated-time
-      injection. Deterministic in [template]. *)
+      injection. Deterministic in [template].
+
+      [runner] evaluates the episode task array (default: in order on the
+      calling domain; the CLI injects [Harness.Campaign.run ~j]). The
+      whole plan — every seed and crash point — is drawn serially *before*
+      any episode runs, each episode is a self-contained sim, and the
+      results are merged in episode order, so the result and the log are
+      byte-identical whatever the runner's parallelism. *)
   let fuzz ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
       ?(slot_bitmap = false) ?(detect = false) ~mode ~fault ~gen_op ~template
-      ~iters ?(log = fun _ -> ()) () =
+      ~iters ?(log = fun _ -> ())
+      ?(runner = fun tasks -> Array.map (fun task -> task ()) tasks) () =
     let run_episode =
       run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
     in
@@ -301,28 +309,35 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     let rng =
       Sim.Rng.create (Int64.of_int ((template.workload_seed * 1_000_003) + 17))
     in
+    let plan =
+      Array.init iters (fun idx ->
+          let i = idx + 1 in
+          let crash =
+            if mode = Prep.Config.Volatile then No_crash
+            else if Sim.Rng.bool rng then
+              At_op (1 + Sim.Rng.int rng (max 1 calib.runtime_ops))
+            else At_time (1 + Sim.Rng.int rng (max 1 calib.end_time))
+          in
+          { template with workload_seed = template.workload_seed + i; crash })
+    in
+    let outs =
+      runner (Array.map (fun ep () -> run_episode ~mode ~fault ~gen_op ep) plan)
+    in
     let failures = ref [] in
     let crashes = ref 0 in
-    for i = 1 to iters do
-      let crash =
-        if mode = Prep.Config.Volatile then No_crash
-        else if Sim.Rng.bool rng then
-          At_op (1 + Sim.Rng.int rng (max 1 calib.runtime_ops))
-        else At_time (1 + Sim.Rng.int rng (max 1 calib.end_time))
-      in
-      let ep =
-        { template with workload_seed = template.workload_seed + i; crash }
-      in
-      let out = run_episode ~mode ~fault ~gen_op ep in
-      if out.crashed then incr crashes;
-      if out.violations <> [] then begin
-        failures := { episode = ep; violations = out.violations } :: !failures;
-        log
-          (Fmt.str "episode %d/%d FAILED (%a): %a" i iters pp_episode ep
-             Fmt.(list ~sep:comma Durable_lin.pp_violation)
-             out.violations)
-      end
-    done;
+    Array.iteri
+      (fun idx out ->
+        let ep = plan.(idx) in
+        if out.crashed then incr crashes;
+        if out.violations <> [] then begin
+          failures := { episode = ep; violations = out.violations } :: !failures;
+          log
+            (Fmt.str "episode %d/%d FAILED (%a): %a" (idx + 1) iters pp_episode
+               ep
+               Fmt.(list ~sep:comma Durable_lin.pp_violation)
+               out.violations)
+        end)
+      outs;
     { episodes = iters; crashes = !crashes; failures = List.rev !failures }
 
   (** Minimize a failing episode: fewest threads first (re-probing several

@@ -370,7 +370,12 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       mem_stats = Memory.stats mem;
     }
 
-  (** [sessions] independent sessions on consecutive seeds. *)
-  let campaign (cfg : config) ~gen_op ~sessions =
-    List.init sessions (fun i -> run { cfg with seed = cfg.seed + i } ~gen_op)
+  (** [sessions] independent sessions on consecutive seeds, evaluated by
+      [Campaign.run ~j] (each session is a self-contained sim, so the
+      outcome list is identical at any [j]). *)
+  let campaign ?(j = 1) (cfg : config) ~gen_op ~sessions =
+    Array.to_list
+      (Campaign.run ~j
+         (Array.init sessions (fun i () ->
+              run { cfg with seed = cfg.seed + i } ~gen_op)))
 end

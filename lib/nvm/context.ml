@@ -17,32 +17,38 @@ type binding = {
   mutable persistent : Alloc.t option;
 }
 
-let table : (int, binding) Hashtbl.t = Hashtbl.create 256
+(* Domain-local: the fid -> binding table belongs to the simulation running
+   on this domain; independent sims on other domains (Harness.Campaign)
+   keep their own tables. *)
+let table_key : (int, binding) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let table () = Domain.DLS.get table_key
 
 (** Bind the current fiber's allocators. Every fiber that executes
     sequential-object code must be bound first. *)
 let bind ~default ?persistent () =
   let fid = (Sim.self ()).Sim.fid in
-  Hashtbl.replace table fid { default; persistent }
+  Hashtbl.replace (table ()) fid { default; persistent }
 
 (** Rebind only the default (volatile) allocator of the current fiber;
     combiners do this when applying a batch to their local replica. *)
 let set_default alloc =
   let fid = (Sim.self ()).Sim.fid in
-  match Hashtbl.find_opt table fid with
+  match Hashtbl.find_opt (table ()) fid with
   | Some b -> b.default <- alloc
-  | None -> Hashtbl.replace table fid { default = alloc; persistent = None }
+  | None -> Hashtbl.replace (table ()) fid { default = alloc; persistent = None }
 
 let set_persistent alloc =
   let fid = (Sim.self ()).Sim.fid in
-  match Hashtbl.find_opt table fid with
+  match Hashtbl.find_opt (table ()) fid with
   | Some b -> b.persistent <- Some alloc
   | None ->
-    Hashtbl.replace table fid { default = alloc; persistent = Some alloc }
+    Hashtbl.replace (table ()) fid { default = alloc; persistent = Some alloc }
 
 let binding () =
   let fid = (Sim.self ()).Sim.fid in
-  match Hashtbl.find_opt table fid with
+  match Hashtbl.find_opt (table ()) fid with
   | Some b -> b
   | None -> failwith "Context: fiber has no allocator binding"
 
@@ -78,4 +84,15 @@ let alloc size = Alloc.alloc (current ()) size
 let free addr size = Alloc.free (current ()) addr size
 
 (** Drop all bindings (between experiment runs / after a crash). *)
-let reset () = Hashtbl.reset table
+let reset () = Hashtbl.reset (table ())
+
+(** Snapshot of this domain's bindings; the explorer saves them around a
+    nested recovery simulation and puts them back afterwards. *)
+type saved = (int, binding) Hashtbl.t
+
+let save () : saved = Hashtbl.copy (table ())
+
+let restore (s : saved) =
+  let t = table () in
+  Hashtbl.reset t;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t k v) s

@@ -59,8 +59,17 @@ type t = {
 
 type _ Effect.t += Yield : unit Effect.t
 
-let the_sim : t option ref = ref None
-let the_fiber : fiber option ref = ref None
+(* The ambient simulation state is domain-local, not global: a simulation
+   is single-OS-thread by construction, but *independent* simulations may
+   run concurrently on separate domains (Harness.Campaign). Each domain
+   sees only its own "current sim / current fiber" slot, so the
+   [current ()]-style accessors stay safe without any locking. *)
+type ambient = { mutable amb_sim : t option; mutable amb_fiber : fiber option }
+
+let ambient_key : ambient Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { amb_sim = None; amb_fiber = None })
+
+let ambient () = Domain.DLS.get ambient_key
 
 (* Teach the telemetry layer (which sits below us in the dependency order)
    how to read simulated time and identify the current track. Outside a
@@ -69,17 +78,17 @@ let the_fiber : fiber option ref = ref None
    registry cannot perturb a run. *)
 let () =
   Telemetry.Registry.set_clock (fun () ->
-      match !the_fiber with Some f -> f.clock | None -> 0);
+      match (ambient ()).amb_fiber with Some f -> f.clock | None -> 0);
   Telemetry.Registry.set_track (fun () ->
-      match !the_fiber with Some f -> f.fid | None -> 0)
+      match (ambient ()).amb_fiber with Some f -> f.fid | None -> 0)
 
 let instance () =
-  match !the_sim with
+  match (ambient ()).amb_sim with
   | Some s -> s
   | None -> failwith "Sim: no simulation running"
 
 let self () =
-  match !the_fiber with
+  match (ambient ()).amb_fiber with
   | Some f -> f
   | None -> failwith "Sim: not inside a fiber"
 
@@ -120,7 +129,7 @@ let set_spin_hook t h = t.spin_hook <- Some h
     False when no simulation is running (e.g. a nested recovery sim created
     without a chooser), so instrumented code can consult it unconditionally. *)
 let controlled () =
-  match !the_sim with Some s -> s.chooser <> None | None -> false
+  match (ambient ()).amb_sim with Some s -> s.chooser <> None | None -> false
 
 (** Look up a spawned fiber by fid (harness inspection). *)
 let find_fiber t fid = Hashtbl.find_opt t.fibers fid
@@ -204,7 +213,7 @@ let run_under_handler t fiber f =
             Some
               (fun (k : (a, unit) continuation) ->
                 schedule t ~fid:fiber.fid ~time:fiber.clock (fun () ->
-                    the_fiber := Some fiber;
+                    (ambient ()).amb_fiber <- Some fiber;
                     continue k ()))
           | _ -> None);
     }
@@ -217,7 +226,10 @@ let spawn t ~socket ?(core = 0) ?(at = -1) f =
     invalid_arg "Sim.spawn: bad socket";
   let start_time =
     if at >= 0 then at
-    else match !the_fiber with Some parent -> parent.clock | None -> 0
+    else
+      match (ambient ()).amb_fiber with
+      | Some parent -> parent.clock
+      | None -> 0
   in
   let fiber =
     {
@@ -237,7 +249,7 @@ let spawn t ~socket ?(core = 0) ?(at = -1) f =
   Telemetry.Registry.cur_name_track fiber.fid
     (Printf.sprintf "fiber-%d (s%d.c%d)" fiber.fid socket core);
   schedule t ~fid:fiber.fid ~time:start_time (fun () ->
-      the_fiber := Some fiber;
+      (ambient ()).amb_fiber <- Some fiber;
       run_under_handler t fiber f);
   fiber
 
@@ -252,13 +264,14 @@ let run ?(until = max_int) t () =
      the explorer runs a whole recovery simulation from inside a scheduler
      callback of an outer controlled run, and must find the outer sim intact
      afterwards. *)
-  let saved_sim = !the_sim and saved_fiber = !the_fiber in
+  let amb = ambient () in
+  let saved_sim = amb.amb_sim and saved_fiber = amb.amb_fiber in
   t.running <- true;
-  the_sim := Some t;
+  amb.amb_sim <- Some t;
   let cleanup () =
     t.running <- false;
-    the_sim := saved_sim;
-    the_fiber := saved_fiber
+    amb.amb_sim <- saved_sim;
+    amb.amb_fiber <- saved_fiber
   in
   let rec timed_loop () =
     match heap_peek t with

@@ -252,15 +252,67 @@ let result_keys =
     "wbinvd"; "clwb"; "clwb_elided"; "clwb_coalesced"; "clflush";
     "clflush_elided"; "sfence"; "sfence_elided"; "bg_flushes" ]
 
+(* Per-point keys of a loadcurve curve object ([bench loadcurve] /
+   [prep_cli serve-sim]); all numeric. *)
+let curve_point_keys =
+  [ "offered_ops_per_s"; "arrivals"; "completed"; "backlogged"; "queue_peak";
+    "throughput_ops_per_s"; "sojourn_p50_ns"; "sojourn_p95_ns";
+    "sojourn_p99_ns"; "sojourn_mean_ns" ]
+
 (** Bench JSON as written by [bench smoke]/[bench readscale]: a top-level
     object with [schema_version]; every nested object that has a
     ["system"] key is an experiment result and must carry the full result
-    key set plus a [counters] object. *)
+    key set plus a [counters] object. Objects with a ["curve_system"] key
+    are open-loop load curves: a non-empty [points] array whose entries
+    carry the offered/completed counts and sojourn percentiles (with
+    p50 <= p95 <= p99), plus a [knee_ops_per_s] number or null. *)
 let validate_bench v =
   match v with
   | Obj _ as o ->
     let errs = ref (check_schema_version o []) in
     let fail msg = if List.length !errs < 10 then errs := msg :: !errs in
+    let check_curve path v =
+      if not (mem_str "workload" v) then
+        fail (Printf.sprintf "%s: curve missing workload string" path);
+      if not (mem_num "workers" v) then
+        fail (Printf.sprintf "%s: curve missing numeric workers" path);
+      (match member "knee_ops_per_s" v with
+       | Some (Num _) | Some Null -> ()
+       | _ ->
+         fail
+           (Printf.sprintf "%s: curve missing knee_ops_per_s (number or null)"
+              path));
+      match member "points" v with
+      | Some (List []) -> fail (Printf.sprintf "%s: curve has no points" path)
+      | Some (List pts) ->
+        List.iteri
+          (fun i p ->
+            let ppath = Printf.sprintf "%s.points[%d]" path i in
+            match p with
+            | Obj _ ->
+              List.iter
+                (fun k ->
+                  if not (mem_num k p) then
+                    fail
+                      (Printf.sprintf "%s: point missing numeric %S" ppath k))
+                curve_point_keys;
+              (match
+                 ( member "sojourn_p50_ns" p,
+                   member "sojourn_p95_ns" p,
+                   member "sojourn_p99_ns" p )
+               with
+               | Some (Num p50), Some (Num p95), Some (Num p99) ->
+                 if not (p50 <= p95 && p95 <= p99) then
+                   fail
+                     (Printf.sprintf
+                        "%s: sojourn percentiles not ordered (p50 %.0f, p95 \
+                         %.0f, p99 %.0f)"
+                        ppath p50 p95 p99)
+               | _ -> ())
+            | _ -> fail (Printf.sprintf "%s: point is not an object" ppath))
+          pts
+      | _ -> fail (Printf.sprintf "%s: curve missing points array" path)
+    in
     let rec walk path v =
       match v with
       | Obj kvs ->
@@ -274,6 +326,7 @@ let validate_bench v =
           | Some (Obj _) -> ()
           | _ -> fail (Printf.sprintf "%s: result missing counters object" path)
         end;
+        if mem_str "curve_system" v then check_curve path v;
         List.iter (fun (k, v) -> walk (path ^ "." ^ k) v) kvs
       | List items ->
         List.iteri (fun i v -> walk (Printf.sprintf "%s[%d]" path i) v) items

@@ -125,20 +125,29 @@ let set_enabled t on = t.enabled <- on
 
 (* ---- the ambient registry ---- *)
 
-let cur : t option ref = ref None
+(* Domain-local, not global: independent sim instances running on separate
+   domains (Harness.Campaign) each get their own ambient slot, so one
+   domain's registry never observes another domain's recordings. *)
+type cur_slot = { mutable cur : t option }
 
-let current () = !cur
-let set_current r = cur := r
+let cur_key : cur_slot Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { cur = None })
+
+let cur () = (Domain.DLS.get cur_key).cur
+
+let current () = cur ()
+let set_current r = (Domain.DLS.get cur_key).cur <- r
 
 let with_current r f =
-  let saved = !cur in
-  cur := Some r;
+  let slot = Domain.DLS.get cur_key in
+  let saved = slot.cur in
+  slot.cur <- Some r;
   match f () with
   | v ->
-    cur := saved;
+    slot.cur <- saved;
     v
   | exception e ->
-    cur := saved;
+    slot.cur <- saved;
     raise e
 
 (* ---- find-or-create ---- *)
@@ -218,7 +227,7 @@ let add_to t name by = if t.enabled then add (counter t name) by
 
 (** Convenience: bump a counter on the ambient registry, if any. *)
 let cur_add name by =
-  match !cur with
+  match cur () with
   | None -> ()
   | Some t -> if t.enabled then add (counter t name) by
 
@@ -235,13 +244,13 @@ let instant t name =
     push_event t (Instant { ev_name = name; ev_track = track (); ev_t = now () })
 
 let cur_instant name =
-  match !cur with None -> () | Some t -> instant t name
+  match cur () with None -> () | Some t -> instant t name
 
 (** Name a track (fiber) for the trace export. *)
 let name_track t tid name = Hashtbl.replace t.track_names tid name
 
 let cur_name_track tid name =
-  match !cur with None -> () | Some t -> name_track t tid name
+  match cur () with None -> () | Some t -> name_track t tid name
 
 (* ---- spans ---- *)
 
@@ -423,6 +432,35 @@ let snapshot t =
 
 let find_counter snap name =
   match List.assoc_opt name snap.sn_counters with Some v -> v | None -> 0
+
+(* ---- cross-registry merge ---- *)
+
+let merge_hist dst src =
+  dst.h_n <- dst.h_n + src.h_n;
+  dst.h_sum <- dst.h_sum + src.h_sum;
+  if src.h_n > 0 && src.h_min < dst.h_min then dst.h_min <- src.h_min;
+  if src.h_max > dst.h_max then dst.h_max <- src.h_max;
+  Array.iteri
+    (fun i c -> dst.h_counts.(i) <- dst.h_counts.(i) + c)
+    src.h_counts
+
+(** Merge every metric of [src] into [into] (Harness.Campaign's
+    order-independent result merge): counters and histogram buckets sum,
+    gauges take [src]'s last-written value, spans merge their histograms
+    and add their self-time totals. All of it is commutative except
+    gauges, so absorbing per-task registries in task order yields the same
+    registry regardless of which domain ran which task. Track extents and
+    trace events are single-run artifacts and are not merged. *)
+let absorb ~into src =
+  Hashtbl.iter (fun name c -> add (counter into name) c.c_value) src.counters;
+  Hashtbl.iter (fun name g -> set (gauge into name) g.g_value) src.gauges;
+  Hashtbl.iter (fun name h -> merge_hist (histogram into name) h) src.histograms;
+  Hashtbl.iter
+    (fun name s ->
+      let d = span into name in
+      merge_hist d.sp_hist s.sp_hist;
+      d.sp_self <- d.sp_self + s.sp_self)
+    src.spans
 
 (* ---- event access (trace export) ---- *)
 

@@ -32,11 +32,56 @@ let canned_eps () =
       (12000, None, Some 5_100_000.);
     ]
 
+(* Canned open-loop load curve: a healthy point, the last pre-knee point
+   and a saturated one (p99 blown up, goodput collapsed), so the JSON
+   renderer's knee field is exercised as well as the per-point schema. *)
+let canned_loadcurve () =
+  let hist ~n ~sum ~min ~max ~p50 ~p95 ~p99 =
+    Telemetry.Registry.
+      { hs_n = n; hs_sum = sum; hs_min = min; hs_max = max;
+        hs_p50 = p50; hs_p95 = p95; hs_p99 = p99 }
+  in
+  let point ~offered ~arrivals ~completed ~backlogged ~qmax ~sojourn =
+    Openloop.
+      {
+        ol_system = "PREP-Buffered";
+        ol_workload = "map 90% read, 1024 keys, uniform";
+        ol_workers = 4;
+        ol_offered = offered;
+        ol_arrivals = arrivals;
+        ol_completed = completed;
+        ol_backlogged = backlogged;
+        ol_qmax = qmax;
+        ol_sojourn = sojourn;
+        ol_duration_ns = 4_000_000;
+        ol_throughput = float_of_int completed *. 1e9 /. 4e6;
+      }
+  in
+  Openloop.curve_to_json ~indent:4
+    [
+      point ~offered:500_000. ~arrivals:2000 ~completed:2000 ~backlogged:0
+        ~qmax:2
+        ~sojourn:
+          (hist ~n:2000 ~sum:24_000_000 ~min:2_048 ~max:65_536 ~p50:8_192
+             ~p95:16_384 ~p99:32_768);
+      point ~offered:1_000_000. ~arrivals:4000 ~completed:3990 ~backlogged:10
+        ~qmax:9
+        ~sojourn:
+          (hist ~n:4000 ~sum:90_000_000 ~min:2_048 ~max:131_072 ~p50:12_288
+             ~p95:49_152 ~p99:98_304);
+      point ~offered:2_000_000. ~arrivals:8000 ~completed:5200
+        ~backlogged:2800 ~qmax:2805
+        ~sojourn:
+          (hist ~n:8000 ~sum:4_000_000_000 ~min:2_048 ~max:3_145_728
+             ~p50:786_432 ~p95:2_359_296 ~p99:3_145_728);
+    ]
+
 let goldens =
   [
     ("golden/table1.txt", Figures.render_table1);
     ("golden/sweep.txt", canned_sweep);
     ("golden/eps_table.txt", canned_eps);
+    ("golden/loadcurve.txt", canned_loadcurve);
   ]
 
 let read_file path =
