@@ -410,6 +410,149 @@ let run_loadcurve path =
     exit 1
   end
 
+(* ---- bench shardscale: hash-routed shards, scaling + cross-shard cost ----
+
+   Two sweeps at a fixed total worker count on a >=64k-key hashmap:
+
+   - scaling: shard count in {1, 2, 4, 6} on a pure single-key workload
+     (the 64-slot root directory caps the shard count at 7).
+     Each shard is an independent PREP-Durable instance (own log, replicas,
+     combiner) behind the hash router. Workers submit through the router's
+     pipelined batch path (op_batch ops drawn at once, one update in
+     flight per shard), since a strictly closed per-op loop caps the
+     ratio at the combining *latency* ratio no matter how many combiners
+     exist; with one shard the pipeline degenerates to the sequential
+     loop, so the baseline is not handicapped. The workload is
+     update-heavy (20% reads): reads bypass combining on both sides and
+     only dilute what sharding can show. The 4-shard point must clear 3x
+     the 1-shard point — the CI guard for this repo's sharding
+     optimization.
+
+   - cross-shard ablation: 4 shards, 20% multi-key operations, cross-shard
+     fraction in {0, 25, 50, 100}%. A same-shard pair costs one log entry;
+     a cross-shard pair costs a 2PC round (one prepare per participant
+     log plus a fenced decision write), so throughput degrades smoothly
+     with the cross fraction — the measured price of distributed atomicity. *)
+
+let shardscale_scale =
+  {
+    Figures.quick with
+    Figures.label = "shardscale";
+    threads = [ 12 ];
+    key_range = 65536;
+    log_size = 16384;
+    eps_large = 4096;
+    duration_ns = 3_000_000;
+    warmup_ns = 300_000;
+  }
+
+let shardscale_read_pct = 20
+let shardscale_op_batch = 32
+
+let run_shardscale path =
+  let scale = shardscale_scale in
+  let workers = 12 in
+  let keys = scale.Figures.key_range in
+  let workload ~nshards ~multi_pct ~cross_pct =
+    Workload.map_workload_sharded ~read_pct:shardscale_read_pct ~multi_pct
+      ~cross_pct ~nshards ~key_range:keys ~prefill_n:(keys / 4)
+  in
+  let point ~shards ~multi_pct ~cross_pct =
+    Experiment.run ~topology:scale.Figures.topology
+      ~duration_ns:scale.Figures.duration_ns
+      ~warmup_ns:scale.Figures.warmup_ns ~op_batch:shardscale_op_batch
+      ~system:
+        (Hm.prep_sharded ~log_size:scale.Figures.log_size ~slot_bitmap:true
+           ~shards ~epsilon:scale.Figures.eps_large ())
+      ~workload:(workload ~nshards:shards ~multi_pct ~cross_pct)
+      ~workers ()
+  in
+  Printf.printf "%8s %14s %9s   (single-key, %d workers, %d keys)\n%!"
+    "shards" "ops/s" "speedup" workers keys;
+  let scaling =
+    List.map
+      (fun shards ->
+        let r = point ~shards ~multi_pct:0 ~cross_pct:0 in
+        (shards, r))
+      [ 1; 2; 4; 6 ]
+  in
+  let base_tp =
+    match scaling with
+    | (_, r) :: _ -> r.Experiment.throughput
+    | [] -> assert false
+  in
+  List.iter
+    (fun (shards, r) ->
+      Printf.printf "%8d %14.0f %8.2fx\n%!" shards r.Experiment.throughput
+        (r.Experiment.throughput /. base_tp))
+    scaling;
+  Printf.printf "%8s %14s %9s   (4 shards, 20%% multi-key)\n%!" "cross%"
+    "ops/s" "vs 0%";
+  let ablation =
+    List.map
+      (fun cross_pct ->
+        let r = point ~shards:4 ~multi_pct:20 ~cross_pct in
+        (cross_pct, r))
+      [ 0; 25; 50; 100 ]
+  in
+  let abl_base =
+    match ablation with
+    | (_, r) :: _ -> r.Experiment.throughput
+    | [] -> assert false
+  in
+  List.iter
+    (fun (cross_pct, r) ->
+      Printf.printf "%8d %14.0f %8.2fx\n%!" cross_pct
+        r.Experiment.throughput
+        (r.Experiment.throughput /. abl_base))
+    ablation;
+  let scaling_json =
+    List.map
+      (fun (shards, r) ->
+        Printf.sprintf
+          "    {\"shards\": %d, \"speedup\": %.4f,\n     \"result\": %s}"
+          shards
+          (r.Experiment.throughput /. base_tp)
+          (json_of_result r))
+      scaling
+  in
+  let ablation_json =
+    List.map
+      (fun (cross_pct, r) ->
+        Printf.sprintf
+          "    {\"shards\": 4, \"multi_pct\": 20, \"cross_pct\": %d, \
+           \"relative\": %.4f,\n     \"result\": %s}"
+          cross_pct
+          (r.Experiment.throughput /. abl_base)
+          (json_of_result r))
+      ablation
+  in
+  write_validated path
+    (Printf.sprintf
+       "{\n  \"schema_version\": %d,\n\
+       \  \"config\": {\"workers\": %d, \"read_pct\": %d, \"op_batch\": %d, \
+        \"key_range\": %d, \"log_size\": %d, \"epsilon\": %d, \
+        \"duration_ns\": %d},\n\
+       \  \"scaling\": [\n%s\n  ],\n\
+       \  \"cross_shard\": [\n%s\n  ]\n}\n"
+       Telemetry.Json.schema_version workers shardscale_read_pct
+       shardscale_op_batch keys scale.Figures.log_size
+       scale.Figures.eps_large scale.Figures.duration_ns
+       (String.concat ",\n" scaling_json)
+       (String.concat ",\n" ablation_json));
+  Printf.printf "artifact: %s\n%!" path;
+  let speedup4 =
+    match List.assoc_opt 4 scaling with
+    | Some r -> r.Experiment.throughput /. base_tp
+    | None -> 0.0
+  in
+  if speedup4 < 3.0 then begin
+    Printf.eprintf
+      "bench shardscale FAILED: 4 shards only %.2fx over 1 shard (need 3x)\n"
+      speedup4;
+    exit 1
+  end
+
 let () =
   let scale = Figures.scale_of_env () in
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -432,9 +575,12 @@ let () =
   | "loadcurve" ->
     run_loadcurve
       (if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench-loadcurve.json")
+  | "shardscale" ->
+    run_shardscale
+      (if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench-shardscale.json")
   | other ->
     Printf.eprintf
       "unknown command %S (expected \
-       all|table1|fig1..fig6|ablation|flushstats|micro|smoke|readscale|loadcurve)\n"
+       all|table1|fig1..fig6|ablation|flushstats|micro|smoke|readscale|loadcurve|shardscale)\n"
       other;
     exit 1

@@ -20,18 +20,26 @@
      dune exec bin/prep_cli.exe -- bench --figure fig3
      dune exec bin/prep_cli.exe -- run --system prep-buffered --threads 8 \
        --epsilon 1024 --read-pct 90
+     dune exec bin/prep_cli.exe -- run --system prep-durable --uc-shards 4 \
+       --threads 12                      # hash-routed sharded construction
      dune exec bin/prep_cli.exe -- profile --system prep-durable --threads 4 \
        --trace trace.json               # open trace.json in ui.perfetto.dev
+     dune exec bin/prep_cli.exe -- profile --system prep-durable \
+       --uc-shards 4 --threads 8        # shard<i>/ counters, per-shard spans
      dune exec bin/prep_cli.exe -- validate --kind trace trace.json
      dune exec bin/prep_cli.exe -- crash --mode buffered --epsilon 128
      dune exec bin/prep_cli.exe -- fuzz --iters 200 --variant buffered -j 4
      dune exec bin/prep_cli.exe -- fuzz --variant durable --ds rbtree \
        --seed 57 --crash-op 81000        # replay one exact episode
+     dune exec bin/prep_cli.exe -- fuzz --variant durable --shards 4 \
+       --multi-pct 40 --cross-pct 100 -j 4   # cross-shard 2PC atomicity
      dune exec bin/prep_cli.exe -- explore --threads 2 --ops 2 --shards 8 -j 4
+     dune exec bin/prep_cli.exe -- explore --variant durable --uc-shards 2 \
+       --no-persistence --ops 1          # exhaustive cross-shard crashes
      dune exec bin/prep_cli.exe -- sweep --threads-list 2,8,16 \
        --read-pcts 50,90 -j 4 --json sweep.json
      dune exec bin/prep_cli.exe -- serve-sim --arrival bursty \
-       --rates 5e5,1e6,2e6 --theta 0.99 --json curve.json *)
+       --rates 5e5,1e6,2e6 --theta 0.99 --shed 64 --json curve.json *)
 
 open Cmdliner
 open Harness
@@ -116,6 +124,17 @@ module type SYSTEMS = sig
     unit ->
     Experiment.system
 
+  val prep_sharded :
+    ?log_size:int ->
+    ?flush:Prep.Config.flush_strategy ->
+    ?flit:bool ->
+    ?slot_bitmap:bool ->
+    ?name:string ->
+    shards:int ->
+    epsilon:int ->
+    unit ->
+    Experiment.system
+
   val global_lock : Experiment.system
   val cx : ?queue_capacity:int -> unit -> Experiment.system
 end
@@ -157,6 +176,16 @@ let detect_arg =
   in
   Arg.(value & flag & info [ "detect" ] ~doc)
 
+let uc_shards_arg =
+  let doc =
+    "Run $(docv) hash-routed PREP-Durable shards behind the cross-shard \
+     router (prep-durable maps only): each shard is an independent log + \
+     replica set + combiner, single-key ops route by key hash. Telemetry \
+     is reported per shard (shard<i>/ counters, per-shard phase spans and \
+     persistence tracks)."
+  in
+  Arg.(value & opt int 1 & info [ "uc-shards" ] ~docv:"N" ~doc)
+
 let trace_arg =
   let doc =
     "Write a Chrome trace-event JSON file of the run (one track per fiber, \
@@ -173,10 +202,25 @@ let jobs_arg =
 
 (* Map a --system name to an [Experiment.system] under a data structure's
    [SYSTEMS] instantiation; shared by run/profile/sweep/serve-sim. *)
-let select_system ~system ~epsilon ~flit ~dist_rw ~log_mirror ~slot_bitmap
-    ~detect (module Sy : SYSTEMS) =
+let select_system ?(uc_shards = 1) ~system ~epsilon ~flit ~dist_rw
+    ~log_mirror ~slot_bitmap ~detect (module Sy : SYSTEMS) =
   if detect && system <> "prep-durable" then
     Error "--detect requires --system prep-durable"
+  else if uc_shards < 1 then Error "--uc-shards must be at least 1"
+  else if uc_shards > 1 && system <> "prep-durable" then
+    Error "--uc-shards requires --system prep-durable (sharding is durable-only)"
+  else if uc_shards > 1 && detect then
+    Error "--detect is not supported with --uc-shards"
+  else if uc_shards > 1 && (dist_rw || log_mirror) then
+    Error "--dist-rw/--log-mirror are not supported with --uc-shards"
+  else if uc_shards > Prep.Sharded_uc.max_shards then
+    Error
+      (Printf.sprintf
+         "--uc-shards is capped at %d (64-slot root directory, 8 slots per \
+          shard)"
+         Prep.Sharded_uc.max_shards)
+  else if uc_shards > 1 then
+    Ok (Sy.prep_sharded ~log_size ~flit ~slot_bitmap ~shards:uc_shards ~epsilon ())
   else
     match system with
     | "gl" -> Ok Sy.global_lock
@@ -195,7 +239,7 @@ let select_system ~system ~epsilon ~flit ~dist_rw ~log_mirror ~slot_bitmap
     | other -> Error (Printf.sprintf "unknown system %S" other)
 
 let run_point ~profile system ds threads epsilon read_pct keys duration seed
-    flit dist_rw log_mirror slot_bitmap detect trace =
+    flit dist_rw log_mirror slot_bitmap detect uc_shards trace =
   let workload_map, workload_pairs =
     ( (fun () -> Workload.map_workload ~read_pct ~key_range:keys ~prefill_n:(keys / 2)),
       fun pairs -> pairs ~prefill_n:(keys / 2) )
@@ -259,8 +303,8 @@ let run_point ~profile system ds threads epsilon read_pct keys duration seed
     | _ -> `Ok ()
   in
   let prep_sys =
-    select_system ~system ~epsilon ~flit ~dist_rw ~log_mirror ~slot_bitmap
-      ~detect
+    select_system ~uc_shards ~system ~epsilon ~flit ~dist_rw ~log_mirror
+      ~slot_bitmap ~detect
   in
   match ds with
   | "hashmap" ->
@@ -278,6 +322,8 @@ let run_point ~profile system ds threads epsilon read_pct keys duration seed
     (match prep_sys (module Sy) with
      | Ok sys -> go sys (workload_map ())
      | Error m -> fail m)
+  | ("queue" | "pqueue" | "stack") when uc_shards > 1 ->
+    fail "--uc-shards needs a map data structure (ops route by key)"
   | "queue" ->
     let module Sy = Experiment.Systems (Seqds.Queue_ds) in
     (match prep_sys (module Sy) with
@@ -301,7 +347,7 @@ let point_term ~profile =
       (const (run_point ~profile) $ system_arg $ ds_arg $ threads_arg
      $ epsilon_arg $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg
      $ flit_arg $ dist_rw_arg $ log_mirror_arg $ slot_bitmap_arg $ detect_arg
-     $ trace_arg))
+     $ uc_shards_arg $ trace_arg))
 
 let run_cmd =
   Cmd.v
@@ -454,8 +500,9 @@ let variant_arg =
 let fault_arg =
   let doc =
     "Injected protocol fault: none, early-boundary, elide-ct-flush, \
-     mirror-read-recovery or response-before-log-persist (the latter \
-     requires --detect)."
+     mirror-read-recovery, response-before-log-persist (requires --detect) \
+     or commit-before-prepare (requires sharding: the cross-shard commit \
+     decision is flushed before any prepare is durably logged)."
   in
   Arg.(value & opt string "none" & info [ "fault" ] ~docv:"FAULT" ~doc)
 
@@ -465,6 +512,7 @@ let parse_fault = function
   | "elide-ct-flush" -> Ok Prep.Config.Elide_ct_flush
   | "mirror-read-recovery" -> Ok Prep.Config.Mirror_read_on_recovery
   | "response-before-log-persist" -> Ok Prep.Config.Response_before_log_persist
+  | "commit-before-prepare" -> Ok Prep.Config.Commit_before_prepare_persist
   | other -> Error (Printf.sprintf "unknown fault %S" other)
 
 let fuzz_threads_arg =
@@ -498,6 +546,25 @@ let bg_period_arg =
   Arg.(value & opt int 2000 & info [ "bg-period" ] ~docv:"N"
          ~doc:"Mean memory ops between background cache write-backs.")
 
+let fuzz_shards_arg =
+  let doc =
+    "Fuzz the sharded construction with $(docv) PREP-Durable shards and \
+     cross-shard transactions in the mix (map structures only; implies \
+     --variant durable)."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let multi_pct_arg =
+  let doc = "With --shards: percent of ops that are multi-key transactions." in
+  Arg.(value & opt int 25 & info [ "multi-pct" ] ~docv:"PCT" ~doc)
+
+let cross_pct_arg =
+  let doc =
+    "With --shards: percent of multi-key transactions whose keys land on \
+     different shards (the rest collapse to single-shard commits)."
+  in
+  Arg.(value & opt int 75 & info [ "cross-pct" ] ~docv:"PCT" ~doc)
+
 (* Op mixes for the fuzz workloads. The map structures share op codes. *)
 let map_gen rng =
   let k = Sim.Rng.int rng 64 in
@@ -530,9 +597,119 @@ let fuzz_ds ds =
         pair_gen ~push:Seqds.Stack_ds.op_push ~pop:Seqds.Stack_ds.op_pop )
   | other -> Error (Printf.sprintf "unknown data structure %S" other)
 
+(* Sharded fuzzing drives [Prep.Sharded_uc] (hash-routed shards + 2PC), so
+   the workload must be a map (single-key ops route on their key) and the
+   mode is necessarily Durable. The per-shard protocol knobs of the flat
+   fuzzer (flit, dist-rw, ...) are not plumbed through the sharded checker. *)
+let fuzz_sharded ~iters ~ds ~threads ~epsilon ~log_size ~ops ~seed ~fault
+    ~crash_op ~crash_time ~no_crash ~bg_period ~nshards ~multi_pct ~cross_pct
+    ~jobs =
+  match (parse_fault fault, fuzz_ds ds) with
+  | Error m, _ | _, Error m -> `Error (true, m)
+  | Ok fault_v, Ok ((module Ds), _) ->
+    if not (List.mem ds [ "hashmap"; "rbtree"; "skiplist" ]) then
+      `Error (true, "--shards needs a map data structure (ops route by key)")
+    else if multi_pct < 0 || multi_pct > 100 || cross_pct < 0 || cross_pct > 100
+    then `Error (true, "--multi-pct/--cross-pct must be in 0..100")
+    else begin
+      let module FS = Check.Fuzz_shard.Make (Ds) in
+      if threads < 1 || threads > FS.max_threads then
+        `Error
+          ( true,
+            Printf.sprintf "--threads must be between 1 and %d (got %d)"
+              FS.max_threads threads )
+      else begin
+        let gen_op =
+          let w =
+            Workload.map_workload_sharded ~read_pct:20 ~multi_pct ~cross_pct
+              ~nshards ~key_range:128 ~prefill_n:0
+          in
+          fun rng -> w.Workload.next rng ~phase:0
+        in
+        let template =
+          {
+            Check.Fuzz.workload_seed = seed;
+            threads;
+            epsilon;
+            log_size;
+            ops_per_worker = ops;
+            bg_period;
+            preempt_prob = 0.02;
+            crash = Check.Fuzz.No_crash;
+          }
+        in
+        let replay =
+          match (crash_op, crash_time, no_crash) with
+          | Some n, _, _ -> Some (Check.Fuzz.At_op n)
+          | None, Some ns, _ -> Some (Check.Fuzz.At_time ns)
+          | None, None, true -> Some Check.Fuzz.No_crash
+          | None, None, false -> None
+        in
+        match replay with
+        | Some crash ->
+          let ep = { template with crash } in
+          let out = FS.run_episode ~nshards ~fault:fault_v ~gen_op ep in
+          Printf.printf
+            "episode %s: crashed=%b logged=%d completed=%d applied=%d\n"
+            (Fmt.str "%a" Check.Fuzz.pp_episode ep)
+            out.Check.Fuzz.crashed out.Check.Fuzz.logged
+            out.Check.Fuzz.completed out.Check.Fuzz.applied;
+          if out.Check.Fuzz.violations = [] then begin
+            print_endline "no violations";
+            `Ok ()
+          end
+          else begin
+            List.iter
+              (fun v ->
+                Printf.printf "VIOLATION: %s\n"
+                  (Check.Durable_lin.violation_to_string v))
+              out.Check.Fuzz.violations;
+            `Error (false, "durable-linearizability violations found")
+          end
+        | None ->
+          let res =
+            FS.fuzz ~nshards ~fault:fault_v ~gen_op ~template ~iters
+              ~log:print_endline
+              ~runner:(Campaign.run ~j:jobs)
+              ()
+          in
+          Printf.printf "%d episodes (%d crashed), %d failing\n"
+            res.Check.Fuzz.episodes res.Check.Fuzz.crashes
+            (List.length res.Check.Fuzz.failures);
+          (match res.Check.Fuzz.failures with
+           | [] -> `Ok ()
+           | first :: _ ->
+             print_endline "shrinking first failure...";
+             let small =
+               FS.shrink ~nshards ~fault:fault_v ~gen_op
+                 first.Check.Fuzz.episode
+             in
+             Printf.printf "shrunk to: %s\nreplay with:\n  %s\n"
+               (Fmt.str "%a" Check.Fuzz.pp_episode small)
+               (Check.Fuzz_shard.repro_command ~nshards ~multi_pct ~cross_pct
+                  ~fault:fault_v ~ds small);
+             `Error (false, "durable-linearizability violations found"))
+      end
+    end
+
 let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
     crash_time no_crash bg_period flit dist_rw log_mirror slot_bitmap detect
-    jobs =
+    nshards multi_pct cross_pct jobs =
+  if nshards > 1 then begin
+    if variant <> "durable" then
+      `Error (true, "--shards requires --variant durable (sharding is durable-only)")
+    else if flit || dist_rw || log_mirror || slot_bitmap || detect then
+      `Error
+        ( true,
+          "--flit/--dist-rw/--log-mirror/--slot-bitmap/--detect are not \
+           supported with --shards" )
+    else
+      fuzz_sharded ~iters ~ds ~threads ~epsilon ~log_size ~ops ~seed ~fault
+        ~crash_op ~crash_time ~no_crash ~bg_period ~nshards ~multi_pct
+        ~cross_pct ~jobs
+  end
+  else if nshards < 1 then `Error (true, "--shards must be at least 1")
+  else
   let variant_v =
     match variant with
     | "volatile" -> Ok Prep.Config.Volatile
@@ -637,7 +814,8 @@ let fuzz_cmd =
        $ fuzz_epsilon_arg $ fuzz_log_size_arg $ fuzz_ops_arg $ fuzz_seed_arg
        $ fault_arg $ crash_op_arg $ crash_time_arg $ no_crash_arg
        $ bg_period_arg $ flit_arg $ dist_rw_arg $ log_mirror_arg
-       $ slot_bitmap_arg $ detect_arg $ jobs_arg))
+       $ slot_bitmap_arg $ detect_arg $ fuzz_shards_arg $ multi_pct_arg
+       $ cross_pct_arg $ jobs_arg))
 
 (* ---- explore ---- *)
 
@@ -716,9 +894,89 @@ let frontier_arg =
   in
   Arg.(value & opt int 0 & info [ "frontier" ] ~docv:"MASK" ~doc)
 
+let no_persistence_arg =
+  let doc =
+    "Exclude the checkpoint (persistence) fibers from the explored schedule \
+     space. Sound when the scope's total op count stays below --epsilon and \
+     the log cannot wrap: combiners never reach a flush boundary, and \
+     recovery replays the whole log over the empty checkpoint. Required in \
+     practice for --uc-shards, whose per-shard checkpoint fibers never \
+     quiesce and make the space unbounded."
+  in
+  Arg.(value & flag & info [ "no-persistence" ] ~doc)
+
+(* Shared result reporting for the flat and sharded explorers (both return
+   [Check.Explore.result]). *)
+let report_explore_result ~repro_command res =
+  let s = res.Check.Explore.stats in
+  Printf.printf
+    "schedules %d (terminals %d)  steps %d  states %d  dedup-hits %d  \
+     sleep-skips %d\n\
+     crash points %d  frontiers %d  recoveries %d  truncations %d  \
+     depth cutoffs %d  stutter cuts %d\n\
+     max completed-op loss %d  distinct terminal states %d  exhausted %b\n"
+    s.Check.Explore.schedules s.Check.Explore.terminals s.Check.Explore.steps
+    s.Check.Explore.states s.Check.Explore.dedup_hits
+    s.Check.Explore.sleep_skips s.Check.Explore.crash_points
+    s.Check.Explore.frontiers s.Check.Explore.recoveries
+    s.Check.Explore.frontier_truncations s.Check.Explore.depth_cutoffs
+    s.Check.Explore.stutter_cuts s.Check.Explore.max_completed_loss
+    (List.length res.Check.Explore.terminal_states)
+    res.Check.Explore.exhausted;
+  match res.Check.Explore.violation with
+  | None ->
+    print_endline "no violations";
+    `Ok ()
+  | Some v ->
+    List.iter
+      (fun vi ->
+        Printf.printf "VIOLATION: %s\n"
+          (Check.Durable_lin.violation_to_string vi))
+      v.Check.Explore.v_violations;
+    Printf.printf "logged=%d completed=%d applied=%d\n"
+      v.Check.Explore.v_logged v.Check.Explore.v_completed
+      v.Check.Explore.v_applied;
+    Printf.printf "decision trace: %s\n"
+      (Check.Explore.decisions_to_string v.Check.Explore.v_decisions);
+    (match v.Check.Explore.v_crash with
+     | Some (step, mask) ->
+       Printf.printf "crash: step %d, frontier mask %d\n" step mask
+     | None -> print_endline "crash: none (terminal-state violation)");
+    Printf.printf "replay with:\n  %s\n"
+      (repro_command v.Check.Explore.v_decisions v.Check.Explore.v_crash);
+    `Error (false, "durable-linearizability violations found")
+
+let report_explore_replay (violations, crashed, logged, completed, applied) =
+  Printf.printf "replay: crashed=%b logged=%d completed=%d applied=%d\n"
+    crashed logged completed applied;
+  if violations = [] then begin
+    print_endline "no violations";
+    `Ok ()
+  end
+  else begin
+    List.iter
+      (fun v ->
+        Printf.printf "VIOLATION: %s\n"
+          (Check.Durable_lin.violation_to_string v))
+      violations;
+    `Error (false, "durable-linearizability violations found")
+  end
+
+(* Op mix for sharded exploration: single-key inserts/gets plus cross-shard
+   multi-puts and transfers over a small key range, so the 2PC paths are in
+   the explored space. The map structures share op codes. *)
+let sharded_explore_gen rng =
+  let k = Sim.Rng.int rng 8 in
+  match Sim.Rng.int rng 4 with
+  | 0 -> (Prep.Sharded_uc.op_multi_put, [| k; k + 1; 1 + Sim.Rng.int rng 9 |])
+  | 1 -> (Seqds.Hashmap.op_insert, [| k; Sim.Rng.int rng 100 |])
+  | 2 -> (Seqds.Hashmap.op_get, [| k |])
+  | _ -> (Prep.Sharded_uc.op_transfer, [| k; k + 3; 1 |])
+
 let explore variant ds threads ops epsilon log_size seed sockets cores fault
     flit dist_rw log_mirror slot_bitmap detect max_schedules max_states
-    max_steps frontier_lines no_prune shards jobs replay crash_step frontier =
+    max_steps frontier_lines no_prune no_persistence shards uc_shards jobs
+    replay crash_step frontier =
   let variant_v =
     match variant with
     | "volatile" -> Ok Prep.Config.Volatile
@@ -734,7 +992,6 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
     ->
     `Error (true, "--fault response-before-log-persist requires --detect")
   | Ok mode, Ok fault_v, Ok ((module Ds), gen_op) ->
-    let module E = Check.Explore.Make (Ds) in
     let scope =
       {
         Check.Explore.seed;
@@ -745,6 +1002,7 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
         sockets;
         cores_per_socket = cores;
         prune = not no_prune;
+        persistence = not no_persistence;
       }
     in
     let budget =
@@ -755,108 +1013,115 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
         max_frontier_lines = frontier_lines;
       }
     in
-    if threads < 1 || threads > E.max_threads scope then
-      `Error
-        ( true,
-          Printf.sprintf "--threads must be between 1 and %d (got %d)"
-            (E.max_threads scope) threads )
-    else if shards < 1 then `Error (true, "--shards must be at least 1")
-    else begin
-      let flag_str =
-        String.concat ""
-          [
-            (if flit then " --flit" else "");
-            (if dist_rw then " --dist-rw" else "");
-            (if log_mirror then " --log-mirror" else "");
-            (if slot_bitmap then " --slot-bitmap" else "");
-            (if detect then " --detect" else "");
-          ]
-      in
-      let repro_command decisions crash =
-        Printf.sprintf
-          "dune exec bin/prep_cli.exe -- explore --variant %s --ds %s \
-           --threads %d --ops %d --epsilon %d --log-size %d --seed %d \
-           --sockets %d --cores %d --fault %s%s --replay '%s'%s"
-          variant ds threads ops epsilon log_size seed sockets cores fault
-          flag_str
-          (Check.Explore.decisions_to_string decisions)
-          (match crash with
-           | None -> ""
-           | Some (s, m) -> Printf.sprintf " --crash-step %d --frontier %d" s m)
-      in
-      match replay with
-      | Some trace_str ->
-        let decisions = Check.Explore.decisions_of_string trace_str in
-        let crash = Option.map (fun s -> (s, frontier)) crash_step in
-        let violations, crashed, logged, completed, applied =
-          E.replay ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~mode
-            ~fault:fault_v ~gen_op ~scope ~decisions ?crash ()
-        in
-        Printf.printf "replay: crashed=%b logged=%d completed=%d applied=%d\n"
-          crashed logged completed applied;
-        if violations = [] then begin
-          print_endline "no violations";
-          `Ok ()
-        end
+    if uc_shards > 1 then begin
+      let _ = mode in
+      if variant <> "durable" then
+        `Error
+          (true, "--uc-shards requires --variant durable (sharding is durable-only)")
+      else if flit || dist_rw || log_mirror || slot_bitmap || detect then
+        `Error
+          ( true,
+            "--flit/--dist-rw/--log-mirror/--slot-bitmap/--detect are not \
+             supported with --uc-shards" )
+      else if shards > 1 then
+        `Error
+          ( true,
+            "--shards (oracle campaign split) is not supported with \
+             --uc-shards" )
+      else if not (List.mem ds [ "hashmap"; "rbtree"; "skiplist" ]) then
+        `Error (true, "--uc-shards needs a map data structure (ops route by key)")
+      else begin
+        let module ES = Check.Explore_shard.Make (Ds) in
+        if threads < 1 || threads > ES.max_threads scope then
+          `Error
+            ( true,
+              Printf.sprintf "--threads must be between 1 and %d (got %d)"
+                (ES.max_threads scope) threads )
         else begin
-          List.iter
-            (fun v ->
-              Printf.printf "VIOLATION: %s\n"
-                (Check.Durable_lin.violation_to_string v))
-            violations;
-          `Error (false, "durable-linearizability violations found")
+          let repro_command decisions crash =
+            Printf.sprintf
+              "dune exec bin/prep_cli.exe -- explore --variant durable --ds \
+               %s --uc-shards %d --threads %d --ops %d --epsilon %d \
+               --log-size %d --seed %d --sockets %d --cores %d --fault %s%s \
+               --replay '%s'%s"
+              ds uc_shards threads ops epsilon log_size seed sockets cores
+              fault
+              (if no_persistence then " --no-persistence" else "")
+              (Check.Explore.decisions_to_string decisions)
+              (match crash with
+               | None -> ""
+               | Some (st, m) ->
+                 Printf.sprintf " --crash-step %d --frontier %d" st m)
+          in
+          match replay with
+          | Some trace_str ->
+            let decisions = Check.Explore.decisions_of_string trace_str in
+            let crash = Option.map (fun st -> (st, frontier)) crash_step in
+            report_explore_replay
+              (ES.replay ~nshards:uc_shards ~fault:fault_v
+                 ~gen_op:sharded_explore_gen ~scope ~decisions ?crash ())
+          | None ->
+            report_explore_result ~repro_command
+              (ES.explore ~budget ~nshards:uc_shards ~fault:fault_v
+                 ~gen_op:sharded_explore_gen ~scope ())
         end
-      | None ->
-        let res =
-          if shards = 1 then
-            E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~budget
-              ~mode ~fault:fault_v ~gen_op ~scope ()
-          else
-            Check.Explore.merge_shards
-              (Campaign.run ~j:jobs
-                 (Array.init shards (fun i () ->
-                      E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap
-                        ~detect ~budget ~shard:(i, shards) ~mode
-                        ~fault:fault_v ~gen_op ~scope ())))
+      end
+    end
+    else if uc_shards < 1 then `Error (true, "--uc-shards must be at least 1")
+    else begin
+      let module E = Check.Explore.Make (Ds) in
+      if threads < 1 || threads > E.max_threads scope then
+        `Error
+          ( true,
+            Printf.sprintf "--threads must be between 1 and %d (got %d)"
+              (E.max_threads scope) threads )
+      else if shards < 1 then `Error (true, "--shards must be at least 1")
+      else begin
+        let flag_str =
+          String.concat ""
+            [
+              (if flit then " --flit" else "");
+              (if dist_rw then " --dist-rw" else "");
+              (if log_mirror then " --log-mirror" else "");
+              (if slot_bitmap then " --slot-bitmap" else "");
+              (if detect then " --detect" else "");
+              (if no_persistence then " --no-persistence" else "");
+            ]
         in
-        let s = res.Check.Explore.stats in
-        Printf.printf
-          "schedules %d (terminals %d)  steps %d  states %d  dedup-hits %d  \
-           sleep-skips %d\n\
-           crash points %d  frontiers %d  recoveries %d  truncations %d  \
-           depth cutoffs %d  stutter cuts %d\n\
-           max completed-op loss %d  distinct terminal states %d  exhausted %b\n"
-          s.Check.Explore.schedules s.Check.Explore.terminals
-          s.Check.Explore.steps s.Check.Explore.states
-          s.Check.Explore.dedup_hits s.Check.Explore.sleep_skips
-          s.Check.Explore.crash_points s.Check.Explore.frontiers
-          s.Check.Explore.recoveries s.Check.Explore.frontier_truncations
-          s.Check.Explore.depth_cutoffs s.Check.Explore.stutter_cuts
-          s.Check.Explore.max_completed_loss
-          (List.length res.Check.Explore.terminal_states)
-          res.Check.Explore.exhausted;
-        (match res.Check.Explore.violation with
-         | None ->
-           print_endline "no violations";
-           `Ok ()
-         | Some v ->
-           List.iter
-             (fun vi ->
-               Printf.printf "VIOLATION: %s\n"
-                 (Check.Durable_lin.violation_to_string vi))
-             v.Check.Explore.v_violations;
-           Printf.printf "logged=%d completed=%d applied=%d\n"
-             v.Check.Explore.v_logged v.Check.Explore.v_completed
-             v.Check.Explore.v_applied;
-           Printf.printf "decision trace: %s\n"
-             (Check.Explore.decisions_to_string v.Check.Explore.v_decisions);
-           (match v.Check.Explore.v_crash with
-            | Some (step, mask) ->
-              Printf.printf "crash: step %d, frontier mask %d\n" step mask
-            | None -> print_endline "crash: none (terminal-state violation)");
-           Printf.printf "replay with:\n  %s\n"
-             (repro_command v.Check.Explore.v_decisions v.Check.Explore.v_crash);
-           `Error (false, "durable-linearizability violations found"))
+        let repro_command decisions crash =
+          Printf.sprintf
+            "dune exec bin/prep_cli.exe -- explore --variant %s --ds %s \
+             --threads %d --ops %d --epsilon %d --log-size %d --seed %d \
+             --sockets %d --cores %d --fault %s%s --replay '%s'%s"
+            variant ds threads ops epsilon log_size seed sockets cores fault
+            flag_str
+            (Check.Explore.decisions_to_string decisions)
+            (match crash with
+             | None -> ""
+             | Some (s, m) -> Printf.sprintf " --crash-step %d --frontier %d" s m)
+        in
+        match replay with
+        | Some trace_str ->
+          let decisions = Check.Explore.decisions_of_string trace_str in
+          let crash = Option.map (fun s -> (s, frontier)) crash_step in
+          report_explore_replay
+            (E.replay ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~mode
+               ~fault:fault_v ~gen_op ~scope ~decisions ?crash ())
+        | None ->
+          let res =
+            if shards = 1 then
+              E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
+                ~budget ~mode ~fault:fault_v ~gen_op ~scope ()
+            else
+              Check.Explore.merge_shards
+                (Campaign.run ~j:jobs
+                   (Array.init shards (fun i () ->
+                        E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap
+                          ~detect ~budget ~shard:(i, shards) ~mode
+                          ~fault:fault_v ~gen_op ~scope ())))
+          in
+          report_explore_result ~repro_command res
+      end
     end
 
 let explore_cmd =
@@ -872,8 +1137,9 @@ let explore_cmd =
        $ exp_epsilon_arg $ exp_log_size_arg $ exp_seed_arg $ exp_sockets_arg
        $ exp_cores_arg $ fault_arg $ flit_arg $ dist_rw_arg $ log_mirror_arg
        $ slot_bitmap_arg $ detect_arg $ max_schedules_arg $ max_states_arg $ max_steps_arg
-       $ frontier_lines_arg $ no_prune_arg $ shards_arg $ jobs_arg
-       $ replay_arg $ crash_step_arg $ frontier_arg))
+       $ frontier_lines_arg $ no_prune_arg $ no_persistence_arg $ shards_arg
+       $ uc_shards_arg $ jobs_arg $ replay_arg $ crash_step_arg
+       $ frontier_arg))
 
 (* ---- session ---- *)
 
@@ -1134,7 +1400,7 @@ let sweep_json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let sweep system ds threads_list read_pcts epsilon keys duration seed flit
-    dist_rw log_mirror slot_bitmap detect jobs json =
+    dist_rw log_mirror slot_bitmap detect uc_shards jobs json =
   let fail msg = `Error (true, msg) in
   match
     (int_list_of_string threads_list, int_list_of_string read_pcts,
@@ -1153,7 +1419,7 @@ let sweep system ds threads_list read_pcts epsilon keys duration seed flit
            max_workers)
     else
       match
-        select_system ~system ~epsilon ~flit ~dist_rw ~log_mirror
+        select_system ~uc_shards ~system ~epsilon ~flit ~dist_rw ~log_mirror
           ~slot_bitmap ~detect (module Sy)
       with
       | Error m -> fail m
@@ -1210,7 +1476,7 @@ let sweep_cmd =
         (const sweep $ system_arg $ ds_arg $ threads_list_arg $ read_pcts_arg
        $ epsilon_arg $ keys_arg $ duration_arg $ seed_arg $ flit_arg
        $ dist_rw_arg $ log_mirror_arg $ slot_bitmap_arg $ detect_arg
-       $ jobs_arg $ sweep_json_arg))
+       $ uc_shards_arg $ jobs_arg $ sweep_json_arg))
 
 (* ---- serve-sim: open-loop arrival-process points ---- *)
 
@@ -1259,9 +1525,17 @@ let arrival_of ~arrival ~burst_ratio ~dwell ~period rate =
          { rate_peak = rate /. 0.55; period_ns = float_of_int period })
   | other -> Error (Printf.sprintf "unknown arrival process %S" other)
 
+let shed_arg =
+  let doc =
+    "Drop-tail admission control: arrivals beyond a backlog of $(docv) \
+     queued requests are shed at arrival time instead of queued; shed \
+     counts and shed rate are reported per point and in the JSON."
+  in
+  Arg.(value & opt (some int) None & info [ "shed" ] ~docv:"DEPTH" ~doc)
+
 let serve_sim system ds threads epsilon read_pct keys duration seed flit
-    dist_rw log_mirror slot_bitmap detect arrival rates theta burst_ratio
-    dwell period jobs json =
+    dist_rw log_mirror slot_bitmap detect uc_shards arrival rates theta
+    burst_ratio dwell period shed jobs json =
   let fail msg = `Error (true, msg) in
   match (float_list_of_string rates, map_systems ds) with
   | Error m, _ | _, Error m -> fail m
@@ -1273,8 +1547,8 @@ let serve_sim system ds threads epsilon read_pct keys duration seed flit
       fail "--theta must be 0 (uniform) or in (0,1)"
     else
       match
-        ( select_system ~system ~epsilon ~flit ~dist_rw ~log_mirror
-            ~slot_bitmap ~detect (module Sy),
+        ( select_system ~uc_shards ~system ~epsilon ~flit ~dist_rw
+            ~log_mirror ~slot_bitmap ~detect (module Sy),
           arrival_of ~arrival ~burst_ratio ~dwell ~period 1.0 )
       with
       | Error m, _ | _, Error m -> fail m
@@ -1296,7 +1570,7 @@ let serve_sim system ds threads epsilon read_pct keys duration seed flit
                 | Error m -> failwith m
               in
               Openloop.run ~seed:(Int64.of_int seed) ~duration_ns:duration
-                ~system:sys ~workload ~arrival:arr ~workers:threads ())
+                ?shed ~system:sys ~workload ~arrival:arr ~workers:threads ())
             (Array.of_list rates_l)
           |> Array.to_list
         in
@@ -1304,11 +1578,14 @@ let serve_sim system ds threads epsilon read_pct keys duration seed flit
           (fun (p : Openloop.point) ->
             Printf.printf
               "%s | %s | offered %.0f/s: completed %d/%d (backlog %d, qpeak \
-               %d)  sojourn p50 %d p95 %d p99 %d ns\n"
+               %d%s)  sojourn p50 %d p95 %d p99 %d ns\n"
               p.Openloop.ol_system p.Openloop.ol_workload
               p.Openloop.ol_offered p.Openloop.ol_completed
               p.Openloop.ol_arrivals p.Openloop.ol_backlogged
               p.Openloop.ol_qmax
+              (if p.Openloop.ol_shed > 0 then
+                 Printf.sprintf ", shed %d" p.Openloop.ol_shed
+               else "")
               p.Openloop.ol_sojourn.Telemetry.Registry.hs_p50
               p.Openloop.ol_sojourn.Telemetry.Registry.hs_p95
               p.Openloop.ol_sojourn.Telemetry.Registry.hs_p99)
@@ -1347,8 +1624,9 @@ let serve_sim_cmd =
         (const serve_sim $ system_arg $ ds_arg $ threads_arg $ epsilon_arg
        $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg $ flit_arg
        $ dist_rw_arg $ log_mirror_arg $ slot_bitmap_arg $ detect_arg
-       $ arrival_arg $ rates_arg $ theta_arg $ burst_ratio_arg $ dwell_arg
-       $ period_arg $ jobs_arg $ sweep_json_arg))
+       $ uc_shards_arg $ arrival_arg $ rates_arg $ theta_arg
+       $ burst_ratio_arg $ dwell_arg $ period_arg $ shed_arg $ jobs_arg
+       $ sweep_json_arg))
 
 let () =
   let info =

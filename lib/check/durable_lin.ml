@@ -40,6 +40,12 @@ type violation =
           a false Completed (the client would skip a lost op); [resolved]
           behind means the client would re-submit an op that survived
           (duplicate on resubmission). *)
+  | Atomicity_violation of { txid : int; committed : bool; shard : int }
+      (** cross-shard atomicity ([Prep.Sharded_uc]): transaction [txid]
+          has a durable commit decision but shard [shard] lost one of its
+          prepare sub-ops (a committed transaction applied partially), or
+          has no decision yet shard [shard] rolled a prepare of it
+          *forward* (an aborted transaction left effects behind) *)
 
 let pp_violation ppf = function
   | Loss_bound_exceeded { lost; bound } ->
@@ -70,7 +76,54 @@ let pp_violation ppf = function
        applied seq is %d"
       tid resolved applied
 
+  | Atomicity_violation { txid; committed; shard } ->
+    if committed then
+      Fmt.pf ppf
+        "cross-shard atomicity violation: txn %d committed but shard %d \
+         lost a prepare"
+        txid shard
+    else
+      Fmt.pf ppf
+        "cross-shard atomicity violation: txn %d never committed but \
+         shard %d applied a prepare"
+        txid shard
+
 let violation_to_string v = Fmt.str "%a" pp_violation v
+
+(** Cross-shard all-or-nothing audit over one recovered sharded history.
+
+    [intents] names every transaction the run started, as
+    [(txid, participant shards)] with multiplicity (a same-shard multi-key
+    op lists its shard twice); [committed txid] is the post-crash media
+    truth of the decision table; [applied_count shard txid] counts the
+    prepare sub-ops of [txid] the recovery kept on [shard]. Committed ⇒
+    every intended prepare survived (PREP-Durable's loss bound is 0, and
+    the decision is only written after every prepare completed); not
+    committed ⇒ no shard kept any. *)
+let check_atomicity ~nshards ~intents ~committed ~applied_count =
+  List.concat_map
+    (fun (txid, parts) ->
+      if committed txid then
+        let want = Hashtbl.create 4 in
+        List.iter
+          (fun s ->
+            Hashtbl.replace want s
+              (1 + Option.value ~default:0 (Hashtbl.find_opt want s)))
+          parts;
+        Hashtbl.fold
+          (fun s n acc ->
+            if applied_count s txid < n then
+              Atomicity_violation { txid; committed = true; shard = s } :: acc
+            else acc)
+          want []
+      else
+        List.filter_map
+          (fun s ->
+            if applied_count s txid > 0 then
+              Some (Atomicity_violation { txid; committed = false; shard = s })
+            else None)
+          (List.init nshards Fun.id))
+    intents
 
 (** Judge each thread's post-recovery [Prep_uc.resolve] verdict against
     ghost truth. [resolutions] pairs thread ids with their verdicts;

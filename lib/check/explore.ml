@@ -73,6 +73,13 @@ type scope = {
   sockets : int;
   cores_per_socket : int;
   prune : bool;
+  persistence : bool;
+      (** spawn the background persistence (checkpoint) fibers. [false]
+          keeps the checkpoint loop out of the interleaving space — sound
+          whenever the scope's total op count stays below [epsilon] and
+          the log cannot wrap, because the flush boundary starts a full
+          [epsilon] ahead (no combiner ever blocks on it) and recovery
+          replays the whole log over the empty initial checkpoint. *)
 }
 
 let default_scope =
@@ -85,6 +92,7 @@ let default_scope =
     sockets = 2;
     cores_per_socket = 2;
     prune = true;
+    persistence = true;
   }
 
 type stats = {
@@ -782,7 +790,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
              in
              let uc = Uc.create mem roots cfg in
              uc_ref := Some uc;
-             Uc.start_persistence uc;
+             if scope.persistence then Uc.start_persistence uc;
              for w = 0 to scope.threads - 1 do
                let socket, core = Sim.Topology.place topo w in
                let ops = workload.(w) in
@@ -1002,7 +1010,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
            in
            let uc = Uc.create mem roots cfg in
            uc_ref := Some uc;
-           Uc.start_persistence uc;
+           if scope.persistence then Uc.start_persistence uc;
            for w = 0 to scope.threads - 1 do
              let socket, core = Sim.Topology.place topo w in
              let ops = workload.(w) in

@@ -1,0 +1,705 @@
+(** Bounded exhaustive schedule-and-crash exploration of the sharded
+    construction ([Prep.Sharded_uc]).
+
+    The DFS machinery is [Explore]'s — controlled-scheduler choice points,
+    await-transformation parking, cache-line sleep sets, state-hash dedup,
+    Gray-coded crash-frontier enumeration — specialised to a multi-shard
+    system under test:
+
+    - the ghost state spans every shard (all stop flags, traces and
+      next-seq tables) plus the router's transaction ghost (the intent
+      registry and txid counter), so state dedup distinguishes runs that
+      differ only in transaction progress;
+    - every crash frontier is judged as ONE history: per-shard
+      [Durable_lin] checks at loss bound 0 with rolled-back prepares
+      excused, plus the cross-shard [Durable_lin.check_atomicity] audit —
+      the same oracle as [Fuzz_shard], here applied exhaustively;
+    - the planted [Config.Commit_before_prepare_persist] fault is found
+      deterministically, with a decision trace + (step, frontier mask)
+      that [replay] reproduces bit-for-bit.
+
+    Oracle verdicts are a function of (media image, per-shard ghost
+    traces, intent registry, config), so crash-state dedup keys on
+    exactly that. Volatile/buffered modes don't exist here: sharding is
+    durable-only. *)
+
+open Explore
+
+module Make (Ds : Seqds.Ds_intf.S) = struct
+  (* Sharing [Fuzz_shard]'s instantiation makes its oracle directly
+     applicable (applicative functors: the [S.t]s are equal). *)
+  module FS = Fuzz_shard.Make (Ds)
+  module S = FS.S
+  open Nvm
+
+  let topology (s : scope) =
+    { Sim.Topology.sockets = s.sockets; cores_per_socket = s.cores_per_socket }
+
+  let max_threads scope = (scope.sockets * scope.cores_per_socket) - 1
+
+  let gen_workload ~gen_op ~scope =
+    let rng = Sim.Rng.create (Int64.of_int ((scope.seed * 1_000_003) + 11)) in
+    Array.init scope.threads (fun _ ->
+        List.init scope.ops_per_worker (fun _ -> gen_op rng))
+
+  let trace_hash trace =
+    let n = Prep.Trace.length trace in
+    let h = ref (mix n) in
+    for i = 0 to n - 1 do
+      let e = Prep.Trace.get trace i in
+      h :=
+        h2 !h
+          (h2 e.Prep.Trace.op
+             (h2
+                (Array.fold_left h2 0 e.Prep.Trace.args)
+                (h2
+                   (if e.Prep.Trace.completed then 1 else 0)
+                   (h2 e.Prep.Trace.tid e.Prep.Trace.seqno))))
+    done;
+    !h
+
+  (* order-independent hash of the transaction ghost (Hashtbl iteration
+     order must not leak into state keys) *)
+  let txn_ghost_hash (uc : S.t) =
+    let acc = ref (mix uc.S.next_txid) in
+    Hashtbl.iter
+      (fun txid parts ->
+        acc := !acc lxor h2 txid (List.fold_left h2 0 parts))
+      uc.S.txn_intent;
+    !acc
+
+  let shards_ghost_hash ~nshards (uc : S.t) =
+    let h = ref (txn_ghost_hash uc) in
+    for i = 0 to nshards - 1 do
+      let sh = S.shard uc i in
+      h :=
+        h2 !h
+          (h2
+             (if sh.S.P.stop_flag then 1 else 0)
+             (h2 (trace_hash sh.S.P.trace)
+                (Array.fold_left h2 0 sh.S.P.next_seq)))
+    done;
+    !h
+
+  (* Recover the whole sharded system on the current (post-crash) memory in
+     a fresh nested simulation. *)
+  let run_recovery ~scope uc =
+    let saved_ctx = Context.save () in
+    Context.reset ();
+    let sim2 = Sim.create ~seed:97L (topology scope) in
+    let out = ref None in
+    ignore (Sim.spawn sim2 ~socket:0 (fun () -> out := Some (S.recover uc)));
+    (match Sim.run sim2 () with
+     | `Done -> ()
+     | `Cut _ -> failwith "Explore_shard: recovery did not finish");
+    Context.restore saved_ctx;
+    Option.get !out
+
+  let sum_over n f = List.init n f |> List.fold_left ( + ) 0
+
+  (** Explore every interleaving and every reachable crash frontier of a
+      small-scope sharded workload (mode is always [Durable]; [fault] is
+      [No_fault] or [Commit_before_prepare_persist]). Stops at the first
+      violation or when the bounded space is exhausted. *)
+  let explore ?(budget = default_budget) ~nshards ~fault ~gen_op ~scope () =
+    if scope.threads < 1 || scope.threads > max_threads scope then
+      invalid_arg "Explore_shard: thread count out of range";
+    let workload = gen_workload ~gen_op ~scope in
+    let stats = new_stats () in
+    let seen_states : (int, (int * int) list list) Hashtbl.t =
+      Hashtbl.create 4096
+    in
+    let seen_crash : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+    let seen_frontier_base : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+    let terminal_states : (int list, unit) Hashtbl.t = Hashtbl.create 64 in
+    let path : node list ref = ref [] in
+    let budget_hit = ref false in
+    let depth_cut = ref false in
+    let truncated = ref false in
+
+    let run_once () =
+      let prefix_nodes = Array.of_list (List.rev !path) in
+      let process_from = Array.length prefix_nodes - 1 in
+      let sim = Sim.create (topology scope) in
+      let mem =
+        Memory.make
+          ~seed:(Int64.of_int (scope.seed + 7919))
+          ~sockets:scope.sockets ~bg_period:0 ()
+      in
+      let uc_ref = ref None in
+      let runtime = ref false in
+      let done_count = ref 0 in
+      let chains : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let started : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+      let parked : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let iter_start : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let write_version = ref 0 in
+      let last_ghost = ref 0 in
+      let cur_fp : fp ref = ref [] in
+      let hook key addr write value =
+        let fid = (Sim.self ()).Sim.fid in
+        cur_fp := (key, write) :: !cur_fp;
+        if write then incr write_version;
+        let av = h2 addr (h2 key (h2 (if write then 1 else 0) value)) in
+        Hashtbl.replace chains fid
+          (h2 (Option.value ~default:0 (Hashtbl.find_opt chains fid)) av)
+      in
+      Memory.set_access_hook mem hook;
+      Sim.set_spin_hook sim (fun fid ->
+          Hashtbl.replace parked fid
+            (Option.value ~default:(-1) (Hashtbl.find_opt iter_start fid)));
+      let decision_idx = ref 0 in
+      let step_idx = ref 0 in
+      let decisions_rev = ref [] in
+      let pending_sleep : (int * fp) list ref = ref [] in
+      let attr_node : node option ref = ref None in
+
+      let ghost_hash () =
+        let uc_ghost =
+          match !uc_ref with
+          | Some uc -> shards_ghost_hash ~nshards uc
+          | None -> 0
+        in
+        h2 !done_count uc_ghost
+      in
+      let state_key enabled =
+        let h =
+          ref
+            (h2 (Memory.value_hash mem)
+               (h2 (Memory.media_hash mem)
+                  (h2 (Memory.dirty_hash mem) (Memory.wpq_hash mem))))
+        in
+        h := h2 !h (ghost_hash ());
+        Array.iter
+          (fun fid ->
+            let chain = Option.value ~default:0 (Hashtbl.find_opt chains fid) in
+            let fextra =
+              match Sim.find_fiber sim fid with
+              | Some f ->
+                h2
+                  ((if f.Sim.palloc then 2 else 0)
+                  + (if Hashtbl.mem started fid then 1 else 0))
+                  (Int64.to_int f.Sim.frng.Sim.Rng.state)
+              | None -> 0
+            in
+            h := h2 !h (h2 fid (h2 chain fextra)))
+          enabled;
+        !h
+      in
+
+      let check_crash uc ~snap ~lines ~mask ~this_step =
+        stats.recoveries <- stats.recoveries + 1;
+        Memory.clear_access_hook mem;
+        Array.iteri
+          (fun b key ->
+            if mask land (1 lsl b) <> 0 then Memory.commit_line mem key)
+          lines;
+        Memory.crash mem;
+        let uc', reports = run_recovery ~scope uc in
+        let violations = FS.crash_checks ~nshards uc uc' reports in
+        (* adjusted completed-op loss for the stats: rolled-back prepares
+           are excused, everything else in durable mode must survive *)
+        let lost =
+          sum_over nshards (fun i ->
+              let trace = S.trace uc i in
+              let applied = Hashtbl.create 64 in
+              List.iter
+                (fun x -> Hashtbl.replace applied x ())
+                reports.(i).Prep.Prep_uc.applied;
+              List.length
+                (List.filter
+                   (fun idx ->
+                     (not (Hashtbl.mem applied idx))
+                     &&
+                     let e = Prep.Trace.get trace idx in
+                     (not (Prep.Sharded_uc.is_txn_op e.Prep.Trace.op))
+                     || S.committed uc' e.Prep.Trace.args.(0))
+                   (Prep.Trace.completed_indexes trace)))
+        in
+        if lost > stats.max_completed_loss then stats.max_completed_loss <- lost;
+        Memory.restore mem snap;
+        Memory.set_access_hook mem hook;
+        if violations <> [] then
+          raise
+            (Violation_found
+               {
+                 v_decisions = List.rev !decisions_rev;
+                 v_crash = Some (this_step, mask);
+                 v_violations = violations;
+                 v_logged =
+                   sum_over nshards (fun i -> Prep.Trace.length (S.trace uc i));
+                 v_completed =
+                   sum_over nshards (fun i ->
+                       List.length
+                         (Prep.Trace.completed_indexes (S.trace uc i)));
+                 v_applied =
+                   Array.fold_left
+                     (fun acc r -> acc + List.length r.Prep.Prep_uc.applied)
+                     0 reports;
+               })
+      in
+
+      let enumerate_crash_frontiers uc this_step =
+        let dirty = Memory.dirty_nvm_line_keys mem in
+        let k_all = List.length dirty in
+        let k = min k_all budget.max_frontier_lines in
+        if k_all > k then begin
+          truncated := true;
+          stats.frontier_truncations <- stats.frontier_truncations + 1
+        end;
+        let lines = Array.of_list dirty in
+        let lines = Array.sub lines 0 k in
+        let deltas = Array.map (Memory.line_commit_delta mem) lines in
+        let base_media = Memory.media_hash mem in
+        let th =
+          h2
+            (sum_over nshards (fun i -> trace_hash (S.trace uc i) lxor mix i))
+            (txn_ghost_hash uc)
+        in
+        let base_key =
+          h2 base_media (h2 th (Array.fold_left h2 (mix k) deltas))
+        in
+        if not (Hashtbl.mem seen_frontier_base base_key) then begin
+          Hashtbl.add seen_frontier_base base_key ();
+          stats.crash_points <- stats.crash_points + 1;
+          let snap = ref None in
+          let cur = ref 0 in
+          let prev_gray = ref 0 in
+          for i = 0 to (1 lsl k) - 1 do
+            let gray = i lxor (i lsr 1) in
+            let changed = gray lxor !prev_gray in
+            if changed <> 0 then begin
+              let b = ref 0 in
+              while changed land (1 lsl !b) = 0 do
+                incr b
+              done;
+              cur := !cur lxor deltas.(!b)
+            end;
+            prev_gray := gray;
+            stats.frontiers <- stats.frontiers + 1;
+            let sg = h2 (base_media lxor !cur) th in
+            if not (Hashtbl.mem seen_crash sg) then begin
+              Hashtbl.add seen_crash sg ();
+              let snap =
+                match !snap with
+                | Some s -> s
+                | None ->
+                  let s = Memory.snapshot mem in
+                  snap := Some s;
+                  s
+              in
+              check_crash uc ~snap ~lines ~mask:gray ~this_step
+            end
+          done
+        end
+      in
+
+      let chooser (enabled : int array) : int =
+        let pick fid =
+          if Hashtbl.mem parked fid then begin
+            Hashtbl.replace iter_start fid !write_version;
+            Hashtbl.remove parked fid
+          end;
+          Hashtbl.replace started fid ();
+          fid
+        in
+        if not !runtime then pick enabled.(0)
+        else begin
+          let fp = !cur_fp in
+          cur_fp := [];
+          (match !attr_node with
+           | Some n ->
+             n.nd_fp <- fp;
+             attr_node := None
+           | None -> ());
+          if fp <> [] && !pending_sleep <> [] then
+            pending_sleep :=
+              List.filter (fun (_, f) -> not (fp_conflict f fp)) !pending_sleep;
+          let this_step = !step_idx in
+          incr step_idx;
+          stats.steps <- stats.steps + 1;
+          if !step_idx > budget.max_steps then begin
+            depth_cut := true;
+            stats.depth_cutoffs <- stats.depth_cutoffs + 1;
+            raise Pruned
+          end;
+          let processing = !decision_idx > process_from in
+          let gh = ghost_hash () in
+          if gh <> !last_ghost then begin
+            last_ghost := gh;
+            incr write_version
+          end;
+          let eligible =
+            Array.to_list enabled
+            |> List.filter (fun fid ->
+                   match Hashtbl.find_opt parked fid with
+                   | Some v when v = !write_version -> false
+                   | _ -> true)
+          in
+          if eligible = [] then begin
+            stats.stutter_cuts <- stats.stutter_cuts + 1;
+            raise Pruned
+          end;
+          let eligible = Array.of_list eligible in
+          if processing then begin
+            (match !uc_ref with
+             | Some uc -> enumerate_crash_frontiers uc this_step
+             | None -> ());
+            if Array.length eligible > 1 then begin
+              let fresh_state = ref true in
+              if scope.prune then begin
+                let key = state_key enabled in
+                let sig_of_sleep sl =
+                  List.map
+                    (fun (fid, f) ->
+                      ( fid,
+                        List.fold_left
+                          (fun acc (k, w) -> acc lxor h2 k (if w then 1 else 0))
+                          0 f ))
+                    sl
+                  |> List.sort_uniq compare
+                in
+                let s = sig_of_sleep !pending_sleep in
+                let subset c = List.for_all (fun x -> List.mem x s) c in
+                (match Hashtbl.find_opt seen_states key with
+                 | Some cached when List.exists subset cached ->
+                   stats.dedup_hits <- stats.dedup_hits + 1;
+                   raise Pruned
+                 | Some cached ->
+                   fresh_state := false;
+                   let cached =
+                     List.filter
+                       (fun c -> not (List.for_all (fun x -> List.mem x c) s))
+                       cached
+                   in
+                   Hashtbl.replace seen_states key (s :: cached)
+                 | None -> Hashtbl.add seen_states key [ s ])
+              end;
+              if !fresh_state then stats.states <- stats.states + 1;
+              if stats.states >= budget.max_states then begin
+                budget_hit := true;
+                raise Budget_exhausted
+              end
+            end
+          end;
+          if Array.length eligible = 1 then pick eligible.(0)
+          else if not processing then begin
+            let n = prefix_nodes.(!decision_idx) in
+            if n.nd_enabled <> eligible then
+              failwith "Explore_shard: replay divergence (internal invariant)";
+            incr decision_idx;
+            decisions_rev := n.nd_choice :: !decisions_rev;
+            pending_sleep := n.nd_sleep;
+            attr_node := Some n;
+            pick n.nd_choice
+          end
+          else begin
+            let sleep = !pending_sleep in
+            let asleep fid = List.exists (fun (q, _) -> q = fid) sleep in
+            match
+              Array.to_list eligible |> List.filter (fun f -> not (asleep f))
+            with
+            | [] ->
+              stats.sleep_skips <- stats.sleep_skips + Array.length eligible;
+              raise Pruned
+            | c :: _ ->
+              let n =
+                {
+                  nd_enabled = eligible;
+                  nd_sleep = sleep;
+                  nd_tried = [];
+                  nd_choice = c;
+                  nd_fp = [];
+                }
+              in
+              path := n :: !path;
+              incr decision_idx;
+              decisions_rev := c :: !decisions_rev;
+              attr_node := Some n;
+              pick c
+          end
+        end
+      in
+      Sim.set_chooser sim chooser;
+      ignore
+        (Sim.spawn sim ~socket:0 (fun () ->
+             let roots = Roots.make mem in
+             let cfg =
+               Prep.Config.make ~mode:Prep.Config.Durable
+                 ~log_size:scope.log_size ~epsilon:scope.epsilon
+                 ~shards:nshards ~fault ~workers:scope.threads ()
+             in
+             let uc = S.create mem roots cfg in
+             uc_ref := Some uc;
+             if scope.persistence then S.start_persistence uc;
+             for w = 0 to scope.threads - 1 do
+               let socket, core = Sim.Topology.place (topology scope) w in
+               let ops = workload.(w) in
+               Sim.spawn_here ~socket ~core (fun () ->
+                   S.register_worker uc;
+                   List.iter
+                     (fun (op, args) -> ignore (S.execute uc ~op ~args))
+                     ops;
+                   incr done_count)
+             done;
+             runtime := true;
+             while !done_count < scope.threads do
+               Sim.spin ()
+             done;
+             S.stop uc;
+             S.sync uc));
+      (match Sim.run sim () with `Done -> () | `Cut _ -> assert false);
+      let uc = Option.get !uc_ref in
+      stats.terminals <- stats.terminals + 1;
+      let snapshot = S.snapshot uc in
+      Hashtbl.replace terminal_states snapshot ();
+      let violations = ref [] in
+      for i = 0 to nshards - 1 do
+        let trace = S.trace uc i in
+        let n = Prep.Trace.length trace in
+        violations :=
+          !violations
+          @ FS.Dl.check ~trace ~prefill:(S.prefill_ops uc i)
+              ~applied:(List.init n Fun.id)
+              ~completed:(Prep.Trace.completed_indexes trace)
+              ~recovered_snapshot:(S.P.snapshot (S.shard uc i)) ~loss_bound:0
+              ()
+      done;
+      Hashtbl.iter
+        (fun txid parts ->
+          if not (S.committed uc txid) then
+            violations :=
+              Durable_lin.Atomicity_violation
+                { txid; committed = false; shard = List.hd parts }
+              :: !violations)
+        uc.S.txn_intent;
+      if !violations <> [] then
+        raise
+          (Violation_found
+             {
+               v_decisions = List.rev !decisions_rev;
+               v_crash = None;
+               v_violations = !violations;
+               v_logged =
+                 sum_over nshards (fun i -> Prep.Trace.length (S.trace uc i));
+               v_completed =
+                 sum_over nshards (fun i ->
+                     List.length (Prep.Trace.completed_indexes (S.trace uc i)));
+               v_applied =
+                 sum_over nshards (fun i -> Prep.Trace.length (S.trace uc i));
+             })
+    in
+
+    let rec backtrack () =
+      match !path with
+      | [] -> false
+      | n :: rest ->
+        if scope.prune then begin
+          let fp = if n.nd_fp = [] then [ (-1, true) ] else n.nd_fp in
+          n.nd_sleep <- (n.nd_choice, fp) :: n.nd_sleep
+        end;
+        n.nd_tried <- n.nd_choice :: n.nd_tried;
+        let asleep fid = List.exists (fun (q, _) -> q = fid) n.nd_sleep in
+        let tried fid = List.mem fid n.nd_tried in
+        (match
+           Array.to_list n.nd_enabled
+           |> List.filter (fun f -> not (tried f) && not (asleep f))
+         with
+         | c :: _ ->
+           n.nd_choice <- c;
+           n.nd_fp <- [];
+           true
+         | [] ->
+           stats.sleep_skips <-
+             stats.sleep_skips
+             + (Array.length n.nd_enabled - List.length n.nd_tried);
+           path := rest;
+           backtrack ())
+    in
+    let violation = ref None in
+    (try
+       let continue = ref true in
+       while !continue do
+         if stats.schedules >= budget.max_schedules then begin
+           budget_hit := true;
+           continue := false
+         end
+         else begin
+           stats.schedules <- stats.schedules + 1;
+           (try run_once () with Pruned -> ());
+           continue := backtrack ()
+         end
+       done
+     with
+    | Violation_found v -> violation := Some v
+    | Budget_exhausted -> budget_hit := true);
+    {
+      stats;
+      violation = !violation;
+      terminal_states =
+        List.sort compare
+          (Hashtbl.fold (fun s () acc -> s :: acc) terminal_states []);
+      exhausted =
+        !violation = None && (not !budget_hit) && (not !depth_cut)
+        && not !truncated;
+    }
+
+  (** Re-execute exactly one sharded schedule from its decision trace;
+      optionally crash at [crash = (step, frontier_mask)], recover the
+      whole system and re-judge. Deterministic: replaying a violation's
+      trace reproduces its violation. *)
+  let replay ~nshards ~fault ~gen_op ~scope ~decisions ?crash () =
+    let workload = gen_workload ~gen_op ~scope in
+    let decisions = Array.of_list decisions in
+    let sim = Sim.create (topology scope) in
+    let mem =
+      Memory.make
+        ~seed:(Int64.of_int (scope.seed + 7919))
+        ~sockets:scope.sockets ~bg_period:0 ()
+    in
+    let uc_ref = ref None in
+    let runtime = ref false in
+    let done_count = ref 0 in
+    let decision_idx = ref 0 in
+    let step_idx = ref 0 in
+    let parked : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let iter_start : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let write_version = ref 0 in
+    let last_ghost = ref 0 in
+    Memory.set_access_hook mem (fun _ _ write _ ->
+        if write then incr write_version);
+    Sim.set_spin_hook sim (fun fid ->
+        Hashtbl.replace parked fid
+          (Option.value ~default:(-1) (Hashtbl.find_opt iter_start fid)));
+    let ghost_hash () =
+      let uc_ghost =
+        match !uc_ref with
+        | Some uc -> shards_ghost_hash ~nshards uc
+        | None -> 0
+      in
+      h2 !done_count uc_ghost
+    in
+    let chooser (enabled : int array) : int =
+      if not !runtime then enabled.(0)
+      else begin
+        let this_step = !step_idx in
+        incr step_idx;
+        (match crash with
+         | Some (s, mask) when this_step = s ->
+           let lines = Array.of_list (Memory.dirty_nvm_line_keys mem) in
+           Array.iteri
+             (fun b key ->
+               if mask land (1 lsl b) <> 0 then Memory.commit_line mem key)
+             lines;
+           raise Crash_now
+         | _ -> ());
+        let gh = ghost_hash () in
+        if gh <> !last_ghost then begin
+          last_ghost := gh;
+          incr write_version
+        end;
+        let eligible =
+          Array.to_list enabled
+          |> List.filter (fun fid ->
+                 match Hashtbl.find_opt parked fid with
+                 | Some v when v = !write_version -> false
+                 | _ -> true)
+        in
+        let eligible =
+          if eligible = [] then enabled else Array.of_list eligible
+        in
+        let pick fid =
+          if Hashtbl.mem parked fid then begin
+            Hashtbl.replace iter_start fid !write_version;
+            Hashtbl.remove parked fid
+          end;
+          fid
+        in
+        if Array.length eligible = 1 then pick eligible.(0)
+        else if !decision_idx < Array.length decisions then begin
+          let c = decisions.(!decision_idx) in
+          incr decision_idx;
+          if not (Array.exists (fun f -> f = c) eligible) then
+            failwith
+              "Explore_shard.replay: decision trace does not match execution";
+          pick c
+        end
+        else pick eligible.(0)
+      end
+    in
+    Sim.set_chooser sim chooser;
+    ignore
+      (Sim.spawn sim ~socket:0 (fun () ->
+           let roots = Roots.make mem in
+           let cfg =
+             Prep.Config.make ~mode:Prep.Config.Durable
+               ~log_size:scope.log_size ~epsilon:scope.epsilon ~shards:nshards
+               ~fault ~workers:scope.threads ()
+           in
+           let uc = S.create mem roots cfg in
+           uc_ref := Some uc;
+           if scope.persistence then S.start_persistence uc;
+           for w = 0 to scope.threads - 1 do
+             let socket, core = Sim.Topology.place (topology scope) w in
+             let ops = workload.(w) in
+             Sim.spawn_here ~socket ~core (fun () ->
+                 S.register_worker uc;
+                 List.iter
+                   (fun (op, args) -> ignore (S.execute uc ~op ~args))
+                   ops;
+                 incr done_count)
+           done;
+           runtime := true;
+           while !done_count < scope.threads do
+             Sim.spin ()
+           done;
+           S.stop uc;
+           S.sync uc));
+    let crashed =
+      try
+        (match Sim.run sim () with `Done -> () | `Cut _ -> assert false);
+        false
+      with Crash_now -> true
+    in
+    let uc = Option.get !uc_ref in
+    let sum f = List.init nshards f |> List.fold_left ( + ) 0 in
+    let logged = sum (fun i -> Prep.Trace.length (S.trace uc i)) in
+    let completed =
+      sum (fun i -> List.length (Prep.Trace.completed_indexes (S.trace uc i)))
+    in
+    if crashed then begin
+      Memory.clear_access_hook mem;
+      Memory.crash mem;
+      Context.reset ();
+      let sim2 = Sim.create ~seed:97L (topology scope) in
+      let out = ref None in
+      ignore (Sim.spawn sim2 ~socket:0 (fun () -> out := Some (S.recover uc)));
+      (match Sim.run sim2 () with
+       | `Done -> ()
+       | `Cut _ -> failwith "Explore_shard.replay: recovery did not finish");
+      let uc', reports = Option.get !out in
+      let violations = FS.crash_checks ~nshards uc uc' reports in
+      ( violations,
+        true,
+        logged,
+        completed,
+        Array.fold_left
+          (fun acc r -> acc + List.length r.Prep.Prep_uc.applied)
+          0 reports )
+    end
+    else begin
+      let violations = ref [] in
+      for i = 0 to nshards - 1 do
+        let trace = S.trace uc i in
+        let n = Prep.Trace.length trace in
+        violations :=
+          !violations
+          @ FS.Dl.check ~trace ~prefill:(S.prefill_ops uc i)
+              ~applied:(List.init n Fun.id)
+              ~completed:(Prep.Trace.completed_indexes trace)
+              ~recovered_snapshot:(S.P.snapshot (S.shard uc i)) ~loss_bound:0
+              ()
+      done;
+      (!violations, false, logged, completed, logged)
+    end
+end

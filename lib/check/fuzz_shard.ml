@@ -1,0 +1,319 @@
+(** Crash-point fuzzing for the sharded construction ([Prep.Sharded_uc]).
+
+    Same driver shape as [Fuzz] — seeded episodes, randomized preemption,
+    a crash injected at a random memory-operation index or simulated time,
+    recovery, judgment — but the system under test is N hash-routed
+    PREP-UC shards with the cross-shard 2PC commit path, and the judgment
+    treats the multi-shard run as ONE history:
+
+    - every shard's trace is checked with [Durable_lin] at loss bound 0
+      (sharding is durable-only), with the completed set adjusted for
+      transaction prepares whose decision never reached media — those are
+      *rolled back by design*, not lost: the coordinator only reports a
+      multi-key op complete after the decision's fence, so an undecided
+      prepare can only belong to an op no client saw finish;
+    - cross-shard atomicity is audited with [Durable_lin.check_atomicity]:
+      a committed transaction must have kept every prepare on every
+      participant shard, an uncommitted one must have kept none.
+
+    The planted [Config.Commit_before_prepare_persist] fault (decision
+    flushed before the prepares are durably logged) is caught here: a
+    crash in the decide-early window recovers a committed transaction
+    with missing prepares. *)
+
+open Fuzz
+
+(** A copy-pasteable replay of a sharded episode. *)
+let repro_command ~nshards ~multi_pct ~cross_pct ~fault ~ds ep =
+  Printf.sprintf
+    "dune exec bin/prep_cli.exe -- fuzz --variant durable --ds %s --shards \
+     %d --multi-pct %d --cross-pct %d --threads %d --epsilon %d --log-size \
+     %d --ops %d --seed %d --fault %s %s"
+    ds nshards multi_pct cross_pct ep.threads ep.epsilon ep.log_size
+    ep.ops_per_worker ep.workload_seed
+    (Prep.Config.fault_name fault)
+    (crash_flag ep.crash)
+
+module Make (Ds : Seqds.Ds_intf.S) = struct
+  module S = Prep.Sharded_uc.Make (Ds)
+  module Dl = Durable_lin.Make (S.Tx.Model)
+  open Nvm
+
+  let topology = Sim.Topology.{ sockets = 2; cores_per_socket = 4 }
+  let beta = topology.Sim.Topology.cores_per_socket
+  let max_threads = Sim.Topology.total_cores topology - 1
+
+  (* Judge one crashed-and-recovered sharded run as a single history. *)
+  let crash_checks ~nshards uc uc' (reports : Prep.Prep_uc.recovery_report array)
+      =
+    let committed txid = S.committed uc' txid in
+    let violations = ref [] in
+    (* per-shard applied-prepare tallies, for the atomicity audit *)
+    let tally = Array.init nshards (fun _ -> Hashtbl.create 64) in
+    for i = 0 to nshards - 1 do
+      let trace = S.trace uc i in
+      List.iter
+        (fun idx ->
+          let e = Prep.Trace.get trace idx in
+          if Prep.Sharded_uc.is_txn_op e.Prep.Trace.op then begin
+            let txid = e.Prep.Trace.args.(0) in
+            Hashtbl.replace tally.(i) txid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tally.(i) txid))
+          end)
+        reports.(i).Prep.Prep_uc.applied;
+      let completed =
+        List.filter
+          (fun idx ->
+            let e = Prep.Trace.get trace idx in
+            (not (Prep.Sharded_uc.is_txn_op e.Prep.Trace.op))
+            || committed e.Prep.Trace.args.(0))
+          (Prep.Trace.completed_indexes trace)
+      in
+      violations :=
+        !violations
+        @ Dl.check ~trace ~prefill:(S.prefill_ops uc i)
+            ~applied:reports.(i).Prep.Prep_uc.applied ~completed
+            ~recovered_snapshot:(S.P.snapshot (S.shard uc' i)) ~loss_bound:0
+            ()
+    done;
+    let intents =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) uc.S.txn_intent []
+      |> List.sort compare
+    in
+    let applied_count s txid =
+      Option.value ~default:0 (Hashtbl.find_opt tally.(s) txid)
+    in
+    !violations
+    @ Durable_lin.check_atomicity ~nshards ~intents ~committed ~applied_count
+
+  (** Run one sharded episode. [fault] is [No_fault] or
+      [Commit_before_prepare_persist]; [gen_op] draws (op, args) pairs —
+      multi-key ops included (see [Harness.Workload.map_workload_sharded]
+      for the standard generator). *)
+  let run_episode ~nshards ~fault ~gen_op ep =
+    if ep.threads < 1 || ep.threads > max_threads then
+      invalid_arg "Fuzz_shard: thread count out of range";
+    let sim =
+      Sim.create
+        ~seed:(Int64.of_int ep.workload_seed)
+        ~preempt_prob:ep.preempt_prob topology
+    in
+    let mem =
+      Memory.make
+        ~seed:(Int64.of_int (ep.workload_seed + 7919))
+        ~sockets:topology.Sim.Topology.sockets ~bg_period:ep.bg_period ()
+    in
+    let uc_ref = ref None in
+    let setup_ops = ref 0 in
+    let end_time = ref 0 in
+    ignore
+      (Sim.spawn sim ~socket:0 (fun () ->
+           let roots = Roots.make mem in
+           let cfg =
+             Prep.Config.make ~mode:Prep.Config.Durable
+               ~log_size:ep.log_size ~epsilon:ep.epsilon ~shards:nshards
+               ~fault ~workers:ep.threads ()
+           in
+           let uc = S.create mem roots cfg in
+           uc_ref := Some uc;
+           setup_ops := Memory.op_index mem;
+           (match ep.crash with
+            | At_op n ->
+              let base = !setup_ops in
+              Memory.set_crash_hook mem (fun i ->
+                  if i - base >= n then raise Crash_injected)
+            | At_time _ | No_crash -> ());
+           S.start_persistence uc;
+           let done_count = ref 0 in
+           for w = 0 to ep.threads - 1 do
+             let socket, core = Sim.Topology.place topology w in
+             Sim.spawn_here ~socket ~core (fun () ->
+                 S.register_worker uc;
+                 let rng = Sim.fiber_rng () in
+                 for _ = 1 to ep.ops_per_worker do
+                   let op, args = gen_op rng in
+                   ignore (S.execute uc ~op ~args)
+                 done;
+                 incr done_count)
+           done;
+           while !done_count < ep.threads do
+             Sim.tick 10_000
+           done;
+           S.stop uc;
+           S.sync uc;
+           end_time := Sim.now ()));
+    let crashed =
+      match ep.crash with
+      | No_crash -> (
+        match Sim.run sim () with
+        | `Done -> false
+        | `Cut _ -> assert false)
+      | At_time ns -> (
+        match Sim.run ~until:ns sim () with `Cut _ -> true | `Done -> false)
+      | At_op _ -> (
+        try
+          ignore (Sim.run sim ());
+          false
+        with Crash_injected -> true)
+    in
+    Memory.clear_crash_hook mem;
+    match !uc_ref with
+    | None ->
+      {
+        crashed;
+        vacuous = true;
+        violations = [];
+        logged = 0;
+        completed = 0;
+        applied = 0;
+        runtime_ops = 0;
+        end_time = 0;
+      }
+    | Some uc ->
+      let sum f = Array.init nshards f |> Array.fold_left ( + ) 0 in
+      let logged = sum (fun i -> Prep.Trace.length (S.trace uc i)) in
+      let completed =
+        sum (fun i ->
+            List.length (Prep.Trace.completed_indexes (S.trace uc i)))
+      in
+      let runtime_ops = Memory.op_index mem - !setup_ops in
+      if crashed then begin
+        Memory.crash mem;
+        Context.reset ();
+        let sim2 =
+          Sim.create ~seed:(Int64.of_int (ep.workload_seed + 1)) topology
+        in
+        let out = ref None in
+        ignore
+          (Sim.spawn sim2 ~socket:0 (fun () -> out := Some (S.recover uc)));
+        (match Sim.run sim2 () with
+         | `Done -> ()
+         | `Cut _ -> failwith "Fuzz_shard: recovery did not finish");
+        let uc', reports = Option.get !out in
+        let violations = crash_checks ~nshards uc uc' reports in
+        {
+          crashed = true;
+          vacuous = false;
+          violations;
+          logged;
+          completed;
+          applied =
+            Array.fold_left
+              (fun acc r -> acc + List.length r.Prep.Prep_uc.applied)
+              0 reports;
+          runtime_ops;
+          end_time = 0;
+        }
+      end
+      else begin
+        (* quiescent: every shard's full trace must replay to its final
+           state, and every transaction must have a durable decision *)
+        let violations = ref [] in
+        for i = 0 to nshards - 1 do
+          let trace = S.trace uc i in
+          let n = Prep.Trace.length trace in
+          violations :=
+            !violations
+            @ Dl.check ~trace ~prefill:(S.prefill_ops uc i)
+                ~applied:(List.init n Fun.id)
+                ~completed:(Prep.Trace.completed_indexes trace)
+                ~recovered_snapshot:(S.P.snapshot (S.shard uc i))
+                ~loss_bound:0 ()
+        done;
+        Hashtbl.iter
+          (fun txid parts ->
+            if not (S.committed uc txid) then
+              violations :=
+                Durable_lin.Atomicity_violation
+                  { txid; committed = false; shard = List.hd parts }
+                :: !violations)
+          uc.S.txn_intent;
+        {
+          crashed = false;
+          vacuous = false;
+          violations = !violations;
+          logged;
+          completed;
+          applied = logged;
+          runtime_ops;
+          end_time = !end_time;
+        }
+      end
+
+  (** Fuzz [iters] sharded episodes from [template] (crash field ignored),
+      same deterministic calibrate-plan-run shape as [Fuzz.fuzz]. *)
+  let fuzz ~nshards ~fault ~gen_op ~template ~iters ?(log = fun _ -> ())
+      ?(runner = fun tasks -> Array.map (fun task -> task ()) tasks) () =
+    let calib =
+      run_episode ~nshards ~fault ~gen_op { template with crash = No_crash }
+    in
+    log
+      (Fmt.str "calibration: %d ops logged, %d mem-ops, %d ns" calib.logged
+         calib.runtime_ops calib.end_time);
+    let rng =
+      Sim.Rng.create (Int64.of_int ((template.workload_seed * 1_000_003) + 17))
+    in
+    let plan =
+      Array.init iters (fun idx ->
+          let i = idx + 1 in
+          let crash =
+            if Sim.Rng.bool rng then
+              At_op (1 + Sim.Rng.int rng (max 1 calib.runtime_ops))
+            else At_time (1 + Sim.Rng.int rng (max 1 calib.end_time))
+          in
+          { template with workload_seed = template.workload_seed + i; crash })
+    in
+    let outs =
+      runner
+        (Array.map (fun ep () -> run_episode ~nshards ~fault ~gen_op ep) plan)
+    in
+    let failures = ref [] in
+    let crashes = ref 0 in
+    Array.iteri
+      (fun idx out ->
+        let ep = plan.(idx) in
+        if out.crashed then incr crashes;
+        if out.violations <> [] then begin
+          failures :=
+            { episode = ep; violations = out.violations } :: !failures;
+          log
+            (Fmt.str "episode %d/%d FAILED (%a): %a" (idx + 1) iters
+               pp_episode ep
+               Fmt.(list ~sep:comma Durable_lin.pp_violation)
+               out.violations)
+        end)
+      outs;
+    { episodes = iters; crashes = !crashes; failures = List.rev !failures }
+
+  (** Minimize a failing sharded episode (same strategy as [Fuzz.shrink]). *)
+  let shrink ~nshards ~fault ~gen_op ep =
+    let fails ep = (run_episode ~nshards ~fault ~gen_op ep).violations <> [] in
+    let scale_crash ep num den =
+      match ep.crash with
+      | At_op c -> { ep with crash = At_op (max 1 (c * num / den)) }
+      | At_time c -> { ep with crash = At_time (max 1 (c * num / den)) }
+      | No_crash -> ep
+    in
+    let smaller ep =
+      let threads =
+        List.sort_uniq compare [ 1; 2; ep.threads / 2; ep.threads - 1 ]
+        |> List.filter (fun t -> t >= 1 && t < ep.threads)
+        |> List.concat_map (fun t ->
+               let ep = { ep with threads = t } in
+               [ ep; scale_crash ep 3 4; scale_crash ep 1 2; scale_crash ep 1 4 ])
+      in
+      let crash_only =
+        match ep.crash with
+        | At_op c | At_time c ->
+          if c > 1 then [ scale_crash ep 1 2; scale_crash ep 7 8 ] else []
+        | No_crash -> []
+      in
+      let work =
+        if ep.ops_per_worker > 40 then
+          [ { ep with ops_per_worker = ep.ops_per_worker / 2 } ]
+        else []
+      in
+      threads @ crash_only @ work
+    in
+    Shrink.minimize ~smaller ~fails ep
+end

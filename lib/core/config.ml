@@ -52,6 +52,15 @@ type fault =
           log entry never made it: recovery then reports the op completed
           although the recovered state lost it, breaking the exactly-once
           contract the announce/response protocol exists to provide *)
+  | Commit_before_prepare_persist
+      (** sharded mode only: write and flush the cross-shard commit
+          decision record *before* the per-shard prepare entries are
+          durably logged — the classic "decide first, log later" 2PC
+          ordering bug. A crash between the decision flush and the
+          prepares' fences leaves a committed transaction some of whose
+          participant shards never logged their sub-op: recovery rolls
+          the transaction forward on the shards that did log it and
+          silently loses the rest, breaking cross-shard atomicity *)
 
 let fault_name = function
   | No_fault -> "none"
@@ -59,6 +68,7 @@ let fault_name = function
   | Elide_ct_flush -> "elide-ct-flush"
   | Mirror_read_on_recovery -> "mirror-read-recovery"
   | Response_before_log_persist -> "response-before-log-persist"
+  | Commit_before_prepare_persist -> "commit-before-prepare"
 
 type t = {
   mode : mode;
@@ -95,6 +105,22 @@ type t = {
           advance past it. After a crash, [Prep_uc.resolve] tells each
           client whether its last announced op survived, so clients
           re-submit exactly the lost ones — exactly-once end to end. *)
+  shards : int;
+      (** number of independent PREP-UC shards fronting the keyspace
+          ([Sharded_uc]); 1 is the classic single-instance construction.
+          Each shard owns its own log, replicas and combiner; multi-key
+          operations commit across shards through a 2PC-style
+          prepare/decision protocol. Sharding requires durable mode: the
+          commit decision is only meaningful when prepare entries are
+          durably logged before it. *)
+  root_base : int;
+      (** first NVM root slot this instance's six persistent roots are
+          registered at (shard [i] of a sharded construction uses
+          [i * 8]); 0 is the classic layout *)
+  tag : string;
+      (** suffix appended to this instance's telemetry track names
+          (e.g. ["/shard2"]), so per-shard combiner and persistence
+          fibers get separate tracks in the trace export *)
   fault : fault;
 }
 
@@ -117,11 +143,24 @@ let validate t ~beta =
        checkpoint cannot be gated on response persistence)";
   if t.fault = Response_before_log_persist && not t.detect then
     invalid_arg
-      "Config: response-before-log-persist fault only exists under --detect"
+      "Config: response-before-log-persist fault only exists under --detect";
+  if t.shards < 1 then invalid_arg "Config: need at least one shard";
+  if t.shards > 1 && t.mode <> Durable then
+    invalid_arg
+      "Config: sharding requires durable mode (cross-shard commit \
+       decisions are only meaningful over durably logged prepares)";
+  if t.shards > 1 && t.detect then
+    invalid_arg "Config: detectable execution is per-instance; not yet \
+                 wired through the shard router";
+  if t.fault = Commit_before_prepare_persist && t.shards < 2 then
+    invalid_arg
+      "Config: commit-before-prepare fault only exists with --shards >= 2";
+  if t.root_base < 0 then invalid_arg "Config: root_base must be >= 0"
 
 let make ?(mode = Buffered) ?(log_size = 65536) ?(epsilon = 1024)
     ?(flush = Wbinvd) ?(flit = false) ?(dist_rw = false)
     ?(log_mirror = false) ?(slot_bitmap = false) ?(detect = false)
-    ?(fault = No_fault) ~workers () =
+    ?(shards = 1) ?(root_base = 0) ?(tag = "") ?(fault = No_fault)
+    ~workers () =
   { mode; log_size; epsilon; workers; flush; flit; dist_rw; log_mirror;
-    slot_bitmap; detect; fault }
+    slot_bitmap; detect; shards; root_base; tag; fault }

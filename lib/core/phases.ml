@@ -22,18 +22,23 @@ type t = {
 (** The phase names, in canonical display order. *)
 let phase_names = [ "combine"; "publish"; "persist"; "catch-up"; "detect" ]
 
-let make () =
+(** [make ~tag ()] suffixes every span name with [tag] (e.g.
+    ["combine/shard2"]), so a multi-instance construction — the sharded
+    router — shows one row per shard per phase in the profile and
+    per-shard span names in the trace, instead of an indistinguishable
+    merge. The empty tag keeps the canonical names. *)
+let make ?(tag = "") () =
   match Telemetry.Registry.current () with
   | None -> None
   | Some reg ->
     Some
       {
         reg;
-        combine = Telemetry.Registry.span reg "combine";
-        publish = Telemetry.Registry.span reg "publish";
-        persist = Telemetry.Registry.span reg "persist";
-        catchup = Telemetry.Registry.span reg "catch-up";
-        detect = Telemetry.Registry.span reg "detect";
+        combine = Telemetry.Registry.span reg ("combine" ^ tag);
+        publish = Telemetry.Registry.span reg ("publish" ^ tag);
+        persist = Telemetry.Registry.span reg ("persist" ^ tag);
+        catchup = Telemetry.Registry.span reg ("catch-up" ^ tag);
+        detect = Telemetry.Registry.span reg ("detect" ^ tag);
       }
 
 (** [in_span tel sel f] runs [f] inside the phase selected by [sel],

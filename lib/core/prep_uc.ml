@@ -30,7 +30,10 @@
 
 open Nvm
 
-(* Root directory slots. *)
+(* Root directory slots, relative to the instance's [Config.root_base]
+   (shard [i] of a sharded construction registers its roots at [i * 8], so
+   several instances share one root directory; the classic layout is
+   base 0). *)
 let slot_active = 1 (* p_activePReplica *)
 let slot_meta0 = 2 (* address of persistent replica 0's metadata block *)
 let slot_meta1 = 3 (* address of persistent replica 1's metadata block *)
@@ -135,6 +138,20 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     mutable detect_announces : int;
     mutable detect_responses : int;
     mutable detect_reconciled : int;
+    mutable txn_gate : (op:int -> args:int array -> bool) option;
+        (* Sharded-transaction hook ([Sharded_uc]): called by the
+           persistence thread before applying a log entry to the active
+           persistent replica. [false] means the entry is a cross-shard
+           prepare whose commit decision is still pending — the catch-up
+           stops in front of it (progress so far is kept) and retries on
+           the next cycle, so a checkpoint can never bake in an effect
+           that recovery might have to roll back. The gate must make the
+           decision it approves durable before returning [true]. *)
+    mutable replay_keep : (op:int -> args:int array -> bool) option;
+        (* Sharded-transaction hook: recovery replay applies an entry only
+           if this returns [true]. The sharded layer answers from the
+           post-crash decision-table media: committed prepares roll
+           forward, unprepared/aborted ones are skipped like log holes. *)
     tel : Phases.t option;
         (* phase spans, captured from the ambient telemetry registry at
            construction; [None] on uninstrumented runs *)
@@ -142,6 +159,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
 
   let durable t = t.cfg.Config.mode = Config.Durable
   let has_persistence t = t.cfg.Config.mode <> Config.Volatile
+
+  (* this instance's absolute root slot for relative slot [s] *)
+  let rslot t s = t.cfg.Config.root_base + s
 
   (* ---- control-word helpers ---- *)
 
@@ -258,12 +278,13 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         let p0 = make_prep () and p1 = make_prep () in
         (* checkpoint zero: both replicas durable before any operation *)
         Alloc.persist_heap pa;
-        Roots.set roots slot_active 0;
-        Roots.set roots slot_meta0 p0.meta;
-        Roots.set roots slot_meta1 p1.meta;
+        let rb = cfg.Config.root_base in
+        Roots.set roots (rb + slot_active) 0;
+        Roots.set roots (rb + slot_meta0) p0.meta;
+        Roots.set roots (rb + slot_meta1) p1.meta;
         if mode = Config.Durable then begin
-          Roots.set roots slot_ct ct_addr;
-          Roots.set roots slot_log log.Log.base
+          Roots.set roots (rb + slot_ct) ct_addr;
+          Roots.set roots (rb + slot_log) log.Log.base
         end;
         (Some pa, [| p0; p1 |], ct_addr)
       end
@@ -275,12 +296,13 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     let ann =
       if not cfg.Config.detect then None
       else begin
-        let existing = Roots.get roots slot_announce in
+        let rb = cfg.Config.root_base in
+        let existing = Roots.get roots (rb + slot_announce) in
         if existing <> Memory.null then
           Some (Announce.attach mem ~base:existing ~threads:n_threads)
         else begin
           let a = Announce.create (Option.get p_alloc) ~threads:n_threads in
-          Roots.set roots slot_announce (Announce.base a);
+          Roots.set roots (rb + slot_announce) (Announce.base a);
           Some a
         end
       end
@@ -314,7 +336,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       detect_announces = 0;
       detect_responses = 0;
       detect_reconciled = 0;
-      tel = Phases.make ();
+      txn_gate = None;
+      replay_keep = None;
+      tel = Phases.make ~tag:cfg.Config.tag ();
     }
 
   (** Create a UC whose initial object state is [prefill] applied to an
@@ -389,7 +413,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
           (* logMin is pinned by a laggard: ask it to catch up *)
           if !low_rid >= t.n_replicas then begin
             let p = !low_rid - t.n_replicas in
-            let active = Roots.get t.roots slot_active in
+            let active = Roots.get t.roots (rslot t slot_active) in
             if active <> p && read_flush_boundary t >= !lm then
               (* the stable persistent replica is the laggard: force the
                  persistence thread to checkpoint and swap early *)
@@ -652,7 +676,14 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       Locks.Rw.write_release r.rw
     end
 
-  let execute_update t r ~seq ~op ~args =
+  (** Publish an update into the calling core's flat-combining slot and
+      return without waiting for a response. The caller owns exactly one
+      slot per replica, so at most one update may be outstanding per
+      construction; collect it with [try_collect] (or spin via
+      [collect_update]) before submitting the next. Split out of
+      [execute_update] so a multi-shard router can keep one update in
+      flight per shard from a single worker fiber. *)
+  let submit_update t r ~seq ~op ~args =
     let core = (Sim.self ()).Sim.core in
     let s = slot_addr r core in
     Memory.write t.mem (s + sl_op) op;
@@ -663,26 +694,51 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     Memory.write t.mem (s + sl_full) 1;
     (* raise the occupancy bit strictly after [sl_full]: the combiner
        claims bits first and then expects every claimed slot to be full *)
-    if t.cfg.Config.slot_bitmap then ignore (Memory.faa t.mem r.occ (1 lsl core));
-    let rec wait () =
+    if t.cfg.Config.slot_bitmap then ignore (Memory.faa t.mem r.occ (1 lsl core))
+
+  (** One non-blocking attempt to collect the outstanding update: the
+      slot's response if it is ready, otherwise — after lending a hand as
+      combiner if the lock is free, exactly like the spinning path of
+      [execute_update] — [None]. Never sleeps; the caller decides whether
+      to spin or to make progress elsewhere first. *)
+  let try_collect t r =
+    let core = (Sim.self ()).Sim.core in
+    let s = slot_addr r core in
+    if Memory.read t.mem (s + sl_ready) = 1 then begin
+      let resp = Memory.read t.mem (s + sl_resp) in
+      Memory.write t.mem (s + sl_ready) 0;
+      Trace.completed t.trace (Memory.read t.mem (s + sl_ghost));
+      Some resp
+    end
+    else if Locks.Trylock.try_acquire r.combiner then begin
+      combine t r;
+      Locks.Trylock.release r.combiner;
       if Memory.read t.mem (s + sl_ready) = 1 then begin
         let resp = Memory.read t.mem (s + sl_resp) in
         Memory.write t.mem (s + sl_ready) 0;
         Trace.completed t.trace (Memory.read t.mem (s + sl_ghost));
-        resp
+        Some resp
       end
-      else if Locks.Trylock.try_acquire r.combiner then begin
-        combine t r;
-        Locks.Trylock.release r.combiner;
-        wait ()
-      end
-      else begin
-        help_if_asked t r;
+      else None
+    end
+    else begin
+      help_if_asked t r;
+      None
+    end
+
+  let collect_update t r =
+    let rec wait () =
+      match try_collect t r with
+      | Some resp -> resp
+      | None ->
         Sim.spin ();
         wait ()
-      end
     in
     wait ()
+
+  let execute_update t r ~seq ~op ~args =
+    submit_update t r ~seq ~op ~args;
+    collect_update t r
 
   let execute_readonly t r ~op ~args =
     let rec loop () =
@@ -775,8 +831,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     Memory.sfence ~site:"prep.checkpoint" t.mem;
     (* swap active/stable and persist the switch before opening the next
        window (see module comment on ordering) *)
-    let active = Roots.get t.roots slot_active in
-    Roots.set t.roots slot_active (1 - active);
+    let active = Roots.get t.roots (rslot t slot_active) in
+    Roots.set t.roots (rslot t slot_active) (1 - active);
     if t.cfg.Config.fault <> Config.Early_boundary_advance then
       write_flush_boundary t (read_flush_boundary t + t.cfg.Config.epsilon)
 
@@ -785,28 +841,44 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       ~default:(Alloc.create_volatile t.mem ~home:t.p_socket)
       ?persistent:t.p_alloc ();
     t.p_thread_running <- true;
+    let span_name = "persistence" ^ t.cfg.Config.tag in
     (* the whole loop is one root span, so a profile attributes the
        persistence thread's entire lifetime (its self-time is the
-       poll/spin overhead left after the catch-up and persist children) *)
+       poll/spin overhead left after the catch-up and persist children);
+       the [Config.tag] suffix gives each shard's persistence fiber its
+       own span and trace track *)
     (match t.tel with
      | Some pt ->
+       if t.cfg.Config.tag <> "" then
+         Telemetry.Registry.cur_name_track (Sim.self ()).Sim.fid span_name;
        Telemetry.Registry.span_enter pt.Phases.reg
-         (Telemetry.Registry.span pt.Phases.reg "persistence")
+         (Telemetry.Registry.span pt.Phases.reg span_name)
      | None -> ());
     while not t.stop_flag do
-      let active = Roots.get t.roots slot_active in
+      let active = Roots.get t.roots (rslot t slot_active) in
       let rep = t.p_reps.(active) in
       let tail = read_ct t in
       let lt = Memory.read t.mem rep.meta in
       if tail > lt then begin
-        (* bring the active persistent replica up to date *)
+        (* Bring the active persistent replica up to date. With a
+           [txn_gate] installed, stop in front of the first entry whose
+           cross-shard commit decision is still pending — keeping the
+           progress made so far — and re-poll next cycle; the checkpoint
+           below must never contain an effect recovery could roll back. *)
         Phases.in_span t.tel (fun pt -> pt.Phases.catchup) (fun () ->
+            let reached = ref lt in
             Context.with_persistent (fun () ->
-                for idx = lt to tail - 1 do
-                  let op, args = Log.wait_and_read t.log idx in
-                  ignore (Ds.execute rep.pds ~op ~args)
-                done);
-            Memory.write t.mem rep.meta tail)
+                try
+                  for idx = lt to tail - 1 do
+                    let op, args = Log.wait_and_read t.log idx in
+                    (match t.txn_gate with
+                     | Some gate when not (gate ~op ~args) -> raise Exit
+                     | _ -> ());
+                    ignore (Ds.execute rep.pds ~op ~args);
+                    reached := idx + 1
+                  done
+                with Exit -> ());
+            if !reached > lt then Memory.write t.mem rep.meta !reached)
       end;
       if read_flush_boundary t <= Memory.read t.mem rep.meta then
         flush_and_swap t
@@ -815,7 +887,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     (match t.tel with
      | Some pt ->
        Telemetry.Registry.span_exit pt.Phases.reg
-         (Telemetry.Registry.span pt.Phases.reg "persistence")
+         (Telemetry.Registry.span pt.Phases.reg span_name)
      | None -> ());
     t.p_thread_running <- false
 
@@ -882,7 +954,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
   (** Cost-free snapshot of the stable persistent replica's current
       (coherent) view. *)
   let stable_snapshot t =
-    let active = Memory.peek t.mem (Roots.addr t.roots slot_active) in
+    let active = Memory.peek t.mem (Roots.addr t.roots (rslot t slot_active)) in
     Ds.snapshot t.p_reps.(1 - active).pds
 
   (* ---- recovery (paper §5.1 / §5.2) ---- *)
@@ -896,9 +968,12 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     if not (has_persistence old_t) then
       invalid_arg "Prep_uc.recover: volatile variant cannot recover";
     Context.bind ~default:(Alloc.create_volatile mem ~home:0) ();
-    let active = Roots.get roots slot_active in
+    let rb = cfg.Config.root_base in
+    let active = Roots.get roots (rb + slot_active) in
     let stable = 1 - active in
-    let stable_meta = Roots.get roots (if stable = 0 then slot_meta0 else slot_meta1) in
+    let stable_meta =
+      Roots.get roots (rb + if stable = 0 then slot_meta0 else slot_meta1)
+    in
     let stable_lt = Memory.read mem stable_meta in
     let stable_root = Memory.read mem (stable_meta + 1) in
     let stable_ds = Ds.attach mem stable_root in
@@ -913,9 +988,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       if cfg.Config.mode = Config.Durable then begin
         (* replay the recovered log from the stable replica's tail to the
            recovered completedTail, skipping holes (unpersisted entries) *)
-        let ct_addr = Roots.get roots slot_ct in
+        let ct_addr = Roots.get roots (rb + slot_ct) in
         let ct = Memory.read mem ct_addr in
-        let log_base = Roots.get roots slot_log in
+        let log_base = Roots.get roots (rb + slot_log) in
         (* replay must read the NVM media truth, never the (volatile) DRAM
            mirror — the planted [Mirror_read_on_recovery] fault does
            exactly that wrong thing so the fuzzer can prove it notices *)
@@ -930,7 +1005,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         in
         let ann =
           if cfg.Config.detect then
-            let base = Roots.get roots slot_announce in
+            let base = Roots.get roots (rb + slot_announce) in
             if base <> Memory.null then
               Some
                 (Announce.attach mem ~base
@@ -957,6 +1032,14 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
               if
                 Log.is_full log idx
                 && (idx < ct || snd (Log.read_tag log idx) > 0)
+                && (match old_t.replay_keep with
+                    | None -> true
+                    | Some keep ->
+                      (* sharded transactions: an entry whose cross-shard
+                         commit decision is absent from the post-crash
+                         media is rolled back — skipped like a log hole *)
+                      let op, args = Log.read_payload log idx in
+                      keep ~op ~args)
               then begin
                 let op, args = Log.read_payload log idx in
                 let resp = Ds.execute stable_ds ~op ~args in
@@ -997,7 +1080,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
           (List.filter (fun i -> i < stable_lt && not (Hashtbl.mem applied_set i)) completed)
       | _ ->
         (* holes are indexes in [stable_lt, ct) missing from [replayed] *)
-        let ct_addr = Roots.get roots slot_ct in
+        let ct_addr = Roots.get roots (rb + slot_ct) in
         let ct = Memory.read mem ct_addr in
         List.length
           (List.filter

@@ -13,6 +13,10 @@ open Nvm
 type instance = {
   register : unit -> unit; (* bind the calling worker fiber *)
   exec : op:int -> args:int array -> int;
+  exec_batch : ((int * int array) array -> int array) option;
+      (* pipelined batch execution, for systems that can overlap several
+         of one worker's ops (the sharded router keeps one update in
+         flight per shard); [None] means ops only run one at a time *)
   teardown : unit -> unit; (* stop helper threads so the run can drain *)
   sample : Telemetry.Registry.t -> unit;
       (* port the instance's counters onto a registry, *adding* to values
@@ -83,6 +87,13 @@ let counters r =
     system and assigns worker [w] to instance [w mod instances]; all
     instances' counters are summed into the result's registry snapshot.
 
+    [op_batch] (default 1) makes each worker draw that many operations
+    from the workload at once and submit them through the instance's
+    [exec_batch] (when it has one — systems without it run the batch
+    sequentially, so the workload stream and count accounting stay
+    comparable). Closed-loop runs of the sharded construction need this
+    to express any parallelism beyond the per-shard combiner batch.
+
     [telemetry] installs a live registry as the run's ambient registry:
     the memory model, simulator and constructions record per-primitive
     costs, scheduler events and phase spans into it, each worker's
@@ -92,10 +103,12 @@ let counters r =
     stays as cheap and exactly as deterministic as before. *)
 let run ?(seed = 7L) ?(topology = Sim.Topology.default)
     ?(duration_ns = 4_000_000) ?(warmup_ns = 800_000) ?(bg_period = 50_000)
-    ?(instances = 1) ?telemetry ~system ~(workload : Workload.t) ~workers () =
+    ?(instances = 1) ?(op_batch = 1) ?telemetry ~system
+    ~(workload : Workload.t) ~workers () =
   if workers >= Sim.Topology.total_cores topology then
     invalid_arg "Experiment.run: last core is reserved";
   if instances < 1 then invalid_arg "Experiment.run: instances < 1";
+  if op_batch < 1 then invalid_arg "Experiment.run: op_batch < 1";
   let duration_ns = duration_ns * system.duration_factor in
   let warmup_ns = warmup_ns * system.duration_factor in
   (* the accumulator registry: the caller's live one, or a private
@@ -111,13 +124,23 @@ let run ?(seed = 7L) ?(topology = Sim.Topology.default)
    | None -> ());
   Fun.protect ~finally:(fun () -> Telemetry.Registry.set_current saved_reg)
   @@ fun () ->
-  let exec_in_op_span =
+  let op_span =
     match telemetry with
-    | Some reg ->
-      let sp = Telemetry.Registry.span reg "op" in
-      fun inst ~op ~args ->
-        Telemetry.Registry.with_span reg sp (fun () -> inst.exec ~op ~args)
-    | None -> fun inst ~op ~args -> inst.exec ~op ~args
+    | Some reg -> Some (reg, Telemetry.Registry.span reg "op")
+    | None -> None
+  in
+  let exec_in_op_span inst ~op ~args =
+    match op_span with
+    | Some (reg, sp) ->
+      Telemetry.Registry.with_span reg sp (fun () -> inst.exec ~op ~args)
+    | None -> inst.exec ~op ~args
+  in
+  (* a pipelined batch is one "op" span: its wall time covers op_batch
+     operations, which the trace reader must divide out *)
+  let batch_in_op_span f ops =
+    match op_span with
+    | Some (reg, sp) -> Telemetry.Registry.with_span reg sp (fun () -> f ops)
+    | None -> f ops
   in
   let sim = Sim.create ~seed topology in
   let mem = Memory.make ~bg_period ~sockets:topology.Sim.Topology.sockets () in
@@ -150,13 +173,40 @@ let run ?(seed = 7L) ?(topology = Sim.Topology.default)
                   inst.register ();
                   let rng = Sim.fiber_rng () in
                   let phase = ref 0 in
-                  while Sim.now () < deadline do
-                    let op, args = workload.Workload.next rng ~phase:!phase in
-                    incr phase;
-                    ignore (exec_in_op_span inst ~op ~args);
-                    if Sim.now () > measure_start && Sim.now () <= deadline
-                    then counts.(w) <- counts.(w) + 1
-                  done;
+                  (if op_batch = 1 then
+                     while Sim.now () < deadline do
+                       let op, args =
+                         workload.Workload.next rng ~phase:!phase
+                       in
+                       incr phase;
+                       ignore (exec_in_op_span inst ~op ~args);
+                       if Sim.now () > measure_start && Sim.now () <= deadline
+                       then counts.(w) <- counts.(w) + 1
+                     done
+                   else
+                     while Sim.now () < deadline do
+                       let ops =
+                         Array.init op_batch (fun _ ->
+                             let o =
+                               workload.Workload.next rng ~phase:!phase
+                             in
+                             incr phase;
+                             o)
+                       in
+                       let started = Sim.now () in
+                       (match inst.exec_batch with
+                        | Some f -> ignore (batch_in_op_span f ops)
+                        | None ->
+                          Array.iter
+                            (fun (op, args) ->
+                              ignore (exec_in_op_span inst ~op ~args))
+                            ops);
+                       (* a batch only counts when it ran entirely inside
+                          the window — undercounting the two edge batches
+                          beats crediting up to op_batch warmup ops *)
+                       if started > measure_start && Sim.now () <= deadline
+                       then counts.(w) <- counts.(w) + op_batch
+                     done);
                   incr done_count))
          done;
          (* supervisor: tear down once every worker has drained *)
@@ -199,6 +249,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
   module P = Prep.Prep_uc.Make (Ds)
   module G = Prep.Gl_uc.Make (Ds)
   module C = Prep.Cx_puc.Make (Ds)
+  module Sh = Prep.Sharded_uc.Make (Ds)
 
   let prep ?(log_size = 65536) ?(flush = Prep.Config.Wbinvd) ?(flit = false)
       ?(dist_rw = false) ?(log_mirror = false) ?(slot_bitmap = false)
@@ -235,8 +286,39 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
           {
             register = (fun () -> P.register_worker uc);
             exec = (fun ~op ~args -> P.execute uc ~op ~args);
+            exec_batch = None;
             teardown = (fun () -> P.stop uc);
             sample = (fun reg -> P.sample uc reg);
+          });
+    }
+
+  (* Hash-routed shards, durable-only. [sample] adds per-shard
+     [shard<i>/...] keys alongside the summed classic counters, so a
+     telemetry registry shows both the total and the balance. *)
+  let prep_sharded ?(log_size = 65536) ?(flush = Prep.Config.Wbinvd)
+      ?(flit = false) ?(slot_bitmap = false) ?name ~shards ~epsilon () =
+    let name =
+      match name with
+      | Some n -> n
+      | None -> Printf.sprintf "PREP-Durable/x%d" shards
+    in
+    {
+      sys_name = name;
+      duration_factor = 1;
+      make =
+        (fun mem roots ~workers ~prefill ->
+          let cfg =
+            Prep.Config.make ~mode:Prep.Config.Durable ~log_size ~epsilon
+              ~flush ~flit ~slot_bitmap ~shards ~workers ()
+          in
+          let uc = Sh.create ~prefill mem roots cfg in
+          Sh.start_persistence uc;
+          {
+            register = (fun () -> Sh.register_worker uc);
+            exec = (fun ~op ~args -> Sh.execute uc ~op ~args);
+            exec_batch = Some (fun ops -> Sh.execute_batch uc ops);
+            teardown = (fun () -> Sh.stop uc);
+            sample = (fun reg -> Sh.sample uc reg);
           });
     }
 
@@ -251,6 +333,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
           {
             register = (fun () -> G.register_worker gl);
             exec = (fun ~op ~args -> G.execute gl ~op ~args);
+            exec_batch = None;
             teardown = ignore;
             sample = (fun _ -> ());
           });
@@ -266,6 +349,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
           {
             register = (fun () -> C.register_worker cx);
             exec = (fun ~op ~args -> C.execute cx ~op ~args);
+            exec_batch = None;
             teardown = ignore;
             sample = (fun _ -> ());
           });
@@ -287,6 +371,7 @@ let soft ~nbuckets =
         {
           register = (fun () -> Prep.Soft_hash.register_worker s);
           exec = (fun ~op ~args -> Prep.Soft_hash.execute s ~op ~args);
+            exec_batch = None;
           teardown = ignore;
           sample = (fun _ -> ());
         });

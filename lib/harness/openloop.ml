@@ -29,6 +29,7 @@ type point = {
   ol_arrivals : int; (* admitted during the measure window *)
   ol_completed : int; (* completed during the measure window *)
   ol_backlogged : int; (* admitted in-window, still queued at the deadline *)
+  ol_shed : int; (* arrivals dropped in-window by the admission policy *)
   ol_qmax : int; (* peak admission-queue depth in-window *)
   ol_sojourn : Telemetry.Registry.hist_stats;
       (* arrival->response, completed plus censored backlog *)
@@ -42,10 +43,16 @@ let goodput p =
   else float_of_int p.ol_completed /. float_of_int p.ol_arrivals
 
 (** Run one open-loop point. [poll_ns] is how long an idle service worker
-    waits before re-checking the admission queue. *)
+    waits before re-checking the admission queue. [shed] is a drop-tail
+    admission policy: an arrival that finds the queue already [shed] deep
+    is refused instead of enqueued (and counted, not censored — a shed
+    operation never entered the system, so it has no sojourn). Without it
+    the queue is unbounded, which is what lets a sweep expose the knee;
+    with it the queue — and therefore the sojourn tail — is capped, at
+    the price of goodput. *)
 let run ?(seed = 7L) ?(topology = Sim.Topology.default)
     ?(duration_ns = 4_000_000) ?(warmup_ns = 800_000) ?(bg_period = 50_000)
-    ?(poll_ns = 400) ~(system : Experiment.system)
+    ?(poll_ns = 400) ?shed ~(system : Experiment.system)
     ~(workload : Workload.t) ~(arrival : Workload.Arrival.proc) ~workers ()
     =
   if workers >= Sim.Topology.total_cores topology then
@@ -57,8 +64,12 @@ let run ?(seed = 7L) ?(topology = Sim.Topology.default)
   let sim = Sim.create ~seed topology in
   let mem = Memory.make ~bg_period ~sockets:topology.Sim.Topology.sockets () in
   let queue : (int * int array * int) Queue.t = Queue.create () in
+  (match shed with
+   | Some d when d < 1 -> invalid_arg "Openloop.run: shed depth < 1"
+   | _ -> ());
   let arrivals = ref 0
   and completed = ref 0
+  and shed_count = ref 0
   and qmax = ref 0
   and done_count = ref 0 in
   let gen_done = ref false in
@@ -88,12 +99,16 @@ let run ?(seed = 7L) ?(topology = Sim.Topology.default)
                if Sim.now () < !deadline then begin
                  let op, args = workload.Workload.next rng ~phase:!phase in
                  incr phase;
-                 Queue.push (op, args, Sim.now ()) queue;
-                 if in_window (Sim.now ()) then begin
-                   incr arrivals;
-                   let depth = Queue.length queue in
-                   if depth > !qmax then qmax := depth
-                 end
+                 match shed with
+                 | Some d when Queue.length queue >= d ->
+                   if in_window (Sim.now ()) then incr shed_count
+                 | _ ->
+                   Queue.push (op, args, Sim.now ()) queue;
+                   if in_window (Sim.now ()) then begin
+                     incr arrivals;
+                     let depth = Queue.length queue in
+                     if depth > !qmax then qmax := depth
+                   end
                end
              done;
              gen_done := true);
@@ -146,6 +161,7 @@ let run ?(seed = 7L) ?(topology = Sim.Topology.default)
     ol_arrivals = !arrivals;
     ol_completed = !completed;
     ol_backlogged = backlogged;
+    ol_shed = !shed_count;
     ol_qmax = !qmax;
     ol_sojourn = Telemetry.Registry.hist_stats sojourn;
     ol_duration_ns = duration_ns;
@@ -202,6 +218,11 @@ let curve_to_json ~indent (points : point list) =
         bpf "%s      \"arrivals\": %d,\n" pad p.ol_arrivals;
         bpf "%s      \"completed\": %d,\n" pad p.ol_completed;
         bpf "%s      \"backlogged\": %d,\n" pad p.ol_backlogged;
+        bpf "%s      \"shed\": %d,\n" pad p.ol_shed;
+        bpf "%s      \"shed_rate\": %.4f,\n" pad
+          (let offered_n = p.ol_arrivals + p.ol_shed in
+           if offered_n = 0 then 0.0
+           else float_of_int p.ol_shed /. float_of_int offered_n);
         bpf "%s      \"queue_peak\": %d,\n" pad p.ol_qmax;
         bpf "%s      \"throughput_ops_per_s\": %.1f,\n" pad p.ol_throughput;
         bpf "%s      \"sojourn_p50_ns\": %d,\n" pad

@@ -128,6 +128,48 @@ let map_workload ~read_pct ~key_range ~prefill_n =
 let map_workload_zipf ~theta ~read_pct ~key_range ~prefill_n =
   map_workload_keyed ~theta:(Some theta) ~read_pct ~key_range ~prefill_n
 
+(** Map workload for the sharded construction ([Prep.Sharded_uc]):
+    [multi_pct]% of operations are multi-key transactions (half
+    [op_multi_put], half [op_transfer]), of which [cross_pct]% pick their
+    second key from a *different* shard than the first (the rest stay
+    same-shard — still transactional, but no cross-shard commit). The
+    remaining [100 - multi_pct]% are the usual single-key read/insert/
+    remove mix. Key pairs are steered by rejection against the router's
+    own hash, so the cross-shard fraction holds for any shard count. *)
+let map_workload_sharded ~read_pct ~multi_pct ~cross_pct ~nshards ~key_range
+    ~prefill_n =
+  let module H = Seqds.Hashmap in
+  if multi_pct < 0 || multi_pct > 100 then
+    invalid_arg "map_workload_sharded: multi_pct out of range";
+  if cross_pct < 0 || cross_pct > 100 then
+    invalid_arg "map_workload_sharded: cross_pct out of range";
+  let base = map_workload_keyed ~theta:None ~read_pct ~key_range ~prefill_n in
+  let route k = Prep.Sharded_uc.route_key ~nshards k in
+  let next rng ~phase =
+    if Sim.Rng.int rng 100 < multi_pct then begin
+      let k1 = Sim.Rng.int rng key_range in
+      let want_cross = nshards > 1 && Sim.Rng.int rng 100 < cross_pct in
+      let s1 = route k1 in
+      let rec draw tries =
+        let k2 = Sim.Rng.int rng key_range in
+        if tries = 0 || (route k2 <> s1) = want_cross then k2
+        else draw (tries - 1)
+      in
+      let k2 = draw 64 in
+      if Sim.Rng.bool rng then
+        (Prep.Sharded_uc.op_multi_put, [| k1; k2; Sim.Rng.int rng 1_000_000 |])
+      else (Prep.Sharded_uc.op_transfer, [| k1; k2; 1 + Sim.Rng.int rng 100 |])
+    end
+    else base.next rng ~phase
+  in
+  {
+    name =
+      Printf.sprintf "sharded map %d%% read, %d%% multi (%d%% cross), %d keys"
+        read_pct multi_pct cross_pct key_range;
+    prefill = base.prefill;
+    next;
+  }
+
 (* ---- pair workloads ---- *)
 
 let queue_pairs ~prefill_n =

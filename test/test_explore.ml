@@ -38,6 +38,7 @@ let scope_1w =
     sockets = 2;
     cores_per_socket = 1;
     prune = true;
+    persistence = true;
   }
 
 let budget =
@@ -263,6 +264,7 @@ let test_equiv_two_thread_budgeted () =
       sockets = 2;
       cores_per_socket = 2;
       prune = true;
+    persistence = true;
     }
   in
   let budget =
@@ -324,6 +326,7 @@ let test_detect_two_thread_budgeted () =
       sockets = 2;
       cores_per_socket = 2;
       prune = true;
+    persistence = true;
     }
   in
   let budget =

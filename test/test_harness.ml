@@ -93,6 +93,7 @@ let test_multi_instance_counters_sum () =
               (fun ~op:_ ~args:_ ->
                 Sim.tick 200;
                 0);
+            exec_batch = None;
             teardown = (fun () -> ());
             sample = (fun reg -> Telemetry.Registry.add_to reg "stub_samples" 7);
           });

@@ -160,7 +160,7 @@ let test_json_parse_errors () =
 
 let test_validate_trace () =
   let ok =
-    {|{"schema_version": 1, "traceEvents": [
+    {|{"schema_version": 2, "traceEvents": [
         {"ph": "M", "name": "thread_name", "pid": 0, "tid": 1, "args": {"name": "w"}},
         {"ph": "X", "name": "combine", "pid": 0, "tid": 1, "ts": 1.5, "dur": 2.0},
         {"ph": "i", "name": "crash", "pid": 0, "tid": 1, "ts": 4.0, "s": "t"}]}|}
@@ -171,13 +171,13 @@ let test_validate_trace () =
   check_bool "missing schema_version" true
     (invalid {|{"traceEvents": [{"ph": "M", "name": "n"}]}|});
   check_bool "empty traceEvents" true
-    (invalid {|{"schema_version": 1, "traceEvents": []}|});
+    (invalid {|{"schema_version": 2, "traceEvents": []}|});
   check_bool "X without dur" true
     (invalid
-       {|{"schema_version": 1, "traceEvents": [
+       {|{"schema_version": 2, "traceEvents": [
            {"ph": "X", "name": "n", "pid": 0, "tid": 1, "ts": 1.0}]}|});
   check_bool "unknown ph" true
-    (invalid {|{"schema_version": 1, "traceEvents": [{"ph": "Q", "name": "n"}]}|})
+    (invalid {|{"schema_version": 2, "traceEvents": [{"ph": "Q", "name": "n"}]}|})
 
 let test_validate_bench () =
   let result =
@@ -189,7 +189,7 @@ let test_validate_bench () =
   in
   let doc =
     Printf.sprintf
-      {|{"schema_version": 1, "nested": {"points": [{"baseline": %s}]}}|}
+      {|{"schema_version": 2, "nested": {"points": [{"baseline": %s}]}}|}
       result
   in
   check_bool "valid bench accepted" true
@@ -197,7 +197,7 @@ let test_validate_bench () =
   (* a result object lacking required keys must be rejected, even nested *)
   let broken =
     Printf.sprintf
-      {|{"schema_version": 1, "points": [{"system": "S", "counters": {}}]}|}
+      {|{"schema_version": 2, "points": [{"system": "S", "counters": {}}]}|}
   in
   check_bool "result missing keys rejected" true
     (Json.validate_string Json.validate_bench broken <> Ok ());
