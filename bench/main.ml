@@ -46,7 +46,8 @@ let prep mk mode eps =
   mk
     ?log_size:(Some micro_scale.Figures.log_size)
     ?flush:None ?flit:None ?dist_rw:None ?log_mirror:None ?slot_bitmap:None
-    ?detect:None ?name:None ~mode ~epsilon:eps ()
+    ?detect:None ?lsm_ckpt:None ?lsm_fanout:None ?lsm_compact:None ?name:None
+    ~mode ~epsilon:eps ()
 
 (* One Bechamel test per table/figure of the paper. *)
 let bechamel_tests =

@@ -11,6 +11,7 @@
      session   crash-restart-continue client sessions (exactly-once check)
      sweep     closed-loop threads x read-pct grid, bench-schema JSON
      serve-sim open-loop arrival-process points (offered load vs sojourn)
+     ckptscale checkpoint cost vs dirty set, recovery vs object size
 
    The harness subcommands take [-j N] to fan independent simulations
    across N domains (Harness.Campaign); results are deterministic — byte
@@ -39,7 +40,11 @@
      dune exec bin/prep_cli.exe -- sweep --threads-list 2,8,16 \
        --read-pcts 50,90 -j 4 --json sweep.json
      dune exec bin/prep_cli.exe -- serve-sim --arrival bursty \
-       --rates 5e5,1e6,2e6 --theta 0.99 --shed 64 --json curve.json *)
+       --rates 5e5,1e6,2e6 --theta 0.99 --shed 64 --json curve.json
+     dune exec bin/prep_cli.exe -- run --system prep-durable --lsm-ckpt \
+       --ds rbtree --threads 8          # incremental checkpoint backend
+     dune exec bin/prep_cli.exe -- ckptscale --sizes 10000,100000 \
+       --json ckpt.json                 # O(dirty) + flat-recovery gates *)
 
 open Cmdliner
 open Harness
@@ -118,6 +123,9 @@ module type SYSTEMS = sig
     ?log_mirror:bool ->
     ?slot_bitmap:bool ->
     ?detect:bool ->
+    ?lsm_ckpt:bool ->
+    ?lsm_fanout:int ->
+    ?lsm_compact:bool ->
     ?name:string ->
     mode:Prep.Config.mode ->
     epsilon:int ->
@@ -129,6 +137,9 @@ module type SYSTEMS = sig
     ?flush:Prep.Config.flush_strategy ->
     ?flit:bool ->
     ?slot_bitmap:bool ->
+    ?lsm_ckpt:bool ->
+    ?lsm_fanout:int ->
+    ?lsm_compact:bool ->
     ?name:string ->
     shards:int ->
     epsilon:int ->
@@ -176,6 +187,28 @@ let detect_arg =
   in
   Arg.(value & flag & info [ "detect" ] ~doc)
 
+let lsm_ckpt_arg =
+  let doc =
+    "Replace the whole-replica checkpoint with the incremental \
+     log-structured backend (PREP-Buffered/Durable maps only): dirty keys \
+     accumulate in a volatile memtable sealed into immutable sorted NVM \
+     segments behind a fenced manifest; recovery mounts the manifest and \
+     replays only the log suffix past the last seal."
+  in
+  Arg.(value & flag & info [ "lsm-ckpt" ] ~doc)
+
+let lsm_fanout_arg =
+  let doc =
+    "With --lsm-ckpt: size-tiered compaction fanout — the background \
+     fiber merges every run of $(docv) same-level segments into one \
+     segment a level up."
+  in
+  Arg.(value & opt int 4 & info [ "lsm-fanout" ] ~docv:"K" ~doc)
+
+let no_lsm_compact_arg =
+  let doc = "With --lsm-ckpt: disable the background compaction fiber." in
+  Arg.(value & flag & info [ "no-lsm-compact" ] ~doc)
+
 let uc_shards_arg =
   let doc =
     "Run $(docv) hash-routed PREP-Durable shards behind the cross-shard \
@@ -202,10 +235,15 @@ let jobs_arg =
 
 (* Map a --system name to an [Experiment.system] under a data structure's
    [SYSTEMS] instantiation; shared by run/profile/sweep/serve-sim. *)
-let select_system ?(uc_shards = 1) ~system ~epsilon ~flit ~dist_rw
-    ~log_mirror ~slot_bitmap ~detect (module Sy : SYSTEMS) =
+let select_system ?(uc_shards = 1) ?(lsm_ckpt = false) ?(lsm_fanout = 4)
+    ?(lsm_compact = true) ~system ~epsilon ~flit ~dist_rw ~log_mirror
+    ~slot_bitmap ~detect (module Sy : SYSTEMS) =
   if detect && system <> "prep-durable" then
     Error "--detect requires --system prep-durable"
+  else if
+    lsm_ckpt && not (List.mem system [ "prep-buffered"; "prep-durable" ])
+  then Error "--lsm-ckpt requires --system prep-buffered or prep-durable"
+  else if lsm_fanout < 2 then Error "--lsm-fanout must be at least 2"
   else if uc_shards < 1 then Error "--uc-shards must be at least 1"
   else if uc_shards > 1 && system <> "prep-durable" then
     Error "--uc-shards requires --system prep-durable (sharding is durable-only)"
@@ -220,26 +258,30 @@ let select_system ?(uc_shards = 1) ~system ~epsilon ~flit ~dist_rw
           shard)"
          Prep.Sharded_uc.max_shards)
   else if uc_shards > 1 then
-    Ok (Sy.prep_sharded ~log_size ~flit ~slot_bitmap ~shards:uc_shards ~epsilon ())
+    Ok
+      (Sy.prep_sharded ~log_size ~flit ~slot_bitmap ~lsm_ckpt ~lsm_fanout
+         ~lsm_compact ~shards:uc_shards ~epsilon ())
   else
     match system with
     | "gl" -> Ok Sy.global_lock
     | "prep-v" -> Ok (Sy.prep ~log_size ~mode:Prep.Config.Volatile ~epsilon:1 ())
     | "prep-buffered" ->
       Ok
-        (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap
-           ~mode:Prep.Config.Buffered ~epsilon ())
+        (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap ~lsm_ckpt
+           ~lsm_fanout ~lsm_compact ~mode:Prep.Config.Buffered ~epsilon ())
     | "prep-durable" ->
       Ok
         (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
-           ~mode:Prep.Config.Durable ~epsilon ())
+           ~lsm_ckpt ~lsm_fanout ~lsm_compact ~mode:Prep.Config.Durable
+           ~epsilon ())
     | "cx" -> Ok (Sy.cx ())
     | "soft-1k" -> Ok (Experiment.soft ~nbuckets:1000)
     | "soft-10k" -> Ok (Experiment.soft ~nbuckets:10_000)
     | other -> Error (Printf.sprintf "unknown system %S" other)
 
 let run_point ~profile system ds threads epsilon read_pct keys duration seed
-    flit dist_rw log_mirror slot_bitmap detect uc_shards trace =
+    flit dist_rw log_mirror slot_bitmap detect lsm_ckpt lsm_fanout
+    no_lsm_compact uc_shards trace =
   let workload_map, workload_pairs =
     ( (fun () -> Workload.map_workload ~read_pct ~key_range:keys ~prefill_n:(keys / 2)),
       fun pairs -> pairs ~prefill_n:(keys / 2) )
@@ -303,9 +345,13 @@ let run_point ~profile system ds threads epsilon read_pct keys duration seed
     | _ -> `Ok ()
   in
   let prep_sys =
-    select_system ~uc_shards ~system ~epsilon ~flit ~dist_rw ~log_mirror
-      ~slot_bitmap ~detect
+    select_system ~uc_shards ~lsm_ckpt ~lsm_fanout
+      ~lsm_compact:(not no_lsm_compact) ~system ~epsilon ~flit ~dist_rw
+      ~log_mirror ~slot_bitmap ~detect
   in
+  if lsm_ckpt && not (List.mem ds [ "hashmap"; "rbtree"; "skiplist" ]) then
+    fail "--lsm-ckpt needs a map data structure (per-key dirty tracking)"
+  else
   match ds with
   | "hashmap" ->
     let module Sy = Experiment.Systems (Seqds.Hashmap) in
@@ -347,7 +393,8 @@ let point_term ~profile =
       (const (run_point ~profile) $ system_arg $ ds_arg $ threads_arg
      $ epsilon_arg $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg
      $ flit_arg $ dist_rw_arg $ log_mirror_arg $ slot_bitmap_arg $ detect_arg
-     $ uc_shards_arg $ trace_arg))
+     $ lsm_ckpt_arg $ lsm_fanout_arg $ no_lsm_compact_arg $ uc_shards_arg
+     $ trace_arg))
 
 let run_cmd =
   Cmd.v
@@ -500,9 +547,11 @@ let variant_arg =
 let fault_arg =
   let doc =
     "Injected protocol fault: none, early-boundary, elide-ct-flush, \
-     mirror-read-recovery, response-before-log-persist (requires --detect) \
-     or commit-before-prepare (requires sharding: the cross-shard commit \
-     decision is flushed before any prepare is durably logged)."
+     mirror-read-recovery, response-before-log-persist (requires --detect), \
+     commit-before-prepare (requires sharding: the cross-shard commit \
+     decision is flushed before any prepare is durably logged) or \
+     manifest-before-seal (requires --lsm-ckpt: the checkpoint manifest is \
+     published before the segment bodies it points at are fenced)."
   in
   Arg.(value & opt string "none" & info [ "fault" ] ~docv:"FAULT" ~doc)
 
@@ -513,6 +562,7 @@ let parse_fault = function
   | "mirror-read-recovery" -> Ok Prep.Config.Mirror_read_on_recovery
   | "response-before-log-persist" -> Ok Prep.Config.Response_before_log_persist
   | "commit-before-prepare" -> Ok Prep.Config.Commit_before_prepare_persist
+  | "manifest-before-seal" -> Ok Prep.Config.Manifest_before_segment_seal
   | other -> Error (Printf.sprintf "unknown fault %S" other)
 
 let fuzz_threads_arg =
@@ -694,15 +744,16 @@ let fuzz_sharded ~iters ~ds ~threads ~epsilon ~log_size ~ops ~seed ~fault
 
 let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
     crash_time no_crash bg_period flit dist_rw log_mirror slot_bitmap detect
-    nshards multi_pct cross_pct jobs =
+    lsm_ckpt nshards multi_pct cross_pct jobs =
   if nshards > 1 then begin
     if variant <> "durable" then
       `Error (true, "--shards requires --variant durable (sharding is durable-only)")
-    else if flit || dist_rw || log_mirror || slot_bitmap || detect then
+    else if flit || dist_rw || log_mirror || slot_bitmap || detect || lsm_ckpt
+    then
       `Error
         ( true,
-          "--flit/--dist-rw/--log-mirror/--slot-bitmap/--detect are not \
-           supported with --shards" )
+          "--flit/--dist-rw/--log-mirror/--slot-bitmap/--detect/--lsm-ckpt \
+           are not supported with --shards" )
     else
       fuzz_sharded ~iters ~ds ~threads ~epsilon ~log_size ~ops ~seed ~fault
         ~crash_op ~crash_time ~no_crash ~bg_period ~nshards ~multi_pct
@@ -734,6 +785,14 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
       `Error (true, "--detect requires --variant durable")
     else if fault = Prep.Config.Response_before_log_persist && not detect then
       `Error (true, "--fault response-before-log-persist requires --detect")
+    else if lsm_ckpt && mode = Prep.Config.Volatile then
+      `Error (true, "--lsm-ckpt requires --variant buffered or durable")
+    else if lsm_ckpt && not (List.mem ds [ "hashmap"; "rbtree"; "skiplist" ])
+    then
+      `Error
+        (true, "--lsm-ckpt needs a map data structure (per-key dirty tracking)")
+    else if fault = Prep.Config.Manifest_before_segment_seal && not lsm_ckpt
+    then `Error (true, "--fault manifest-before-seal requires --lsm-ckpt")
     else
     let template =
       {
@@ -759,8 +818,8 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
        (* replay a single, fully specified episode (shrunk repro) *)
        let ep = { template with crash } in
        let out =
-         F.run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~mode
-           ~fault ~gen_op ep
+         F.run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
+           ~lsm_ckpt ~mode ~fault ~gen_op ep
        in
        Printf.printf
          "episode %s: crashed=%b logged=%d completed=%d applied=%d\n"
@@ -781,8 +840,8 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
        end
      | None ->
        let res =
-         F.fuzz ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~mode ~fault
-           ~gen_op ~template ~iters ~log:print_endline
+         F.fuzz ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~lsm_ckpt
+           ~mode ~fault ~gen_op ~template ~iters ~log:print_endline
            ~runner:(Campaign.run ~j:jobs) ()
        in
        Printf.printf "%d episodes (%d crashed), %d failing\n"
@@ -793,13 +852,13 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
         | first :: _ ->
           print_endline "shrinking first failure...";
           let small =
-            F.shrink ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~mode
-              ~fault ~gen_op first.Check.Fuzz.episode
+            F.shrink ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
+              ~lsm_ckpt ~mode ~fault ~gen_op first.Check.Fuzz.episode
           in
           Printf.printf "shrunk to: %s\nreplay with:\n  %s\n"
             (Fmt.str "%a" Check.Fuzz.pp_episode small)
             (Check.Fuzz.repro_command ~flit ~dist_rw ~log_mirror ~slot_bitmap
-               ~detect ~mode ~fault ~ds small);
+               ~detect ~lsm_ckpt ~mode ~fault ~ds small);
           `Error (false, "durable-linearizability violations found")))
 
 let fuzz_cmd =
@@ -814,8 +873,8 @@ let fuzz_cmd =
        $ fuzz_epsilon_arg $ fuzz_log_size_arg $ fuzz_ops_arg $ fuzz_seed_arg
        $ fault_arg $ crash_op_arg $ crash_time_arg $ no_crash_arg
        $ bg_period_arg $ flit_arg $ dist_rw_arg $ log_mirror_arg
-       $ slot_bitmap_arg $ detect_arg $ fuzz_shards_arg $ multi_pct_arg
-       $ cross_pct_arg $ jobs_arg))
+       $ slot_bitmap_arg $ detect_arg $ lsm_ckpt_arg $ fuzz_shards_arg
+       $ multi_pct_arg $ cross_pct_arg $ jobs_arg))
 
 (* ---- explore ---- *)
 
@@ -974,9 +1033,9 @@ let sharded_explore_gen rng =
   | _ -> (Prep.Sharded_uc.op_transfer, [| k; k + 3; 1 |])
 
 let explore variant ds threads ops epsilon log_size seed sockets cores fault
-    flit dist_rw log_mirror slot_bitmap detect max_schedules max_states
-    max_steps frontier_lines no_prune no_persistence shards uc_shards jobs
-    replay crash_step frontier =
+    flit dist_rw log_mirror slot_bitmap detect lsm_ckpt lsm_fanout
+    max_schedules max_states max_steps frontier_lines no_prune no_persistence
+    shards uc_shards jobs replay crash_step frontier =
   let variant_v =
     match variant with
     | "volatile" -> Ok Prep.Config.Volatile
@@ -991,6 +1050,17 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
   | _, Ok f, _ when f = Prep.Config.Response_before_log_persist && not detect
     ->
     `Error (true, "--fault response-before-log-persist requires --detect")
+  | _, Ok f, _
+    when f = Prep.Config.Manifest_before_segment_seal && not lsm_ckpt ->
+    `Error (true, "--fault manifest-before-seal requires --lsm-ckpt")
+  | _, _, _ when lsm_ckpt && variant = "volatile" ->
+    `Error (true, "--lsm-ckpt requires --variant buffered or durable")
+  | _, _, _
+    when lsm_ckpt && not (List.mem ds [ "hashmap"; "rbtree"; "skiplist" ]) ->
+    `Error
+      (true, "--lsm-ckpt needs a map data structure (per-key dirty tracking)")
+  | _, _, _ when lsm_fanout < 2 ->
+    `Error (true, "--lsm-fanout must be at least 2")
   | Ok mode, Ok fault_v, Ok ((module Ds), gen_op) ->
     let scope =
       {
@@ -1018,11 +1088,12 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
       if variant <> "durable" then
         `Error
           (true, "--uc-shards requires --variant durable (sharding is durable-only)")
-      else if flit || dist_rw || log_mirror || slot_bitmap || detect then
+      else if flit || dist_rw || log_mirror || slot_bitmap || detect || lsm_ckpt
+      then
         `Error
           ( true,
-            "--flit/--dist-rw/--log-mirror/--slot-bitmap/--detect are not \
-             supported with --uc-shards" )
+            "--flit/--dist-rw/--log-mirror/--slot-bitmap/--detect/--lsm-ckpt \
+             are not supported with --uc-shards" )
       else if shards > 1 then
         `Error
           ( true,
@@ -1085,6 +1156,10 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
               (if log_mirror then " --log-mirror" else "");
               (if slot_bitmap then " --slot-bitmap" else "");
               (if detect then " --detect" else "");
+              (if lsm_ckpt then " --lsm-ckpt" else "");
+              (if lsm_ckpt && lsm_fanout <> 4 then
+                 Printf.sprintf " --lsm-fanout %d" lsm_fanout
+               else "");
               (if no_persistence then " --no-persistence" else "");
             ]
         in
@@ -1105,20 +1180,23 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
           let decisions = Check.Explore.decisions_of_string trace_str in
           let crash = Option.map (fun s -> (s, frontier)) crash_step in
           report_explore_replay
-            (E.replay ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~mode
-               ~fault:fault_v ~gen_op ~scope ~decisions ?crash ())
+            (E.replay ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
+               ~lsm_ckpt ~lsm_fanout ~mode ~fault:fault_v ~gen_op ~scope
+               ~decisions ?crash ())
         | None ->
           let res =
             if shards = 1 then
               E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
-                ~budget ~mode ~fault:fault_v ~gen_op ~scope ()
+                ~lsm_ckpt ~lsm_fanout ~budget ~mode ~fault:fault_v ~gen_op
+                ~scope ()
             else
               Check.Explore.merge_shards
                 (Campaign.run ~j:jobs
                    (Array.init shards (fun i () ->
                         E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap
-                          ~detect ~budget ~shard:(i, shards) ~mode
-                          ~fault:fault_v ~gen_op ~scope ())))
+                          ~detect ~lsm_ckpt ~lsm_fanout ~budget
+                          ~shard:(i, shards) ~mode ~fault:fault_v ~gen_op
+                          ~scope ())))
           in
           report_explore_result ~repro_command res
       end
@@ -1136,7 +1214,8 @@ let explore_cmd =
         (const explore $ variant_arg $ ds_arg $ exp_threads_arg $ exp_ops_arg
        $ exp_epsilon_arg $ exp_log_size_arg $ exp_seed_arg $ exp_sockets_arg
        $ exp_cores_arg $ fault_arg $ flit_arg $ dist_rw_arg $ log_mirror_arg
-       $ slot_bitmap_arg $ detect_arg $ max_schedules_arg $ max_states_arg $ max_steps_arg
+       $ slot_bitmap_arg $ detect_arg $ lsm_ckpt_arg $ lsm_fanout_arg
+       $ max_schedules_arg $ max_states_arg $ max_steps_arg
        $ frontier_lines_arg $ no_prune_arg $ no_persistence_arg $ shards_arg
        $ uc_shards_arg $ jobs_arg $ replay_arg $ crash_step_arg
        $ frontier_arg))
@@ -1628,6 +1707,301 @@ let serve_sim_cmd =
        $ burst_ratio_arg $ dwell_arg $ period_arg $ shed_arg $ jobs_arg
        $ sweep_json_arg))
 
+
+(* ---- ckptscale: checkpoint cost vs dirty set, recovery vs object size ---- *)
+
+(* One measured point of the incremental-checkpoint scaling study: prefill
+   an rbtree with [n] keys under PREP-Durable, hammer a ~[dirty_pct]% key
+   range so checkpoints see a small dirty set, read the per-checkpoint
+   simulated cost counters, then crash and time recovery up to the first
+   executed operation. [lsm] selects the backend under test; the baseline
+   is the whole-replica flush checkpoint. *)
+type ck_point = {
+  ck_system : string;
+  ck_keys : int;
+  ck_ops : int;
+  ck_duration_ns : int;
+  ck_ckpts : int;
+  ck_cost_avg : int;
+  ck_cost_last : int;
+  ck_recovery_ns : int;
+  ck_segments : int;
+  ck_compactions : int;
+  ck_stats : Nvm.Memory.stats;
+}
+
+let ckpt_episode ~lsm ~lsm_fanout ~n ~dirty_pct ~epsilon ~threads
+    ~ops_per_worker ~seed =
+  let module Uc = Prep.Prep_uc.Make (Seqds.Rbtree) in
+  let module R = Seqds.Rbtree in
+  let topology = Sim.Topology.default in
+  let sim = Sim.create ~seed:(Int64.of_int seed) topology in
+  let mem =
+    Nvm.Memory.make ~sockets:topology.Sim.Topology.sockets ~bg_period:5000 ()
+  in
+  let uc_ref = ref None in
+  let work_ns = ref 0 in
+  let done_count = ref 0 in
+  let dirty_range = max 64 (n * dirty_pct / 100) in
+  (* The crash lands after a closing phase over a small FIXED window, so
+     the log suffix recovery must replay describes the same workload at
+     every object size — isolating the recovery-vs-size measurement from
+     the dirty set (which scales with n by design). *)
+  let tail_range = 512 in
+  let tail_per_worker = max 1 (3 * epsilon / 2 / threads) in
+  ignore
+    (Sim.spawn sim ~socket:0 (fun () ->
+         let roots = Nvm.Roots.make mem in
+         let cfg =
+           (* the baseline checkpoints with the practical whole-replica
+              heap walk (O(n) lines), not the flat-cost WBINVD stall —
+              that is the curve the O(dirty) claim is measured against *)
+           Prep.Config.make ~mode:Prep.Config.Durable ~log_size:16384
+             ~epsilon ~workers:threads ~flush:Prep.Config.Flush_heap
+             ~lsm_ckpt:lsm ~lsm_fanout ()
+         in
+         let prefill = List.init n (fun k -> (R.op_insert, [| k; k |])) in
+         let uc = Uc.create ~prefill mem roots cfg in
+         uc_ref := Some uc;
+         Uc.start_persistence uc;
+         for w = 0 to threads - 1 do
+           let socket, core = Sim.Topology.place topology w in
+           Sim.spawn_here ~socket ~core (fun () ->
+               Uc.register_worker uc;
+               let rng = Sim.fiber_rng () in
+               for _ = 1 to ops_per_worker do
+                 let k = Sim.Rng.int rng dirty_range in
+                 ignore
+                   (Uc.execute uc ~op:R.op_insert
+                      ~args:[| k; 1 + Sim.Rng.int rng 1000 |])
+               done;
+               for _ = 1 to tail_per_worker do
+                 let k = Sim.Rng.int rng tail_range in
+                 ignore
+                   (Uc.execute uc ~op:R.op_insert
+                      ~args:[| k; 1 + Sim.Rng.int rng 1000 |])
+               done;
+               incr done_count)
+         done;
+         while !done_count < threads do
+           Sim.tick 50_000
+         done;
+         work_ns := Sim.now ();
+         Uc.stop uc));
+  (match Sim.run sim () with
+   | `Done -> ()
+   | `Cut _ -> failwith "ckptscale: workload wedged");
+  let uc = Option.get !uc_ref in
+  let counter name =
+    match List.assoc_opt name (Uc.counters uc) with Some v -> v | None -> 0
+  in
+  let ckpts = counter "ckpt_count" in
+  let cost_total = counter "ckpt_cost_total" in
+  let cost_last = counter "ckpt_cost_last" in
+  let segments = counter "lsm_segments_live" in
+  let compactions = counter "lsm_compactions" in
+  (* power failure, then time recovery through the first executed op *)
+  Nvm.Memory.crash mem;
+  Nvm.Context.reset ();
+  let recovery_ns = ref 0 in
+  let sim2 = Sim.create ~seed:(Int64.of_int (seed + 1)) topology in
+  ignore
+    (Sim.spawn sim2 ~socket:0 (fun () ->
+         let uc2, _report = Uc.recover uc in
+         Uc.register_worker uc2;
+         ignore (Uc.execute uc2 ~op:R.op_get ~args:[| 0 |]);
+         recovery_ns := Sim.now ()));
+  (match Sim.run sim2 () with
+   | `Done -> ()
+   | `Cut _ -> failwith "ckptscale: recovery wedged");
+  Nvm.Context.reset ();
+  {
+    ck_system = (if lsm then "PREP-Durable/lsm" else "PREP-Durable");
+    ck_keys = n;
+    ck_ops = threads * (ops_per_worker + tail_per_worker);
+    ck_duration_ns = !work_ns;
+    ck_ckpts = ckpts;
+    ck_cost_avg = (if ckpts = 0 then 0 else cost_total / ckpts);
+    ck_cost_last = cost_last;
+    ck_recovery_ns = !recovery_ns;
+    ck_segments = segments;
+    ck_compactions = compactions;
+    ck_stats = Nvm.Memory.stats mem;
+  }
+
+let json_of_ck_point p =
+  let counters =
+    [ ("keys", p.ck_keys); ("ckpts", p.ck_ckpts);
+      ("ckpt_cost_avg_ns", p.ck_cost_avg);
+      ("ckpt_cost_last_ns", p.ck_cost_last);
+      ("recovery_first_op_ns", p.ck_recovery_ns);
+      ("lsm_segments_live", p.ck_segments);
+      ("lsm_compactions", p.ck_compactions) ]
+  in
+  let st = p.ck_stats in
+  Printf.sprintf
+    {|{"system": %S, "workload": %S, "workers": 0, "ops": %d, "duration_ns": %d, "throughput": %.1f, "wbinvd": %d, "clwb": %d, "clwb_elided": %d, "clwb_coalesced": %d, "clflush": %d, "clflush_elided": %d, "sfence": %d, "sfence_elided": %d, "bg_flushes": %d, "counters": {%s}}|}
+    p.ck_system
+    (Printf.sprintf "ckptscale keys=%d" p.ck_keys)
+    p.ck_ops p.ck_duration_ns
+    (float_of_int p.ck_ops *. 1e9 /. float_of_int (max 1 p.ck_duration_ns))
+    st.Nvm.Memory.wbinvd st.Nvm.Memory.clwb st.Nvm.Memory.clwb_elided
+    st.Nvm.Memory.clwb_coalesced st.Nvm.Memory.clflush
+    st.Nvm.Memory.clflush_elided st.Nvm.Memory.sfence
+    st.Nvm.Memory.sfence_elided st.Nvm.Memory.bg_flushes
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) counters))
+
+let sizes_arg =
+  let doc = "Comma-separated object sizes (prefill key counts) to sweep." in
+  Arg.(value & opt string "10000,100000" & info [ "sizes" ] ~docv:"LIST" ~doc)
+
+let dirty_pct_arg =
+  let doc =
+    "Percent of the key space the workload dirties between checkpoints."
+  in
+  Arg.(value & opt int 1 & info [ "dirty-pct" ] ~docv:"PCT" ~doc)
+
+let ckpt_ratio_arg =
+  let doc =
+    "Gate: at the largest size the baseline checkpoint must cost at least \
+     $(docv) times the incremental one."
+  in
+  Arg.(value & opt float 10.0 & info [ "min-ratio" ] ~docv:"R" ~doc)
+
+let recovery_flat_arg =
+  let doc =
+    "Gate: incremental recovery-to-first-op across sizes must stay within \
+     a factor $(docv) of its minimum."
+  in
+  Arg.(value & opt float 2.0 & info [ "max-recovery-spread" ] ~docv:"R" ~doc)
+
+let no_gate_arg =
+  let doc = "Report the table without enforcing the scaling gates." in
+  Arg.(value & flag & info [ "no-gate" ] ~doc)
+
+let ckptscale sizes dirty_pct epsilon threads seed lsm_fanout min_ratio
+    max_spread no_gate json =
+  match int_list_of_string sizes with
+  | Error m -> `Error (true, m)
+  | Ok [] -> `Error (true, "empty --sizes list")
+  | Ok sizes_l ->
+    if List.exists (fun n -> n < 1000) sizes_l then
+      `Error (true, "--sizes entries must be at least 1000")
+    else if dirty_pct < 1 || dirty_pct > 100 then
+      `Error (true, "--dirty-pct must be in 1..100")
+    else if lsm_fanout < 2 then
+      `Error (true, "--lsm-fanout must be at least 2")
+    else begin
+      (* enough update traffic for several seals past the prefill *)
+      let ops_per_worker = max 1 (3 * epsilon / max 1 threads) in
+      let points =
+        List.concat_map
+          (fun n ->
+            List.map
+              (fun lsm ->
+                ckpt_episode ~lsm ~lsm_fanout ~n ~dirty_pct ~epsilon
+                  ~threads ~ops_per_worker ~seed)
+              [ false; true ])
+          sizes_l
+      in
+      Printf.printf
+        "%-18s %9s %6s %14s %16s %9s %6s\n"
+        "system" "keys" "ckpts" "ckpt-avg-ns" "recovery-ns" "segs" "cmpct";
+      List.iter
+        (fun p ->
+          Printf.printf "%-18s %9d %6d %14d %16d %9d %6d\n" p.ck_system
+            p.ck_keys p.ck_ckpts p.ck_cost_avg p.ck_recovery_ns
+            p.ck_segments p.ck_compactions)
+        points;
+      let lsm_points =
+        List.filter (fun p -> p.ck_system = "PREP-Durable/lsm") points
+      in
+      let base_points =
+        List.filter (fun p -> p.ck_system = "PREP-Durable") points
+      in
+      let n_max = List.fold_left (fun a n -> max a n) 0 sizes_l in
+      let at sys_points n = List.find (fun p -> p.ck_keys = n) sys_points in
+      let ratio =
+        let b = at base_points n_max and l = at lsm_points n_max in
+        if l.ck_cost_avg = 0 then infinity
+        else float_of_int b.ck_cost_avg /. float_of_int l.ck_cost_avg
+      in
+      let rec_min, rec_max =
+        List.fold_left
+          (fun (lo, hi) p -> (min lo p.ck_recovery_ns, max hi p.ck_recovery_ns))
+          (max_int, 0) lsm_points
+      in
+      let spread =
+        if rec_min = 0 then infinity
+        else float_of_int rec_max /. float_of_int rec_min
+      in
+      Printf.printf
+        "checkpoint cost ratio at %d keys (baseline/lsm): %.1fx (gate >= \
+         %.1fx)\n"
+        n_max ratio min_ratio;
+      Printf.printf
+        "lsm recovery-to-first-op spread across sizes: %.2fx (gate <= %.2fx)\n"
+        spread max_spread;
+      let json_status =
+        match json with
+        | None -> Ok ()
+        | Some path ->
+          let contents =
+            Printf.sprintf
+              "{\n  \"schema_version\": %d,\n\
+              \  \"config\": {\"ds\": \"rbtree\", \"dirty_pct\": %d, \"epsilon\": \
+               %d, \"threads\": %d, \"seed\": %d, \"lsm_fanout\": %d},\n\
+              \  \"results\": [\n    %s\n  ]\n}\n"
+              Telemetry.Json.schema_version dirty_pct epsilon threads seed
+              lsm_fanout
+              (String.concat ",\n    " (List.map json_of_ck_point points))
+          in
+          write_bench_json path contents
+      in
+      match json_status with
+      | Error m -> `Error (false, m)
+      | Ok () ->
+        if no_gate then `Ok ()
+        else if ratio < min_ratio then
+          `Error
+            ( false,
+              Printf.sprintf
+                "ckptscale gate FAILED: baseline/lsm checkpoint cost ratio \
+                 %.1fx < %.1fx at %d keys"
+                ratio min_ratio n_max )
+        else if List.length sizes_l > 1 && spread > max_spread then
+          `Error
+            ( false,
+              Printf.sprintf
+                "ckptscale gate FAILED: lsm recovery spread %.2fx > %.2fx"
+                spread max_spread )
+        else begin
+          print_endline "ckptscale gates: PASS";
+          `Ok ()
+        end
+    end
+
+let ckpt_threads_arg =
+  Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"N" ~doc:"Worker threads.")
+
+let ckpt_epsilon_arg =
+  Arg.(value & opt int 4096 & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc:"Flush boundary step.")
+
+let ckptscale_cmd =
+  Cmd.v
+    (Cmd.info "ckptscale"
+       ~doc:
+         "Incremental-checkpoint scaling study: checkpoint cost vs dirty-set \
+          size and recovery-to-first-op vs object size, baseline \
+          whole-replica flush against --lsm-ckpt, with CI gates on the \
+          O(dirty) cost ratio and recovery flatness")
+    Term.(
+      ret
+        (const ckptscale $ sizes_arg $ dirty_pct_arg $ ckpt_epsilon_arg
+       $ ckpt_threads_arg $ seed_arg $ lsm_fanout_arg $ ckpt_ratio_arg
+       $ recovery_flat_arg $ no_gate_arg $ sweep_json_arg))
+
 let () =
   let info =
     Cmd.info "prep-cli" ~version:"1.0.0"
@@ -1637,4 +2011,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ bench_cmd; run_cmd; profile_cmd; validate_cmd; crash_cmd;
-            fuzz_cmd; explore_cmd; session_cmd; sweep_cmd; serve_sim_cmd ]))
+            fuzz_cmd; explore_cmd; session_cmd; sweep_cmd; serve_sim_cmd;
+            ckptscale_cmd ]))

@@ -411,8 +411,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       full result and audits that lockstep. The default [(0, 1)] is the
       exact unsharded search. *)
   let explore ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
-      ?(slot_bitmap = false) ?(detect = false) ?(budget = default_budget)
-      ?(shard = (0, 1)) ~mode ~fault ~gen_op ~scope () =
+      ?(slot_bitmap = false) ?(detect = false) ?(lsm_ckpt = false)
+      ?(lsm_fanout = 4) ?(budget = default_budget) ?(shard = (0, 1)) ~mode
+      ~fault ~gen_op ~scope () =
     if scope.threads < 1 || scope.threads > max_threads scope then
       invalid_arg "Explore: thread count out of range";
     let shard_ix, shard_n = shard in
@@ -519,7 +520,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
             h2
               (if uc.Uc.stop_flag then 1 else 0)
               (h2 (trace_hash uc.Uc.trace)
-                 (Array.fold_left h2 0 uc.Uc.next_seq))
+                 (h2 (Uc.lsm_ghost uc)
+                    (Array.fold_left h2 0 uc.Uc.next_seq)))
           | None -> 0
         in
         h2 !done_count uc_ghost
@@ -786,7 +788,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
              let cfg =
                Prep.Config.make ~mode ~log_size:scope.log_size
                  ~epsilon:scope.epsilon ~flit ~dist_rw ~log_mirror ~slot_bitmap
-                 ~detect ~fault ~workers:scope.threads ()
+                 ~detect ~lsm_ckpt ~lsm_fanout ~fault ~workers:scope.threads ()
              in
              let uc = Uc.create mem roots cfg in
              uc_ref := Some uc;
@@ -906,8 +908,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       check. Everything is deterministic: replaying a violation's trace
       reproduces its violation. *)
   let replay ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
-      ?(slot_bitmap = false) ?(detect = false) ~mode ~fault ~gen_op ~scope
-      ~decisions ?crash () =
+      ?(slot_bitmap = false) ?(detect = false) ?(lsm_ckpt = false)
+      ?(lsm_fanout = 4) ~mode ~fault ~gen_op ~scope ~decisions ?crash () =
     let topo = topology scope in
     let beta = topo.Sim.Topology.cores_per_socket in
     let loss_bound =
@@ -947,7 +949,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
           h2
             (if uc.Uc.stop_flag then 1 else 0)
             (h2 (trace_hash uc.Uc.trace)
-               (Array.fold_left h2 0 uc.Uc.next_seq))
+               (h2 (Uc.lsm_ghost uc)
+                  (Array.fold_left h2 0 uc.Uc.next_seq)))
         | None -> 0
       in
       h2 !done_count uc_ghost
@@ -1006,7 +1009,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
            let cfg =
              Prep.Config.make ~mode ~log_size:scope.log_size
                ~epsilon:scope.epsilon ~flit ~dist_rw ~log_mirror ~slot_bitmap
-               ~detect ~fault ~workers:scope.threads ()
+               ~detect ~lsm_ckpt ~lsm_fanout ~fault ~workers:scope.threads ()
            in
            let uc = Uc.create mem roots cfg in
            uc_ref := Some uc;

@@ -61,6 +61,17 @@ type fault =
           participant shards never logged their sub-op: recovery rolls
           the transaction forward on the shards that did log it and
           silently loses the rest, breaking cross-shard atomicity *)
+  | Manifest_before_segment_seal
+      (** lsm-ckpt mode only: publish the new manifest record (which
+          names the freshly sealed segments and advances [sealed_lt])
+          *before* the segment bodies are written back and fenced — the
+          plausible "the manifest publish has its own fence, surely that
+          orders everything" bug. In the window between the manifest
+          reaching media and the segment seal fences, a crash leaves a
+          durable manifest pointing at torn segments: recovery mounts the
+          manifest, drops the unsealed segments, and silently loses every
+          effect the advanced [sealed_lt] claims is covered — completed
+          operations disappear below the replay horizon *)
 
 let fault_name = function
   | No_fault -> "none"
@@ -69,6 +80,7 @@ let fault_name = function
   | Mirror_read_on_recovery -> "mirror-read-recovery"
   | Response_before_log_persist -> "response-before-log-persist"
   | Commit_before_prepare_persist -> "commit-before-prepare"
+  | Manifest_before_segment_seal -> "manifest-before-seal"
 
 type t = {
   mode : mode;
@@ -113,6 +125,25 @@ type t = {
           prepare/decision protocol. Sharding requires durable mode: the
           commit decision is only meaningful when prepare entries are
           durably logged before it. *)
+  lsm_ckpt : bool;
+      (** replace the whole-replica checkpoint (WBINVD / heap walk) with
+          the incremental log-structured backend: the persistence thread
+          classifies log entries into per-key effects, accumulates them in
+          a volatile memtable, and each checkpoint seals only the dirty
+          set into immutable NVM segments ([Nvm.Segment]) named by a
+          fenced manifest ([Nvm.Manifest]). Recovery mounts the manifest
+          and replays only the log suffix past the newest sealed index —
+          O(dirty) checkpoints and O(1) recovery-to-first-op instead of
+          O(replica). Requires a keyed-map structure (one whose ops
+          classify as [Put]/[Del]/[Read]); refused at runtime otherwise. *)
+  lsm_fanout : int;
+      (** size-tiered compaction trigger: when a level accumulates this
+          many segments, the compaction fiber merges them into one segment
+          at the next level *)
+  lsm_compact : bool;
+      (** run the background compaction fiber (lsm-ckpt only); off leaves
+          every sealed segment in place, which is correct but lets lookups
+          and the manifest grow with the number of seals *)
   root_base : int;
       (** first NVM root slot this instance's six persistent roots are
           registered at (shard [i] of a sharded construction uses
@@ -155,12 +186,21 @@ let validate t ~beta =
   if t.fault = Commit_before_prepare_persist && t.shards < 2 then
     invalid_arg
       "Config: commit-before-prepare fault only exists with --shards >= 2";
+  if t.lsm_ckpt && t.mode = Volatile then
+    invalid_arg "Config: --lsm-ckpt is a checkpoint strategy; the volatile \
+                 variant has no checkpoints";
+  if t.lsm_fanout < 2 then
+    invalid_arg "Config: lsm_fanout must be at least 2";
+  if t.fault = Manifest_before_segment_seal && not t.lsm_ckpt then
+    invalid_arg
+      "Config: manifest-before-seal fault only exists under --lsm-ckpt";
   if t.root_base < 0 then invalid_arg "Config: root_base must be >= 0"
 
 let make ?(mode = Buffered) ?(log_size = 65536) ?(epsilon = 1024)
     ?(flush = Wbinvd) ?(flit = false) ?(dist_rw = false)
     ?(log_mirror = false) ?(slot_bitmap = false) ?(detect = false)
-    ?(shards = 1) ?(root_base = 0) ?(tag = "") ?(fault = No_fault)
-    ~workers () =
+    ?(shards = 1) ?(lsm_ckpt = false) ?(lsm_fanout = 4) ?(lsm_compact = true)
+    ?(root_base = 0) ?(tag = "") ?(fault = No_fault) ~workers () =
   { mode; log_size; epsilon; workers; flush; flit; dist_rw; log_mirror;
-    slot_bitmap; detect; shards; root_base; tag; fault }
+    slot_bitmap; detect; shards; lsm_ckpt; lsm_fanout; lsm_compact;
+    root_base; tag; fault }

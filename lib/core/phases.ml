@@ -17,10 +17,17 @@ type t = {
   detect : Telemetry.Registry.span;
       (** announce writes + flushes (worker side) and response-slot
           persistence (combiner side) under detectable execution *)
+  seal : Telemetry.Registry.span;
+      (** incremental-checkpoint seal: memtable drain, segment builds and
+          the manifest publish ([--lsm-ckpt] only) *)
+  compact : Telemetry.Registry.span;
+      (** background segment merges on the compaction fiber
+          ([--lsm-ckpt] only) *)
 }
 
 (** The phase names, in canonical display order. *)
-let phase_names = [ "combine"; "publish"; "persist"; "catch-up"; "detect" ]
+let phase_names =
+  [ "combine"; "publish"; "persist"; "catch-up"; "detect"; "seal"; "compact" ]
 
 (** [make ~tag ()] suffixes every span name with [tag] (e.g.
     ["combine/shard2"]), so a multi-instance construction — the sharded
@@ -39,6 +46,8 @@ let make ?(tag = "") () =
         persist = Telemetry.Registry.span reg ("persist" ^ tag);
         catchup = Telemetry.Registry.span reg ("catch-up" ^ tag);
         detect = Telemetry.Registry.span reg ("detect" ^ tag);
+        seal = Telemetry.Registry.span reg ("seal" ^ tag);
+        compact = Telemetry.Registry.span reg ("compact" ^ tag);
       }
 
 (** [in_span tel sel f] runs [f] inside the phase selected by [sel],

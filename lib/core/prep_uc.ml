@@ -49,6 +49,229 @@ let off_update_now = 32 (* one word per volatile replica *)
 
 let slot_words = 16 (* flat-combining slot: 2 cache lines per core *)
 
+(* The incremental-checkpoint manifest registers one absolute root slot
+   per instance, above every shard stride and the decision table: shard
+   strides are [i*8 + 1 .. i*8 + 6] for i <= 6 plus absolute slot 7, so
+   slots 56..63 are free — slot [56 + i] belongs to the instance whose
+   [root_base] is [i * 8]. *)
+let lsm_manifest_slot root_base = 56 + (root_base / 8)
+
+(** Shared (ds-independent) state of the incremental log-structured
+    checkpoint backend ([Config.lsm_ckpt]). The durable truth is the
+    manifest plus the sealed segments; everything in here is a volatile
+    mount of it plus the memtable, reproducible from NVM media and the
+    log suffix past [sealed_lt]. *)
+module Lsm = struct
+  type pending_merge = {
+    replaced : Segment.meta list;
+        (* a contiguous same-level run of [segs], newest first *)
+    merged : Segment.meta list;
+        (* already built and sealed by the compaction fiber *)
+  }
+
+  type t = {
+    mem : Memory.t;
+    manifest : Manifest.t;
+    fanout : int;
+    memtable : Segment.Memtable.t;
+        (* latest value per key written since the last seal *)
+    mutable segs : Segment.meta list; (* mounted segment set, newest first *)
+    mutable epoch : int; (* last published manifest epoch *)
+    mutable sealed_lt : int;
+        (* log entries [0, sealed_lt) of the current log epoch are covered
+           by the sealed segments *)
+    mutable pending : pending_merge option;
+        (* handoff from the compaction fiber to the manifest's single
+           writer (the persistence thread) *)
+    (* harness-side counters (no simulated cost) *)
+    mutable seals : int;
+    mutable segments_built : int;
+    mutable keys_sealed : int;
+    mutable compactions : int;
+    mutable bloom_skips : int;
+    mutable range_skips : int;
+    mutable seg_finds : int;
+    mutable materialized : int;
+  }
+
+  let make mem manifest ~fanout ~segs ~epoch =
+    {
+      mem;
+      manifest;
+      fanout;
+      memtable = Segment.Memtable.create ();
+      segs;
+      epoch;
+      sealed_lt = 0;
+      pending = None;
+      seals = 0;
+      segments_built = 0;
+      keys_sealed = 0;
+      compactions = 0;
+      bloom_skips = 0;
+      range_skips = 0;
+      seg_finds = 0;
+      materialized = 0;
+    }
+
+  (** Newest-first store lookup (charged reads). [Some v] may carry the
+      tombstone; [None] means no segment knows the key. *)
+  let store_find l key =
+    let rec go = function
+      | [] -> None
+      | m :: rest ->
+        if not (Segment.range_hit m key) then begin
+          l.range_skips <- l.range_skips + 1;
+          go rest
+        end
+        else if not (Segment.bloom_hit l.mem m key) then begin
+          l.bloom_skips <- l.bloom_skips + 1;
+          go rest
+        end
+        else (
+          match Segment.find l.mem m key with
+          | Some v ->
+            l.seg_finds <- l.seg_finds + 1;
+            Some v
+          | None -> go rest)
+    in
+    go l.segs
+
+  (** Cost-free live view of the whole store (checkers/snapshots):
+      newest-first shadowing, tombstones dropped. *)
+  let peek_live l =
+    let seen = Hashtbl.create 64 and acc = ref [] in
+    List.iter
+      (fun m ->
+        Array.iter
+          (fun (k, v) ->
+            if not (Hashtbl.mem seen k) then begin
+              Hashtbl.replace seen k ();
+              if v <> Segment.tombstone then acc := (k, v) :: !acc
+            end)
+          (Segment.peek_array l.mem m))
+      l.segs;
+    List.sort (fun (a, _) (b, _) -> compare a b) !acc
+
+  (** Publish the current segment list under a fresh epoch (persistence
+      thread only — the manifest has a single writer). *)
+  let publish l ~sealed_lt =
+    l.epoch <- l.epoch + 1;
+    Manifest.publish l.manifest ~epoch:l.epoch ~sealed_lt
+      ~segs:(List.map (fun m -> m.Segment.addr) l.segs);
+    l.sealed_lt <- sealed_lt
+
+  (** Split sorted records into segment-sized chunks and allocate NVM for
+      each; returns [(addr, chunk, meta)] newest-position-first metas. *)
+  let plan_segments pa ~level recs =
+    let n = Array.length recs in
+    let rec chunks i =
+      if i >= n then []
+      else
+        let len = min Segment.max_records (n - i) in
+        Array.sub recs i len :: chunks (i + len)
+    in
+    List.map
+      (fun chunk ->
+        let count = Array.length chunk in
+        let addr = Alloc.alloc_lines pa (Segment.lines_needed ~count) in
+        let meta =
+          {
+            Segment.addr;
+            count;
+            level;
+            min_key = fst chunk.(0);
+            max_key = fst chunk.(count - 1);
+            bloom_words = Segment.Bloom.words_for ~count;
+          }
+        in
+        (addr, chunk, meta))
+      (chunks 0)
+
+  let build_planned l ~level planned =
+    List.iter
+      (fun (addr, chunk, _) -> ignore (Segment.build l.mem ~addr ~level chunk))
+      planned;
+    l.segments_built <- l.segments_built + List.length planned
+
+  (** Fold a finished background merge into the mounted set and republish
+      the manifest (persistence thread only). *)
+  let apply_pending l =
+    match l.pending with
+    | None -> ()
+    | Some { replaced; merged } ->
+      let rec splice = function
+        | [] -> failwith "Lsm.apply_pending: replaced run not found"
+        | m :: rest when m == List.hd replaced ->
+          let rest' =
+            List.fold_left (fun acc _ -> List.tl acc) (m :: rest) replaced
+          in
+          merged @ rest'
+        | m :: rest -> m :: splice rest
+      in
+      l.segs <- splice l.segs;
+      l.compactions <- l.compactions + 1;
+      publish l ~sealed_lt:l.sealed_lt;
+      l.pending <- None
+
+  (** Pick the oldest contiguous run of [fanout] same-level segments, if
+      any (compaction fiber; only when no merge is outstanding). *)
+  let pick_merge l =
+    if l.pending <> None then None
+    else
+      let rec runs acc cur = function
+        | [] -> if List.length cur >= l.fanout then cur :: acc else acc
+        | m :: rest -> (
+          match cur with
+          | c :: _ when c.Segment.level = m.Segment.level ->
+            runs acc (m :: cur) rest
+          | _ ->
+            runs (if List.length cur >= l.fanout then cur :: acc else acc)
+              [ m ] rest)
+      in
+      (* [runs] walks newest→oldest accumulating reversed runs, so each
+         completed run is oldest-first; the first completed run pushed
+         last is the newest — take the head of [acc] as the oldest. *)
+      match runs [] [] l.segs with
+      | [] -> None
+      | run :: _ ->
+        (* restore newest-first order and trim to exactly [fanout] oldest *)
+        let run = List.rev run in
+        let len = List.length run in
+        let run =
+          if len > l.fanout then
+            List.filteri (fun i _ -> i >= len - l.fanout) run
+          else run
+        in
+        Some run
+
+  (** Order-independent hash of every volatile bit of lsm state the
+      memory fingerprints cannot see (explorer state dedup). *)
+  let ghost l =
+    let h = ref (Memory.h2 l.epoch l.sealed_lt) in
+    h := Memory.h2 !h (Segment.Memtable.hash l.memtable);
+    List.iter
+      (fun m -> h := Memory.h2 !h (Memory.h2 m.Segment.addr m.Segment.level))
+      l.segs;
+    (match l.pending with
+     | None -> ()
+     | Some { replaced; merged } ->
+       List.iter (fun m -> h := Memory.h2 !h (m.Segment.addr lxor 0x5a5a)) replaced;
+       List.iter (fun m -> h := Memory.h2 !h (m.Segment.addr lxor 0xa5a5)) merged);
+    !h
+
+  (** What recovery carries from the pre-crash media into the rebuilt
+      instance: the manifest handle, the mounted (valid) segment set with
+      the recovery segments prepended, the published epoch, and the key
+      set the replay already rematerialised into the master. *)
+  type carry = {
+    c_manifest : Manifest.t;
+    c_segs : Segment.meta list;
+    c_epoch : int;
+    c_resolved : (int, unit) Hashtbl.t;
+  }
+end
+
 (* slot field offsets *)
 let sl_full = 0
 let sl_op = 1
@@ -87,10 +310,27 @@ type resolution =
           which is the same thing: nothing can have taken effect) *)
 
 module Make (Ds : Seqds.Ds_intf.S) = struct
+  (** Per-handle hydration state under [Config.lsm_ckpt]. A handle rebuilt
+      after a crash starts as the replayed suffix only; keys below the
+      sealed horizon are rematerialised from the segment store on first
+      touch. Invariant: every key present in the ds is in [resolved] (so a
+      resolved key's ds binding — or absence — is the truth, and an
+      unresolved key's truth lives in the segments). [hydrated] means
+      every live store key has been resolved, after which all checks
+      short-circuit — the steady state, and the only state outside
+      recovery. *)
+  type view = {
+    resolved : (int, unit) Hashtbl.t;
+    mutable hydrated : bool;
+  }
+
+  let fresh_view ~hydrated = { resolved = Hashtbl.create 16; hydrated }
+
   type replica = {
     rid : int;
     socket : int;
     ds : Ds.handle;
+    view : view;
     alloc : Alloc.t;
     lt_addr : int; (* localTail *)
     combiner : Locks.Trylock.t;
@@ -155,6 +395,17 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     tel : Phases.t option;
         (* phase spans, captured from the ambient telemetry registry at
            construction; [None] on uninstrumented runs *)
+    lsm : Lsm.t option;
+        (* incremental-checkpoint backend ([Config.lsm_ckpt]); [None] runs
+           the paper's whole-replica checkpoint *)
+    shadow_view : view;
+        (* hydration state of the persistence thread's shadow replica
+           (trivially hydrated when lsm is off) *)
+    (* checkpoint cost accounting, comparable across both strategies
+       (simulated time inside flush_and_swap / lsm_seal) *)
+    mutable ckpt_count : int;
+    mutable ckpt_cost_total : int;
+    mutable ckpt_cost_last : int;
   }
 
   let durable t = t.cfg.Config.mode = Config.Durable
@@ -185,8 +436,12 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     List.iter (fun (op, args) -> ignore (Ds.execute ds ~op ~args)) ops
 
   (* Build a full UC instance around [master]'s current contents. Runs
-     inside a fiber; the caller's allocator binding is replaced. *)
-  let build mem roots cfg ~prefill ~master =
+     inside a fiber; the caller's allocator binding is replaced.
+     [lsm_carry] is recovery's handoff under [Config.lsm_ckpt]: the
+     pre-crash manifest/segments and the key set the replay already
+     rematerialised into [master] — its presence means [master] (and every
+     copy of it) is a partial view to be hydrated lazily. *)
+  let build ?lsm_carry mem roots cfg ~prefill ~master =
     let topo = Sim.topology () in
     let beta = topo.Sim.Topology.cores_per_socket in
     Config.validate cfg ~beta;
@@ -219,10 +474,19 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         apply_ops ds prefill;
         ds
     in
+    (* a copy of the master sees exactly the keys the master has resolved;
+       each copy materialises independently from there *)
+    let view_of_copy () =
+      match lsm_carry with
+      | None -> fresh_view ~hydrated:true
+      | Some c ->
+        { resolved = Hashtbl.copy c.Lsm.c_resolved; hydrated = false }
+    in
     let make_replica rid =
       let alloc = Alloc.create_volatile mem ~home:rid in
       Context.set_default alloc;
       let ds = Ds.copy master_ds in
+      let view = view_of_copy () in
       let lt_addr = Alloc.alloc alloc 8 in
       let combiner = Locks.Trylock.make mem (Alloc.alloc alloc 8) in
       let dist = cfg.Config.dist_rw in
@@ -241,15 +505,16 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       Memory.write mem occ 0;
       Memory.write mem lt_addr 0;
       Memory.write mem (ctrl + off_update_now + rid) 0;
-      { rid; socket = rid; ds; alloc; lt_addr; combiner; rw; slots; occ }
+      { rid; socket = rid; ds; view; alloc; lt_addr; combiner; rw; slots;
+        occ }
     in
     let replicas = Array.init n_replicas make_replica in
     (* persistent side *)
-    let p_alloc, p_reps, ct_addr =
+    let p_alloc, p_reps, ct_addr, lsm, shadow_view =
       if mode = Config.Volatile then begin
         let ct = ctrl + 40 in
         Memory.write mem ct 0;
-        (None, [||], ct)
+        (None, [||], ct, None, fresh_view ~hydrated:true)
       end
       else begin
         let pa = Alloc.create_persistent mem ~home:p_socket in
@@ -267,26 +532,82 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
             ct
           end
         in
-        let make_prep () =
-          Context.with_persistent (fun () ->
-              let pds = Ds.copy master_ds in
-              let meta = Alloc.alloc pa 8 in
-              Memory.write mem meta 0;
-              Memory.write mem (meta + 1) (Ds.root_addr pds);
-              { meta; pds })
-        in
-        let p0 = make_prep () and p1 = make_prep () in
-        (* checkpoint zero: both replicas durable before any operation *)
-        Alloc.persist_heap pa;
         let rb = cfg.Config.root_base in
-        Roots.set roots (rb + slot_active) 0;
-        Roots.set roots (rb + slot_meta0) p0.meta;
-        Roots.set roots (rb + slot_meta1) p1.meta;
+        let p_reps, lsm, shadow_view =
+          if not cfg.Config.lsm_ckpt then begin
+            let make_prep () =
+              Context.with_persistent (fun () ->
+                  let pds = Ds.copy master_ds in
+                  let meta = Alloc.alloc pa 8 in
+                  Memory.write mem meta 0;
+                  Memory.write mem (meta + 1) (Ds.root_addr pds);
+                  { meta; pds })
+            in
+            let p0 = make_prep () and p1 = make_prep () in
+            (* checkpoint zero: both replicas durable before any op *)
+            Alloc.persist_heap pa;
+            Roots.set roots (rb + slot_active) 0;
+            Roots.set roots (rb + slot_meta0) p0.meta;
+            Roots.set roots (rb + slot_meta1) p1.meta;
+            ([| p0; p1 |], None, fresh_view ~hydrated:true)
+          end
+          else begin
+            (* Incremental backend: no NVM replica copies. The persistence
+               thread runs one volatile *shadow* of the object (its
+               catch-up feeds the memtable with post-image values); the
+               durable truth is the manifest + sealed segments. Both
+               p-replica metadata slots are DRAM words pointing at the one
+               shadow — they advance together, which keeps the laggard
+               machinery of Algorithm 3 working unchanged. *)
+            let shadow =
+              Context.with_allocator
+                (Alloc.create_volatile mem ~home:p_socket)
+                (fun () -> Ds.copy master_ds)
+            in
+            let m0 = ctrl + 48 and m1 = ctrl + 56 in
+            Memory.write mem m0 0;
+            Memory.write mem m1 0;
+            Roots.set roots (rb + slot_active) 0;
+            let lsm =
+              match lsm_carry with
+              | Some c ->
+                let l =
+                  Lsm.make mem c.Lsm.c_manifest ~fanout:cfg.Config.lsm_fanout
+                    ~segs:c.Lsm.c_segs ~epoch:c.Lsm.c_epoch
+                in
+                l
+              | None ->
+                (* checkpoint zero: seal the initial state (if any) and
+                   publish epoch 1, so recovery always finds a manifest *)
+                let manifest = Manifest.create pa in
+                Roots.set roots (lsm_manifest_slot rb) (Manifest.base manifest);
+                let l =
+                  Lsm.make mem manifest ~fanout:cfg.Config.lsm_fanout
+                    ~segs:[] ~epoch:0
+                in
+                let rec pairs = function
+                  | k :: v :: rest -> (k, v) :: pairs rest
+                  | _ -> []
+                in
+                let recs = Array.of_list (pairs (Ds.snapshot master_ds)) in
+                if Array.length recs > 0 then begin
+                  let planned = Lsm.plan_segments pa ~level:0 recs in
+                  Lsm.build_planned l ~level:0 planned;
+                  l.Lsm.segs <- List.map (fun (_, _, m) -> m) planned
+                end;
+                Lsm.publish l ~sealed_lt:0;
+                l
+            in
+            let p0 = { meta = m0; pds = shadow }
+            and p1 = { meta = m1; pds = shadow } in
+            ([| p0; p1 |], Some lsm, view_of_copy ())
+          end
+        in
         if mode = Config.Durable then begin
           Roots.set roots (rb + slot_ct) ct_addr;
           Roots.set roots (rb + slot_log) log.Log.base
         end;
-        (Some pa, [| p0; p1 |], ct_addr)
+        (Some pa, p_reps, ct_addr, lsm, shadow_view)
       end
     in
     (* announce/response table: reattach the pre-crash one through its root
@@ -339,6 +660,11 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       txn_gate = None;
       replay_keep = None;
       tel = Phases.make ~tag:cfg.Config.tag ();
+      lsm;
+      shadow_view;
+      ckpt_count = 0;
+      ckpt_cost_total = 0;
+      ckpt_cost_last = 0;
     }
 
   (** Create a UC whose initial object state is [prefill] applied to an
@@ -360,6 +686,63 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
 
   let my_replica t = t.replicas.(Sim.socket ())
 
+  (* ---- lazy rematerialisation ([Config.lsm_ckpt]) ---- *)
+
+  let lsm_of t =
+    match t.lsm with Some l -> l | None -> assert false
+
+  (** Ensure [key]'s truth is in [ds]: if [view] hasn't resolved it yet,
+      look it up in the segment store and [key_put] a live hit. Charged
+      reads/writes; the caller holds write access to the structure. *)
+  let materialize t view ds key =
+    if (not view.hydrated) && not (Hashtbl.mem view.resolved key) then begin
+      let l = lsm_of t in
+      (match Lsm.store_find l key with
+       | Some v when v <> Segment.tombstone ->
+         Ds.key_put ds key v;
+         l.Lsm.materialized <- l.Lsm.materialized + 1
+       | Some _ (* tombstone *) | None -> ());
+      Hashtbl.replace view.resolved key ()
+    end
+
+  (** Full hydration, for [Read_all] ops (aggregates like size must see
+      every live key): resolve every key of every segment, newest first.
+      One-time cost after a recovery; a no-op forever after. *)
+  let hydrate t view ds =
+    if not view.hydrated then begin
+      let l = lsm_of t in
+      List.iter
+        (fun m ->
+          Array.iter
+            (fun (k, _) -> materialize t view ds k)
+            (Segment.to_array l.Lsm.mem m))
+        l.Lsm.segs;
+      view.hydrated <- true
+    end
+
+  (** Resolve the key footprint of [op]/[args] so it may run on a possibly
+      partially-hydrated handle. *)
+  let lsm_prepare t view ds ~op ~args =
+    if t.lsm <> None && not view.hydrated then
+      match Ds.classify ~op ~args with
+      | Seqds.Ds_intf.Keyed { written; read } ->
+        Array.iter (materialize t view ds) written;
+        Array.iter (materialize t view ds) read
+      | Seqds.Ds_intf.Read_all -> hydrate t view ds
+      | Seqds.Ds_intf.Opaque ->
+        invalid_arg "Prep_uc: --lsm-ckpt requires keyed-map operations"
+
+  (* cost-free check: would [lsm_prepare] have any work to do? (readers use
+     it to decide whether they need the write lock) *)
+  let lsm_needs t view ~op ~args =
+    t.lsm <> None
+    && (not view.hydrated)
+    && (match Ds.classify ~op ~args with
+       | Seqds.Ds_intf.Keyed { written; read } ->
+         let unresolved k = not (Hashtbl.mem view.resolved k) in
+         Array.exists unresolved written || Array.exists unresolved read
+       | Seqds.Ds_intf.Read_all | Seqds.Ds_intf.Opaque -> true)
+
   (** Apply published log entries [localTail, upto) to replica [r]. Caller
       holds the replica's write lock and has the right allocator bound. *)
   let update_from_log t r ~upto =
@@ -368,6 +751,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       Phases.in_span t.tel (fun pt -> pt.Phases.catchup) (fun () ->
           for idx = lt to upto - 1 do
             let op, args = Log.wait_and_read t.log idx in
+            lsm_prepare t r.view r.ds ~op ~args;
             ignore (Ds.execute r.ds ~op ~args)
           done;
           Memory.write t.mem r.lt_addr upto)
@@ -630,6 +1014,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         (* apply own batch from the collected copies and answer *)
         List.iteri
           (fun i (core, op, args, _) ->
+            lsm_prepare t r.view r.ds ~op ~args;
             let resp = Ds.execute r.ds ~op ~args in
             let s = slot_addr r core in
             Memory.write t.mem (s + sl_resp) resp;
@@ -648,6 +1033,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         let resps =
           List.map
             (fun (core, op, args, seq) ->
+              lsm_prepare t r.view r.ds ~op ~args;
               let resp = Ds.execute r.ds ~op ~args in
               (match t.ann with
                | Some ann ->
@@ -743,12 +1129,23 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
   let execute_readonly t r ~op ~args =
     let rec loop () =
       let ct = read_ct t in
-      if read_local_tail t r >= ct then begin
-        Locks.Rw.read_acquire r.rw;
-        let resp = Ds.execute r.ds ~op ~args in
-        Locks.Rw.read_release r.rw;
-        resp
-      end
+      if read_local_tail t r >= ct then
+        if lsm_needs t r.view ~op ~args then begin
+          (* rematerialisation mutates the replica, so a reader that still
+             has unresolved keys in its footprint runs under the write
+             lock for this one operation *)
+          Locks.Rw.write_acquire r.rw;
+          lsm_prepare t r.view r.ds ~op ~args;
+          let resp = Ds.execute r.ds ~op ~args in
+          Locks.Rw.write_release r.rw;
+          resp
+        end
+        else begin
+          Locks.Rw.read_acquire r.rw;
+          let resp = Ds.execute r.ds ~op ~args in
+          Locks.Rw.read_release r.rw;
+          resp
+        end
       else if Locks.Trylock.try_acquire r.combiner then begin
         (* bring the replica up to date ourselves *)
         Locks.Rw.write_acquire r.rw;
@@ -812,8 +1209,14 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
 
   (* ---- persistence thread (Algorithm 2) ---- *)
 
+  let record_ckpt_cost t t0 =
+    t.ckpt_count <- t.ckpt_count + 1;
+    t.ckpt_cost_last <- Sim.now () - t0;
+    t.ckpt_cost_total <- t.ckpt_cost_total + t.ckpt_cost_last
+
   let flush_and_swap t =
     Phases.in_span t.tel (fun pt -> pt.Phases.persist) @@ fun () ->
+    let t0 = Sim.now () in
     (* injected fault: opening the next window before the checkpoint is
        durable lets completed ops race two windows ahead of the stable
        replica, so a crash mid-flush loses up to ~2ε ops *)
@@ -833,6 +1236,69 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
        window (see module comment on ordering) *)
     let active = Roots.get t.roots (rslot t slot_active) in
     Roots.set t.roots (rslot t slot_active) (1 - active);
+    record_ckpt_cost t t0;
+    if t.cfg.Config.fault <> Config.Early_boundary_advance then
+      write_flush_boundary t (read_flush_boundary t + t.cfg.Config.epsilon)
+
+  (** The incremental checkpoint ([Config.lsm_ckpt]'s replacement for
+      [flush_and_swap]): drain the memtable — exactly the keys written
+      since the last seal — into fresh level-0 segments, then publish a
+      manifest naming them with [sealed_lt] advanced to the shadow's
+      tail. O(dirty) instead of O(replica); there is no active/stable
+      swap — the manifest epoch *is* the swap. The planted
+      [Manifest_before_segment_seal] fault inverts the publish/build
+      order, leaving a crash window where the durable manifest names torn
+      segments whose effects [sealed_lt] claims are covered. *)
+  let lsm_seal t l =
+    Phases.in_span t.tel (fun pt -> pt.Phases.seal) @@ fun () ->
+    let t0 = Sim.now () in
+    if t.cfg.Config.fault = Config.Early_boundary_advance then
+      write_flush_boundary t (read_flush_boundary t + t.cfg.Config.epsilon);
+    let reached = Memory.read t.mem t.p_reps.(0).meta in
+    let recs = Segment.Memtable.drain_sorted l.Lsm.memtable in
+    if Array.length recs > 0 || reached > l.Lsm.sealed_lt then begin
+      (* Advancing [sealed_lt] to [reached] asserts that recovery may skip
+         replaying entries below it — so every entry the segments cover
+         must be durable in the log *before* the manifest naming them is.
+         The classic checkpoint gets this for free (WBINVD/heap walk
+         flushes the log arenas too); the incremental one must sweep the
+         sealed window explicitly or a crash could keep a sealed effect
+         whose log entry never reached media. No-op in buffered mode
+         (DRAM log), whose recovery never replays. *)
+      Log.persist_range t.log ~first:l.Lsm.sealed_lt
+        ~n:(reached - l.Lsm.sealed_lt);
+      Log.fence t.log;
+      let pa = Option.get t.p_alloc in
+      let planned =
+        if Array.length recs = 0 then []
+        else Lsm.plan_segments pa ~level:0 recs
+      in
+      let metas = List.map (fun (_, _, m) -> m) planned in
+      if t.cfg.Config.fault = Config.Manifest_before_segment_seal then begin
+        l.Lsm.segs <- metas @ l.Lsm.segs;
+        Lsm.publish l ~sealed_lt:reached;
+        Lsm.build_planned l ~level:0 planned
+      end
+      else begin
+        (* Build before the metas become visible in [l.segs]: the
+           compaction fiber shares this core and yields interleave with
+           [Segment.build]'s stores, so publishing an unbuilt segment to
+           the mounted set would let a concurrent merge read its
+           still-zero records and splice the real ones out of the store
+           (silent loss that only a post-crash recovery can see). *)
+        Lsm.build_planned l ~level:0 planned;
+        l.Lsm.segs <- metas @ l.Lsm.segs;
+        Lsm.publish l ~sealed_lt:reached
+      end;
+      l.Lsm.seals <- l.Lsm.seals + 1;
+      l.Lsm.keys_sealed <- l.Lsm.keys_sealed + Array.length recs;
+      (* release the log window the seal just covered: the stable tail is
+         the seal watermark (see the catch-up path), and advancing it only
+         now — after the manifest publish — keeps the replayable suffix
+         pinned against reuse until its effects are durable in segments *)
+      Memory.write t.mem t.p_reps.(1).meta reached
+    end;
+    record_ckpt_cost t t0;
     if t.cfg.Config.fault <> Config.Early_boundary_advance then
       write_flush_boundary t (read_flush_boundary t + t.cfg.Config.epsilon)
 
@@ -867,21 +1333,70 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
            below must never contain an effect recovery could roll back. *)
         Phases.in_span t.tel (fun pt -> pt.Phases.catchup) (fun () ->
             let reached = ref lt in
-            Context.with_persistent (fun () ->
-                try
+            (match t.lsm with
+             | None ->
+               Context.with_persistent (fun () ->
+                   try
+                     for idx = lt to tail - 1 do
+                       let op, args = Log.wait_and_read t.log idx in
+                       (match t.txn_gate with
+                        | Some gate when not (gate ~op ~args) -> raise Exit
+                        | _ -> ());
+                       ignore (Ds.execute rep.pds ~op ~args);
+                       reached := idx + 1
+                     done
+                   with Exit -> ())
+             | Some l ->
+               (* The shadow is volatile (default allocator), so no
+                  [with_persistent]. After each op the dirty tracker reads
+                  the post-image of every written key off the shadow and
+                  folds it into the memtable — the value a future segment
+                  will carry. *)
+               (try
                   for idx = lt to tail - 1 do
                     let op, args = Log.wait_and_read t.log idx in
                     (match t.txn_gate with
                      | Some gate when not (gate ~op ~args) -> raise Exit
                      | _ -> ());
+                    lsm_prepare t t.shadow_view rep.pds ~op ~args;
                     ignore (Ds.execute rep.pds ~op ~args);
+                    (match Ds.classify ~op ~args with
+                     | Seqds.Ds_intf.Keyed { written; _ } ->
+                       Array.iter
+                         (fun k ->
+                           match Ds.key_get rep.pds k with
+                           | Some v -> Segment.Memtable.put l.Lsm.memtable k v
+                           | None -> Segment.Memtable.del l.Lsm.memtable k)
+                         written
+                     | Seqds.Ds_intf.Read_all -> ()
+                     | Seqds.Ds_intf.Opaque ->
+                       invalid_arg
+                         "Prep_uc: --lsm-ckpt requires keyed-map operations");
                     reached := idx + 1
                   done
-                with Exit -> ());
-            if !reached > lt then Memory.write t.mem rep.meta !reached)
+                with Exit -> ()));
+            if !reached > lt then
+              match t.lsm with
+              | None -> Memory.write t.mem rep.meta !reached
+              | Some _ ->
+                (* Only the active tail follows the shadow. The stable
+                   tail is repurposed as the seal watermark: it stays at
+                   [sealed_lt] so Algorithm 3's reuse guard keeps every
+                   unsealed entry in [sealed_lt, reached) pinned in the
+                   log — recovery replays exactly that suffix, and a
+                   writer lapping it would overwrite entries the durable
+                   state still depends on. When it pins logMin, the
+                   laggard-force path lowers the flush boundary, which
+                   triggers an early seal instead of an early swap. *)
+                Memory.write t.mem t.p_reps.(0).meta !reached)
       end;
-      if read_flush_boundary t <= Memory.read t.mem rep.meta then
-        flush_and_swap t
+      (match t.lsm with
+       | Some l -> Lsm.apply_pending l (* fold in a finished merge *)
+       | None -> ());
+      if read_flush_boundary t <= Memory.read t.mem rep.meta then (
+        match t.lsm with
+        | Some l -> lsm_seal t l
+        | None -> flush_and_swap t)
       else Sim.spin ()
     done;
     (match t.tel with
@@ -891,12 +1406,77 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
      | None -> ());
     t.p_thread_running <- false
 
-  (** Spawn the persistence thread on its dedicated core. No-op for the
-      volatile variant. *)
+  (** Background size-tiered compaction ([Config.lsm_compact]): whenever a
+      level accumulates [lsm_fanout] adjacent segments, merge them
+      (newest-wins, tombstones dropped only when the run reaches the
+      store's oldest segment) into one sealed segment at the next level.
+      The fiber builds and seals the merged segments itself but never
+      touches the manifest: the finished merge is handed to the
+      persistence thread through [l.pending], keeping the manifest
+      single-writer. Runs on the persistence core (fibers share cores). *)
+  let compaction_loop t l =
+    Context.bind
+      ~default:(Alloc.create_volatile t.mem ~home:t.p_socket)
+      ?persistent:t.p_alloc ();
+    while not t.stop_flag do
+      match Lsm.pick_merge l with
+      | None -> Sim.spin ()
+      | Some run ->
+        Phases.in_span t.tel (fun pt -> pt.Phases.compact) (fun () ->
+            (* a tombstone may only be dropped when nothing older could
+               still hold the key it shadows *)
+            let oldest_included =
+              match List.rev l.Lsm.segs with
+              | [] -> false
+              | oldest :: _ -> List.memq oldest run
+            in
+            let seen = Hashtbl.create 256 and acc = ref [] in
+            List.iter
+              (fun m ->
+                Array.iter
+                  (fun (k, v) ->
+                    if not (Hashtbl.mem seen k) then begin
+                      Hashtbl.replace seen k ();
+                      if not (oldest_included && v = Segment.tombstone) then
+                        acc := (k, v) :: !acc
+                    end)
+                  (Segment.to_array t.mem m))
+              run;
+            let recs =
+              Array.of_list
+                (List.sort (fun (a, _) (b, _) -> compare a b) !acc)
+            in
+            let level = (List.hd run).Segment.level + 1 in
+            let merged =
+              if Array.length recs = 0 then []
+              else begin
+                let pa = Option.get t.p_alloc in
+                let planned = Lsm.plan_segments pa ~level recs in
+                Lsm.build_planned l ~level planned;
+                List.map (fun (_, _, m) -> m) planned
+              end
+            in
+            l.Lsm.pending <- Some { Lsm.replaced = run; merged });
+        (* wait for the persistence thread to fold the merge into the
+           manifest before scanning for the next one *)
+        while l.Lsm.pending <> None && not t.stop_flag do
+          Sim.spin ()
+        done
+    done
+
+  (** Spawn the persistence thread on its dedicated core — plus, under
+      [--lsm-ckpt] with compaction enabled, the compaction fiber sharing
+      that core. No-op for the volatile variant. *)
   let start_persistence t =
-    if has_persistence t then
+    if has_persistence t then begin
       Sim.spawn_here ~socket:t.p_socket ~core:(t.beta - 1) (fun () ->
-          persistence_loop t)
+          persistence_loop t);
+      match t.lsm with
+      | Some l when t.cfg.Config.lsm_compact ->
+        Sim.spawn_here ~socket:t.p_socket ~core:(t.beta - 1) (fun () ->
+            compaction_loop t l)
+      | _ -> ()
+    end
 
   let stop t = t.stop_flag <- true
 
@@ -907,6 +1487,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
 
   (** Harness-side counters for the gated hot-path optimisations (all zero
       when the corresponding flag is off), keyed for the bench JSON. *)
+  let lsm_counter t f = match t.lsm with Some l -> f l | None -> 0
+
   let counters t =
     let read_acquires = ref 0 and writer_sweeps = ref 0 in
     Array.iter
@@ -925,6 +1507,18 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       ("detect_announces", t.detect_announces);
       ("detect_responses", t.detect_responses);
       ("detect_reconciled", t.detect_reconciled);
+      ("ckpt_count", t.ckpt_count);
+      ("ckpt_cost_total", t.ckpt_cost_total);
+      ("ckpt_cost_last", t.ckpt_cost_last);
+      ("lsm_seals", lsm_counter t (fun l -> l.Lsm.seals));
+      ("lsm_segments_built", lsm_counter t (fun l -> l.Lsm.segments_built));
+      ("lsm_keys_sealed", lsm_counter t (fun l -> l.Lsm.keys_sealed));
+      ("lsm_compactions", lsm_counter t (fun l -> l.Lsm.compactions));
+      ("lsm_segments_live", lsm_counter t (fun l -> List.length l.Lsm.segs));
+      ("lsm_bloom_skips", lsm_counter t (fun l -> l.Lsm.bloom_skips));
+      ("lsm_range_skips", lsm_counter t (fun l -> l.Lsm.range_skips));
+      ("lsm_seg_finds", lsm_counter t (fun l -> l.Lsm.seg_finds));
+      ("lsm_materialized", lsm_counter t (fun l -> l.Lsm.materialized));
     ]
 
   (** Port the instance's counters onto registry [reg], *adding* to any
@@ -948,25 +1542,69 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         Locks.Rw.write_release r.rw)
       t.replicas
 
-  (** Cost-free snapshot of the abstract state (replica 0's view). *)
-  let snapshot t = Ds.snapshot t.replicas.(0).ds
+  (** Cost-free snapshot of the abstract state (replica 0's view). Under
+      [--lsm-ckpt] a partially-hydrated replica's snapshot is the merge of
+      its ds (truth for every resolved key) over the segment store's live
+      view (truth for the rest) — the flattened sorted-pair convention of
+      the keyed maps. *)
+  let snapshot t =
+    let r = t.replicas.(0) in
+    match t.lsm with
+    | Some l when not r.view.hydrated ->
+      let rec pairs = function
+        | k :: v :: rest -> (k, v) :: pairs rest
+        | _ -> []
+      in
+      let own = pairs (Ds.snapshot r.ds) in
+      let store =
+        List.filter
+          (fun (k, _) -> not (Hashtbl.mem r.view.resolved k))
+          (Lsm.peek_live l)
+      in
+      List.concat_map
+        (fun (k, v) -> [ k; v ])
+        (List.sort compare (own @ store))
+    | _ -> Ds.snapshot r.ds
 
-  (** Cost-free snapshot of the stable persistent replica's current
-      (coherent) view. *)
+  (** Cost-free snapshot of the stable persistent state: the stable
+      replica's current (coherent) view, or — under [--lsm-ckpt] — the
+      live merge of the sealed segment set (what a crash right now is
+      guaranteed to recover without any log replay). *)
   let stable_snapshot t =
-    let active = Memory.peek t.mem (Roots.addr t.roots (rslot t slot_active)) in
-    Ds.snapshot t.p_reps.(1 - active).pds
+    match t.lsm with
+    | Some l ->
+      List.concat_map (fun (k, v) -> [ k; v ]) (Lsm.peek_live l)
+    | None ->
+      let active =
+        Memory.peek t.mem (Roots.addr t.roots (rslot t slot_active))
+      in
+      Ds.snapshot t.p_reps.(1 - active).pds
+
+  (** Order-independent hash of every bit of volatile [--lsm-ckpt] state
+      the memory fingerprints cannot see — memtable, mounted segment set,
+      pending merges, per-replica hydration — for the explorer's state
+      dedup. Zero when the backend is off. *)
+  let lsm_ghost t =
+    match t.lsm with
+    | None -> 0
+    | Some l ->
+      let view_hash v =
+        Hashtbl.fold
+          (fun k () acc -> acc lxor Memory.mix k)
+          v.resolved
+          (if v.hydrated then 1 else 2)
+      in
+      let h = ref (Lsm.ghost l) in
+      Array.iter (fun r -> h := Memory.h2 !h (view_hash r.view)) t.replicas;
+      h := Memory.h2 !h (view_hash t.shadow_view);
+      !h
 
   (* ---- recovery (paper §5.1 / §5.2) ---- *)
 
-  (** Recover after [Memory.crash]. [old_t] supplies configuration and the
-      ghost trace; all simulated-memory state is read back from NVM media
-      through the root directory. Returns the rebuilt UC and a report for
-      the durability checkers. Must run inside a fiber. *)
-  let recover old_t =
+  (* Classic (whole-replica checkpoint) recovery: attach the stable NVM
+     replica and replay the durable log suffix past its tail. *)
+  let recover_classic old_t =
     let mem = old_t.mem and roots = old_t.roots and cfg = old_t.cfg in
-    if not (has_persistence old_t) then
-      invalid_arg "Prep_uc.recover: volatile variant cannot recover";
     Context.bind ~default:(Alloc.create_volatile mem ~home:0) ();
     let rb = cfg.Config.root_base in
     let active = Roots.get roots (rb + slot_active) in
@@ -1111,6 +1749,216 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     let t = build mem roots cfg ~prefill ~master:(Some stable_ds) in
     t.detect_reconciled <- !reconciled;
     (t, report)
+
+  (* Incremental-checkpoint recovery ([Config.lsm_ckpt]): mount the
+     manifest (torn newest record falls back to the previous epoch inside
+     [Manifest.load]) and the segment set it names — dropping torn
+     segments, which only the planted fault can produce — then replay just
+     the durable log suffix past [sealed_lt] against an empty volatile
+     master, rematerialising exactly the keys the replay touches. Time to
+     first operation is O(suffix), independent of the object's size. The
+     replay's dirty set is sealed into fresh segments and a new manifest
+     epoch is published with [sealed_lt] reset, because the rebuilt
+     instance starts a fresh log. *)
+  let recover_lsm old_t =
+    let mem = old_t.mem and roots = old_t.roots and cfg = old_t.cfg in
+    Context.bind ~default:(Alloc.create_volatile mem ~home:0) ();
+    let rb = cfg.Config.root_base in
+    let manifest =
+      Manifest.attach mem ~base:(Roots.get roots (lsm_manifest_slot rb))
+    in
+    let mrec =
+      match Manifest.load manifest with
+      | Some r -> r
+      | None ->
+        (* the initial publish is fenced before any op can complete *)
+        failwith "Prep_uc.recover: no valid manifest record on media"
+    in
+    let segs = List.filter_map (Segment.mount mem) mrec.Manifest.segs in
+    let sealed_lt = mrec.Manifest.sealed_lt in
+    let p_home = (Sim.topology ()).Sim.Topology.sockets - 1 in
+    let pa = Alloc.create_persistent mem ~home:p_home in
+    Context.set_persistent pa;
+    (* the recovered master: an empty volatile structure, hydrated from
+       the mounted segments only where the replay needs it *)
+    let master = Ds.create mem in
+    let resolved = Hashtbl.create 256 in
+    let dirty = Hashtbl.create 64 in
+    let touch key =
+      if not (Hashtbl.mem resolved key) then begin
+        let rec go = function
+          | [] -> ()
+          | m :: rest -> (
+            match Segment.lookup mem m key with
+            | Some v ->
+              if v <> Segment.tombstone then Ds.key_put master key v
+            | None -> go rest)
+        in
+        go segs;
+        Hashtbl.replace resolved key ()
+      end
+    in
+    let prepare_replay ~op ~args =
+      match Ds.classify ~op ~args with
+      | Seqds.Ds_intf.Keyed { written; read } ->
+        Array.iter touch written;
+        Array.iter touch read;
+        Array.iter (fun k -> Hashtbl.replace dirty k ()) written
+      | Seqds.Ds_intf.Read_all ->
+        List.iter
+          (fun m ->
+            Array.iter (fun (k, _) -> touch k) (Segment.to_array mem m))
+          segs
+      | Seqds.Ds_intf.Opaque ->
+        invalid_arg "Prep_uc: --lsm-ckpt requires keyed-map operations"
+    in
+    let applied_prefix = List.init sealed_lt (fun i -> i) in
+    let reconciled = ref 0 in
+    let replayed, ct =
+      if cfg.Config.mode = Config.Durable then begin
+        let ct = Memory.read mem (Roots.get roots (rb + slot_ct)) in
+        (* same media-truth rule (and planted mirror fault) as classic *)
+        let mirror =
+          if cfg.Config.fault = Config.Mirror_read_on_recovery then
+            Log.mirror_base old_t.log
+          else None
+        in
+        let log =
+          Log.attach mem ~base:(Roots.get roots (rb + slot_log))
+            ~size:cfg.Config.log_size ~durable:true ~mirror
+        in
+        let ann =
+          if cfg.Config.detect then
+            let base = Roots.get roots (rb + slot_announce) in
+            if base <> Memory.null then
+              Some
+                (Announce.attach mem ~base
+                   ~threads:(Sim.Topology.total_cores (Sim.topology ())))
+            else None
+          else None
+        in
+        let scan_to =
+          if cfg.Config.detect then ct + cfg.Config.log_size else ct
+        in
+        let replayed = ref [] in
+        for idx = sealed_lt to scan_to - 1 do
+          if
+            Log.is_full log idx
+            && (idx < ct || snd (Log.read_tag log idx) > 0)
+            && (match old_t.replay_keep with
+               | None -> true
+               | Some keep ->
+                 let op, args = Log.read_payload log idx in
+                 keep ~op ~args)
+          then begin
+            let op, args = Log.read_payload log idx in
+            prepare_replay ~op ~args;
+            let resp = Ds.execute master ~op ~args in
+            replayed := idx :: !replayed;
+            match ann with
+            | Some a ->
+              let tid, seqno = Log.read_tag log idx in
+              if seqno > 0 && Announce.response_seqno a ~tid < seqno
+              then begin
+                Announce.write_response a ~tid ~seqno ~result:resp;
+                Announce.flush_response a ~tid;
+                incr reconciled
+              end
+            | None -> ()
+          end
+        done;
+        (List.rev !replayed, ct)
+      end
+      else ([], sealed_lt)
+    in
+    (* seal the replay's effects: anything dirty that stayed only in the
+       volatile master would be lost by the *next* crash once [sealed_lt]
+       resets below *)
+    let new_metas =
+      let recs =
+        Hashtbl.fold
+          (fun k () acc ->
+            match Ds.key_get master k with
+            | Some v -> (k, v) :: acc
+            | None -> (k, Segment.tombstone) :: acc)
+          dirty []
+      in
+      let recs =
+        Array.of_list (List.sort (fun (a, _) (b, _) -> compare a b) recs)
+      in
+      if Array.length recs = 0 then []
+      else begin
+        let planned = Lsm.plan_segments pa ~level:0 recs in
+        List.iter
+          (fun (addr, chunk, _) ->
+            ignore (Segment.build mem ~addr ~level:0 chunk))
+          planned;
+        List.map (fun (_, _, m) -> m) planned
+      end
+    in
+    let all_segs = new_metas @ segs in
+    Manifest.publish manifest ~epoch:(mrec.Manifest.epoch + 1) ~sealed_lt:0
+      ~segs:(List.map (fun m -> m.Segment.addr) all_segs);
+    (* durability accounting against the ghost trace *)
+    let applied = applied_prefix @ replayed in
+    let applied_set = Hashtbl.create 256 in
+    List.iter (fun i -> Hashtbl.replace applied_set i ()) applied;
+    let completed = Trace.completed_indexes old_t.trace in
+    let lost_completed =
+      List.length
+        (List.filter (fun i -> not (Hashtbl.mem applied_set i)) completed)
+    in
+    let skipped_completed =
+      match replayed with
+      | [] ->
+        List.length
+          (List.filter
+             (fun i -> i < sealed_lt && not (Hashtbl.mem applied_set i))
+             completed)
+      | _ ->
+        List.length
+          (List.filter
+             (fun i ->
+               i >= sealed_lt && i < ct && not (Hashtbl.mem applied_set i))
+             completed)
+    in
+    let contiguous_prefix =
+      let rec check expect = function
+        | [] -> true
+        | i :: rest -> i = expect && check (expect + 1) rest
+      in
+      check 0 applied
+    in
+    let report =
+      { applied; lost_completed; skipped_completed; contiguous_prefix;
+        reconciled = !reconciled }
+    in
+    let recovered_ops =
+      List.map
+        (fun i ->
+          let e = Trace.get old_t.trace i in
+          (e.Trace.op, e.Trace.args))
+        applied
+    in
+    let prefill = old_t.prefill @ recovered_ops in
+    let carry =
+      { Lsm.c_manifest = manifest; c_segs = all_segs;
+        c_epoch = mrec.Manifest.epoch + 1; c_resolved = resolved }
+    in
+    let t =
+      build ~lsm_carry:carry mem roots cfg ~prefill ~master:(Some master)
+    in
+    t.detect_reconciled <- !reconciled;
+    (t, report)
+
+  (** Recover after [Memory.crash]. [old_t] supplies configuration and the
+      ghost trace; all simulated-memory state is read back from NVM media
+      through the root directory. Returns the rebuilt UC and a report for
+      the durability checkers. Must run inside a fiber. *)
+  let recover old_t =
+    if not (has_persistence old_t) then
+      invalid_arg "Prep_uc.recover: volatile variant cannot recover";
+    if old_t.lsm <> None then recover_lsm old_t else recover_classic old_t
 
   (* ---- detectability queries ---- *)
 

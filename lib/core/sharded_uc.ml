@@ -215,6 +215,23 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       then false
       else Ds.is_readonly ~op
 
+    (* Key footprints for the incremental-checkpoint dirty tracker. The
+       read-modify-write ops ([op_txn_add]/[op_xfer_local]) put their keys
+       in [written], per the [key_effect] contract. [op_multi_put] and
+       [op_transfer] never reach a shard log (the router splits them), but
+       classify like their local forms for totality. *)
+    let classify ~op ~args =
+      let open Seqds.Ds_intf in
+      if op = op_txn_put || op = op_txn_add then
+        Keyed { written = [| args.(1) |]; read = [||] }
+      else if
+        op = op_mput_local || op = op_xfer_local || is_multi_op op
+      then Keyed { written = [| args.(0); args.(1) |]; read = [||] }
+      else Ds.classify ~op ~args
+
+    let key_get = Ds.key_get
+    let key_put = Ds.key_put
+
     module Model = struct
       type m = Ds.Model.m
 

@@ -68,7 +68,11 @@ type result = {
 let legacy_counter_keys =
   [ "rw_read_acquires"; "rw_writer_sweeps"; "log_primary_reads";
     "log_mirror_reads"; "log_mirror_stores"; "bitmap_empty_exits";
-    "bitmap_slots_skipped" ]
+    "bitmap_slots_skipped"; "detect_announces"; "detect_responses";
+    "detect_reconciled"; "ckpt_count"; "ckpt_cost_total"; "ckpt_cost_last";
+    "lsm_seals"; "lsm_segments_built"; "lsm_keys_sealed"; "lsm_compactions";
+    "lsm_segments_live"; "lsm_bloom_skips"; "lsm_range_skips";
+    "lsm_seg_finds"; "lsm_materialized" ]
 
 (** The system-specific counters of [r], in the pre-telemetry key order.
     Keys a system never sampled (GL, CX, SOFT) are absent, exactly as
@@ -253,7 +257,8 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
 
   let prep ?(log_size = 65536) ?(flush = Prep.Config.Wbinvd) ?(flit = false)
       ?(dist_rw = false) ?(log_mirror = false) ?(slot_bitmap = false)
-      ?(detect = false) ?name ~mode ~epsilon () =
+      ?(detect = false) ?(lsm_ckpt = false) ?(lsm_fanout = 4)
+      ?(lsm_compact = true) ?name ~mode ~epsilon () =
     let name =
       match name with
       | Some n -> n
@@ -268,7 +273,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
           List.filter_map
             (fun (on, tag) -> if on then Some tag else None)
             [ (flit, "flit"); (dist_rw, "dist"); (log_mirror, "mir");
-              (slot_bitmap, "bmp"); (detect, "det") ]
+              (slot_bitmap, "bmp"); (detect, "det"); (lsm_ckpt, "lsm") ]
         in
         if tags = [] then base else base ^ "/" ^ String.concat "+" tags
     in
@@ -279,7 +284,8 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
         (fun mem roots ~workers ~prefill ->
           let cfg =
             Prep.Config.make ~mode ~log_size ~epsilon ~flush ~flit ~dist_rw
-              ~log_mirror ~slot_bitmap ~detect ~workers ()
+              ~log_mirror ~slot_bitmap ~detect ~lsm_ckpt ~lsm_fanout
+              ~lsm_compact ~workers ()
           in
           let uc = P.create ~prefill mem roots cfg in
           P.start_persistence uc;
@@ -296,11 +302,14 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
      [shard<i>/...] keys alongside the summed classic counters, so a
      telemetry registry shows both the total and the balance. *)
   let prep_sharded ?(log_size = 65536) ?(flush = Prep.Config.Wbinvd)
-      ?(flit = false) ?(slot_bitmap = false) ?name ~shards ~epsilon () =
+      ?(flit = false) ?(slot_bitmap = false) ?(lsm_ckpt = false)
+      ?(lsm_fanout = 4) ?(lsm_compact = true) ?name ~shards ~epsilon () =
     let name =
       match name with
       | Some n -> n
-      | None -> Printf.sprintf "PREP-Durable/x%d" shards
+      | None ->
+        Printf.sprintf "PREP-Durable/x%d%s" shards
+          (if lsm_ckpt then "+lsm" else "")
     in
     {
       sys_name = name;
@@ -309,7 +318,8 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
         (fun mem roots ~workers ~prefill ->
           let cfg =
             Prep.Config.make ~mode:Prep.Config.Durable ~log_size ~epsilon
-              ~flush ~flit ~slot_bitmap ~shards ~workers ()
+              ~flush ~flit ~slot_bitmap ~shards ~lsm_ckpt ~lsm_fanout
+              ~lsm_compact ~workers ()
           in
           let uc = Sh.create ~prefill mem roots cfg in
           Sh.start_persistence uc;

@@ -19,6 +19,26 @@
     the root address: the UC never sees its internals, and a crash must be
     able to take away exactly the unpersisted part. *)
 
+(** Syntactic key-footprint classification of an operation, for backends
+    that track state at per-key granularity (the incremental-checkpoint
+    layer). The classification must be a pure function of the op
+    descriptor — it is evaluated on raw log entries during catch-up and
+    recovery, where no structure state is available:
+
+    - [Keyed] lists every key the op may write ([written]) and every key
+      it only observes ([read]); a read-modify-write key belongs in
+      [written]. The dirty-object tracker marks [written] keys, and lazy
+      rematerialisation resolves both sets before the op runs on a
+      partially-hydrated replica;
+    - [Read_all] observes the whole key space (size, aggregate queries);
+    - [Opaque] is anything else — structures without per-key semantics
+      (queues, stacks, priority queues) classify every op [Opaque], and
+      key-granular backends must refuse to run on them. *)
+type key_effect =
+  | Keyed of { written : int array; read : int array }
+  | Read_all
+  | Opaque
+
 module type MODEL = sig
   (** Pure reference model of the same object, for checkers. *)
 
@@ -48,6 +68,20 @@ module type S = sig
   val execute : handle -> op:int -> args:int array -> int
 
   val is_readonly : op:int -> bool
+
+  (** Pure per-key footprint of an op descriptor (see [key_effect]). *)
+  val classify : op:int -> args:int array -> key_effect
+
+  (** Current value bound to [key], or [None] if absent. Charged like the
+      structure's own read path. Only meaningful for structures whose ops
+      classify [Keyed]; others raise [Invalid_argument]. *)
+  val key_get : handle -> int -> int option
+
+  (** Bind [key := value] (insert-or-replace), charged like the
+      structure's own write path — the rematerialisation primitive of the
+      incremental-checkpoint layer. Only meaningful for structures whose
+      ops classify [Keyed]; others raise [Invalid_argument]. *)
+  val key_put : handle -> int -> int -> unit
 
   (** Deep copy into the current fiber allocator. *)
   val copy : handle -> handle

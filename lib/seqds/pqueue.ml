@@ -31,6 +31,11 @@ let create mem =
 
 let is_readonly ~op = op = op_peek || op = op_size
 
+(* no per-key semantics: every op is opaque to key-granular backends *)
+let classify ~op:_ ~args:_ = Ds_intf.Opaque
+let key_get _ _ = invalid_arg (name ^ ": not a keyed structure")
+let key_put _ _ _ = invalid_arg (name ^ ": not a keyed structure")
+
 let grow t =
   let data = Memory.read t.mem t.h in
   let capacity = Memory.read t.mem (t.h + 1) in

@@ -57,6 +57,16 @@ let create mem =
 
 let is_readonly ~op = op = op_get || op = op_contains || op = op_size
 
+let classify ~op ~args =
+  let open Ds_intf in
+  if op = op_insert || op = op_remove then
+    Keyed { written = [| args.(0) |]; read = [||] }
+  else if op = op_get || op = op_contains then
+    Keyed { written = [||]; read = [| args.(0) |] }
+  else if op = op_size then Read_all
+  else Opaque
+
+
 let left_rotate t x =
   let y = right t x in
   set_right t x (left t y);
@@ -368,3 +378,10 @@ module Model = struct
   let snapshot m =
     IntMap.bindings m |> List.concat_map (fun (k, v) -> [ k; v ])
 end
+
+let key_get t key =
+  match execute t ~op:op_get ~args:[| key |] with
+  | -1 -> None
+  | v -> Some v
+
+let key_put t key value = ignore (execute t ~op:op_insert ~args:[| key; value |])

@@ -58,6 +58,16 @@ let create mem =
 
 let is_readonly ~op = op = op_get || op = op_contains || op = op_size
 
+let classify ~op ~args =
+  let open Ds_intf in
+  if op = op_insert || op = op_remove then
+    Keyed { written = [| args.(0) |]; read = [||] }
+  else if op = op_get || op = op_contains then
+    Keyed { written = [||]; read = [| args.(0) |] }
+  else if op = op_size then Read_all
+  else Opaque
+
+
 (* Walk down from the top level; [update.(l)] is the rightmost node at
    level [l] whose key is < [key]. *)
 let find_predecessors t key update =
@@ -180,3 +190,10 @@ let check_invariants t =
   done
 
 module Model = Hashmap.Model
+
+let key_get t key =
+  match execute t ~op:op_get ~args:[| key |] with
+  | -1 -> None
+  | v -> Some v
+
+let key_put t key value = ignore (execute t ~op:op_insert ~args:[| key; value |])

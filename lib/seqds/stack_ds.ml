@@ -27,6 +27,11 @@ let create mem =
 
 let is_readonly ~op = op = op_peek || op = op_size
 
+(* no per-key semantics: every op is opaque to key-granular backends *)
+let classify ~op:_ ~args:_ = Ds_intf.Opaque
+let key_get _ _ = invalid_arg (name ^ ": not a keyed structure")
+let key_put _ _ _ = invalid_arg (name ^ ": not a keyed structure")
+
 let push t v =
   let node = Context.alloc node_words in
   Memory.write t.mem node v;

@@ -44,10 +44,10 @@ let scope_1w =
 let budget =
   { Check.Explore.default_budget with Check.Explore.max_schedules = 20_000 }
 
-let explore ?flit ?dist_rw ?log_mirror ?slot_bitmap ?detect
-    ?(budget = budget) ?(scope = scope_1w) mode fault =
-  E.explore ?flit ?dist_rw ?log_mirror ?slot_bitmap ?detect ~budget ~mode
-    ~fault ~gen_op ~scope ()
+let explore ?flit ?dist_rw ?log_mirror ?slot_bitmap ?detect ?lsm_ckpt
+    ?lsm_fanout ?(budget = budget) ?(scope = scope_1w) mode fault =
+  E.explore ?flit ?dist_rw ?log_mirror ?slot_bitmap ?detect ?lsm_ckpt
+    ?lsm_fanout ~budget ~mode ~fault ~gen_op ~scope ()
 
 let exhausted_clean label (res : Check.Explore.result) =
   check_bool (label ^ ": no violation") true
@@ -59,15 +59,17 @@ let exhausted_clean label (res : Check.Explore.result) =
 (* A violation's decision trace must replay to the same violation — the
    round-trip through the textual run-length encoding included, because
    that is what the CLI repro command ships. *)
-let replay_reproduces ?flit ?dist_rw ?log_mirror ?slot_bitmap ?detect label
-    mode fault scope (v : Check.Explore.violation) =
+let replay_reproduces ?flit ?dist_rw ?log_mirror ?slot_bitmap ?detect
+    ?lsm_ckpt ?lsm_fanout label mode fault scope
+    (v : Check.Explore.violation) =
   let decisions =
     Check.Explore.decisions_of_string
       (Check.Explore.decisions_to_string v.Check.Explore.v_decisions)
   in
   let violations, crashed, logged, completed, applied =
-    E.replay ?flit ?dist_rw ?log_mirror ?slot_bitmap ?detect ~mode ~fault
-      ~gen_op ~scope ~decisions ?crash:v.Check.Explore.v_crash ()
+    E.replay ?flit ?dist_rw ?log_mirror ?slot_bitmap ?detect ?lsm_ckpt
+      ?lsm_fanout ~mode ~fault ~gen_op ~scope ~decisions
+      ?crash:v.Check.Explore.v_crash ()
   in
   check_bool (label ^ ": replay violates") true (violations <> []);
   check_bool (label ^ ": replay crashed") true
@@ -365,6 +367,54 @@ let test_detect_response_fault_found () =
     replay_reproduces ~detect:true "response-before-log-persist"
       Config.Durable Config.Response_before_log_persist scope_1w v
 
+(* ---- incremental (lsm) checkpointing ----
+
+   The seal/compact/crash interleaving space of the [--lsm-ckpt] backend:
+   memtable seals into segments, background compaction sharing the
+   persistence core, manifest publishes, and crash frontiers through all
+   of it. Fanout 2 keeps compaction reachable inside the tiny scope. *)
+
+let lsm_budget =
+  (* the extra persistence-core fiber (compaction) and the seal-watermark
+     stable tail roughly double the interleavings of the classic scope;
+     measured exhaustion is ~66k schedules, the budget leaves headroom
+     without masking a blow-up *)
+  { Check.Explore.default_budget with Check.Explore.max_schedules = 100_000 }
+
+let test_lsm_scope_exhausts () =
+  let res =
+    explore ~lsm_ckpt:true ~lsm_fanout:2 ~budget:lsm_budget Config.Durable
+      Config.No_fault
+  in
+  exhausted_clean "lsm" res;
+  check "durable: no completed op ever lost" 0
+    res.Check.Explore.stats.Check.Explore.max_completed_loss
+
+let test_manifest_before_seal_found () =
+  (* the manifest record goes durable naming segments whose bodies are
+     still dirty: the explorer must find a crash frontier that keeps the
+     record and drops the segments, losing sealed effects recovery no
+     longer replays (sealed_lt already skips their log entries) *)
+  let res =
+    explore ~lsm_ckpt:true ~lsm_fanout:2 ~budget:lsm_budget Config.Durable
+      Config.Manifest_before_segment_seal
+  in
+  match res.Check.Explore.violation with
+  | None -> Alcotest.fail "manifest-before-seal fault not found within budget"
+  | Some v ->
+    check_bool "found at a crash frontier" true
+      (v.Check.Explore.v_crash <> None);
+    check_bool "found as durable loss or state mismatch" true
+      (List.exists
+         (function
+           | Check.Durable_lin.Loss_bound_exceeded _
+           | Check.Durable_lin.Prefix_violation _
+           | Check.Durable_lin.State_mismatch _ -> true
+           | _ -> false)
+         v.Check.Explore.v_violations);
+    replay_reproduces ~lsm_ckpt:true ~lsm_fanout:2 "manifest-before-seal"
+      Config.Durable Config.Manifest_before_segment_seal scope_1w v
+
 (* ---- decision-trace encoding ---- *)
 
 let test_rle_roundtrip () =
@@ -418,6 +468,13 @@ let () =
             test_equiv_combined;
           Alcotest.test_case "two threads, six ops, budgeted sweep" `Slow
             test_equiv_two_thread_budgeted;
+        ] );
+      ( "lsm",
+        [
+          Alcotest.test_case "lsm scope exhausts clean" `Slow
+            test_lsm_scope_exhausts;
+          Alcotest.test_case "manifest-before-seal found and replays" `Slow
+            test_manifest_before_seal_found;
         ] );
       ( "detect",
         [

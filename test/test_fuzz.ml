@@ -471,6 +471,115 @@ let test_fuzz_queue_durable () =
            (List.map Check.Durable_lin.violation_to_string violations)))
     res.Check.Fuzz.failures
 
+(* ---- incremental (lsm) checkpointing ----
+
+   The [--lsm-ckpt] backend replaces the whole-replica flush+swap with
+   memtable seals into immutable segments under a fenced manifest.
+   Behaviourally it must be invisible, so it gets the standard treatment:
+   a differential crash-point budget against the classic checkpoint on
+   every map implementation, and its planted fault — the manifest record
+   published *before* the segments it names are sealed — must be caught
+   and shrunk to a replayable repro that carries both flags. *)
+
+module Frb = Check.Fuzz.Make (Seqds.Rbtree)
+module Fsl = Check.Fuzz.Make (Seqds.Skiplist)
+
+let test_fuzz_lsm_differential () =
+  let tpl = template ~seed:5700 ~epsilon:8 ~ops:120 in
+  let base =
+    F.fuzz ~mode:Config.Durable ~fault:Config.No_fault ~gen_op ~template:tpl
+      ~iters:8 ()
+  in
+  let lsm =
+    F.fuzz ~lsm_ckpt:true ~mode:Config.Durable ~fault:Config.No_fault ~gen_op
+      ~template:tpl ~iters:8 ()
+  in
+  no_failures "baseline" base;
+  no_failures "lsm" lsm;
+  check "same episode budget" base.Check.Fuzz.episodes lsm.Check.Fuzz.episodes;
+  check_bool "lsm crash points explored" true (lsm.Check.Fuzz.crashes > 0);
+  calibrate "calibration" tpl
+    (F.run_episode ~lsm_ckpt:true ~mode:Config.Durable ~fault:Config.No_fault
+       ~gen_op)
+
+let test_fuzz_lsm_all_maps () =
+  (* the dirty tracker keys on Ds.classify, so each map implementation's
+     key_effect wiring is load-bearing; buffered mode rides along to cover
+     the no-replay recovery path *)
+  let tpl = template ~seed:5800 ~epsilon:8 ~ops:100 in
+  let run label res =
+    no_failures label res;
+    check_bool (label ^ ": crash points explored") true
+      (res.Check.Fuzz.crashes > 0)
+  in
+  run "lsm rbtree"
+    (Frb.fuzz ~lsm_ckpt:true ~mode:Config.Durable ~fault:Config.No_fault
+       ~gen_op ~template:tpl ~iters:6 ());
+  run "lsm skiplist"
+    (Fsl.fuzz ~lsm_ckpt:true ~mode:Config.Durable ~fault:Config.No_fault
+       ~gen_op ~template:tpl ~iters:6 ());
+  run "lsm buffered hashmap"
+    (F.fuzz ~lsm_ckpt:true ~mode:Config.Buffered ~fault:Config.No_fault
+       ~gen_op ~template:tpl ~iters:6 ())
+
+let test_manifest_before_seal_caught_and_shrunk () =
+  (* the planted fault names segment addresses in a durable manifest
+     record before their bodies are sealed: a crash in the window mounts
+     nothing at those addresses while sealed_lt already skips their log
+     entries, so recovery silently loses sealed effects *)
+  let mode = Config.Durable and fault = Config.Manifest_before_segment_seal in
+  let tpl = template ~seed:9400 ~epsilon:8 ~ops:120 in
+  let res = F.fuzz ~lsm_ckpt:true ~mode ~fault ~gen_op ~template:tpl ~iters:8 () in
+  check_bool "planted fault caught" true (res.Check.Fuzz.failures <> []);
+  let first = List.hd res.Check.Fuzz.failures in
+  check_bool "caught as durable loss" true
+    (List.exists
+       (function
+         | Check.Durable_lin.Loss_bound_exceeded _
+         | Check.Durable_lin.Prefix_violation _
+         | Check.Durable_lin.State_mismatch _ -> true
+         | _ -> false)
+       first.Check.Fuzz.violations);
+  let small = F.shrink ~lsm_ckpt:true ~mode ~fault ~gen_op first.Check.Fuzz.episode in
+  check_bool
+    (Fmt.str "shrunk to <= 4 threads (%a)" Check.Fuzz.pp_episode small)
+    true
+    (small.Check.Fuzz.threads <= 4);
+  let out = F.run_episode ~lsm_ckpt:true ~mode ~fault ~gen_op small in
+  check_bool "shrunk repro still fails" true (out.Check.Fuzz.violations <> []);
+  let cmd = Check.Fuzz.repro_command ~lsm_ckpt:true ~mode ~fault ~ds:"hashmap" small in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "repro names the fault" true (contains cmd "manifest-before-seal");
+  check_bool "repro passes --lsm-ckpt" true (contains cmd "--lsm-ckpt")
+
+let test_lsm_config_rejections () =
+  (* the config layer pins the lsm flag combinations that have no
+     semantics, so they can never masquerade as bugs *)
+  Alcotest.check_raises "volatile has no checkpoints to replace"
+    (Invalid_argument
+       "Config: --lsm-ckpt is a checkpoint strategy; the volatile \
+        variant has no checkpoints")
+    (fun () ->
+      Config.validate ~beta:4
+        (Config.make ~mode:Config.Volatile ~lsm_ckpt:true ~workers:1 ()));
+  Alcotest.check_raises "fanout below 2 cannot converge"
+    (Invalid_argument "Config: lsm_fanout must be at least 2")
+    (fun () ->
+      Config.validate ~beta:4
+        (Config.make ~mode:Config.Durable ~lsm_ckpt:true ~lsm_fanout:1
+           ~workers:1 ()));
+  Alcotest.check_raises "manifest fault needs the lsm backend"
+    (Invalid_argument
+       "Config: manifest-before-seal fault only exists under --lsm-ckpt")
+    (fun () ->
+      Config.validate ~beta:4
+        (Config.make ~mode:Config.Durable
+           ~fault:Config.Manifest_before_segment_seal ~workers:1 ()))
+
 (* ---- durable_lin checker unit tests on synthetic reports ---- *)
 
 module Dl = Check.Durable_lin.Make (H.Model)
@@ -591,6 +700,17 @@ let () =
             test_mirror_read_recovery_caught_and_shrunk;
           Alcotest.test_case "mirror fault inert without mirror" `Slow
             test_mirror_fault_inert_without_mirror;
+        ] );
+      ( "lsm",
+        [
+          Alcotest.test_case "differential: lsm ckpt indistinguishable" `Slow
+            test_fuzz_lsm_differential;
+          Alcotest.test_case "lsm clean on every map + buffered" `Slow
+            test_fuzz_lsm_all_maps;
+          Alcotest.test_case "manifest-before-seal caught and shrunk" `Slow
+            test_manifest_before_seal_caught_and_shrunk;
+          Alcotest.test_case "config rejects meaningless lsm combinations"
+            `Quick test_lsm_config_rejections;
         ] );
       ( "detect",
         [
