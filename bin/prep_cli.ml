@@ -126,6 +126,7 @@ module type SYSTEMS = sig
     ?lsm_ckpt:bool ->
     ?lsm_fanout:int ->
     ?lsm_compact:bool ->
+    ?persist_policy:Nvm.Persist.policy ->
     ?name:string ->
     mode:Prep.Config.mode ->
     epsilon:int ->
@@ -140,6 +141,7 @@ module type SYSTEMS = sig
     ?lsm_ckpt:bool ->
     ?lsm_fanout:int ->
     ?lsm_compact:bool ->
+    ?persist_policy:Nvm.Persist.policy ->
     ?name:string ->
     shards:int ->
     epsilon:int ->
@@ -219,6 +221,24 @@ let uc_shards_arg =
   in
   Arg.(value & opt int 1 & info [ "uc-shards" ] ~docv:"N" ~doc)
 
+let persist_policy_arg =
+  let doc =
+    "Per-site persistency policy: a JSON file emitted by optimize-persist \
+     or an inline spec like \
+     'log.fence_payload=defer-to-next-fence,prep.init=elide'. Sites not \
+     named stay at emit. PREP systems only."
+  in
+  Arg.(value
+       & opt (some string) None
+       & info [ "persist-policy" ] ~docv:"SPEC|FILE" ~doc)
+
+let parse_policy = function
+  | None -> Ok None
+  | Some arg ->
+    (match Nvm.Persist.load arg with
+     | Ok p -> Ok (Some p)
+     | Error e -> Error e)
+
 let trace_arg =
   let doc =
     "Write a Chrome trace-event JSON file of the run (one track per fiber, \
@@ -236,10 +256,14 @@ let jobs_arg =
 (* Map a --system name to an [Experiment.system] under a data structure's
    [SYSTEMS] instantiation; shared by run/profile/sweep/serve-sim. *)
 let select_system ?(uc_shards = 1) ?(lsm_ckpt = false) ?(lsm_fanout = 4)
-    ?(lsm_compact = true) ~system ~epsilon ~flit ~dist_rw ~log_mirror
-    ~slot_bitmap ~detect (module Sy : SYSTEMS) =
+    ?(lsm_compact = true) ?persist_policy ~system ~epsilon ~flit ~dist_rw
+    ~log_mirror ~slot_bitmap ~detect (module Sy : SYSTEMS) =
   if detect && system <> "prep-durable" then
     Error "--detect requires --system prep-durable"
+  else if
+    persist_policy <> None
+    && not (List.mem system [ "prep-v"; "prep-buffered"; "prep-durable" ])
+  then Error "--persist-policy requires a PREP system"
   else if
     lsm_ckpt && not (List.mem system [ "prep-buffered"; "prep-durable" ])
   then Error "--lsm-ckpt requires --system prep-buffered or prep-durable"
@@ -260,7 +284,7 @@ let select_system ?(uc_shards = 1) ?(lsm_ckpt = false) ?(lsm_fanout = 4)
   else if uc_shards > 1 then
     Ok
       (Sy.prep_sharded ~log_size ~flit ~slot_bitmap ~lsm_ckpt ~lsm_fanout
-         ~lsm_compact ~shards:uc_shards ~epsilon ())
+         ~lsm_compact ?persist_policy ~shards:uc_shards ~epsilon ())
   else
     match system with
     | "gl" -> Ok Sy.global_lock
@@ -268,12 +292,13 @@ let select_system ?(uc_shards = 1) ?(lsm_ckpt = false) ?(lsm_fanout = 4)
     | "prep-buffered" ->
       Ok
         (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap ~lsm_ckpt
-           ~lsm_fanout ~lsm_compact ~mode:Prep.Config.Buffered ~epsilon ())
+           ~lsm_fanout ~lsm_compact ?persist_policy
+           ~mode:Prep.Config.Buffered ~epsilon ())
     | "prep-durable" ->
       Ok
         (Sy.prep ~log_size ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
-           ~lsm_ckpt ~lsm_fanout ~lsm_compact ~mode:Prep.Config.Durable
-           ~epsilon ())
+           ~lsm_ckpt ~lsm_fanout ~lsm_compact ?persist_policy
+           ~mode:Prep.Config.Durable ~epsilon ())
     | "cx" -> Ok (Sy.cx ())
     | "soft-1k" -> Ok (Experiment.soft ~nbuckets:1000)
     | "soft-10k" -> Ok (Experiment.soft ~nbuckets:10_000)
@@ -281,7 +306,10 @@ let select_system ?(uc_shards = 1) ?(lsm_ckpt = false) ?(lsm_fanout = 4)
 
 let run_point ~profile system ds threads epsilon read_pct keys duration seed
     flit dist_rw log_mirror slot_bitmap detect lsm_ckpt lsm_fanout
-    no_lsm_compact uc_shards trace =
+    no_lsm_compact uc_shards persist_policy trace =
+  match parse_policy persist_policy with
+  | Error m -> `Error (true, m)
+  | Ok persist_policy ->
   let workload_map, workload_pairs =
     ( (fun () -> Workload.map_workload ~read_pct ~key_range:keys ~prefill_n:(keys / 2)),
       fun pairs -> pairs ~prefill_n:(keys / 2) )
@@ -346,8 +374,8 @@ let run_point ~profile system ds threads epsilon read_pct keys duration seed
   in
   let prep_sys =
     select_system ~uc_shards ~lsm_ckpt ~lsm_fanout
-      ~lsm_compact:(not no_lsm_compact) ~system ~epsilon ~flit ~dist_rw
-      ~log_mirror ~slot_bitmap ~detect
+      ~lsm_compact:(not no_lsm_compact) ?persist_policy ~system ~epsilon
+      ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
   in
   if lsm_ckpt && not (List.mem ds [ "hashmap"; "rbtree"; "skiplist" ]) then
     fail "--lsm-ckpt needs a map data structure (per-key dirty tracking)"
@@ -394,7 +422,7 @@ let point_term ~profile =
      $ epsilon_arg $ read_pct_arg $ keys_arg $ duration_arg $ seed_arg
      $ flit_arg $ dist_rw_arg $ log_mirror_arg $ slot_bitmap_arg $ detect_arg
      $ lsm_ckpt_arg $ lsm_fanout_arg $ no_lsm_compact_arg $ uc_shards_arg
-     $ trace_arg))
+     $ persist_policy_arg $ trace_arg))
 
 let run_cmd =
   Cmd.v
@@ -413,7 +441,11 @@ let profile_cmd =
 (* ---- validate ---- *)
 
 let validate_kind_arg =
-  let doc = "Artifact kind: trace (Chrome trace-event JSON) or bench." in
+  let doc =
+    "Artifact kind: trace (Chrome trace-event JSON), bench, policy \
+     (optimize-persist persistency-policy JSON), or report \
+     (optimize-persist decision-report JSON)."
+  in
   Arg.(
     required
     & opt (some string) None
@@ -426,6 +458,53 @@ let validate_file_arg =
     & info [] ~docv:"FILE" ~doc:"JSON artifact to validate.")
 
 let validate kind file =
+  let contents () =
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if kind = "report" then (
+    (* the optimize-persist decision report: check the schema tag and
+       the presence/shape of every section *)
+    let module J = Telemetry.Json in
+    match J.parse_result (contents ()) with
+    | Error e ->
+      Printf.printf "%s: %s\n" file e;
+      `Error (false, "validation failed")
+    | Ok v -> (
+      let bad m =
+        Printf.printf "%s: %s\n" file m;
+        `Error (false, "validation failed")
+      in
+      match J.member "schema" v with
+      | Some (J.Str "prep.persist-report/1") -> (
+        match
+          ( J.member "baseline" v, J.member "policy" v,
+            J.member "admitted" v, J.member "decisions" v,
+            J.member "measured" v )
+        with
+        | Some (J.Obj _), Some (J.Obj _), Some (J.Obj adm),
+          Some (J.List ds), Some (J.List _) ->
+          Printf.printf
+            "%s: valid persist-report (%d weakenings, %d decisions)\n" file
+            (List.length adm) (List.length ds);
+          `Ok ()
+        | _ -> bad "persist-report: missing or malformed section")
+      | _ ->
+        bad "persist-report: missing or wrong \"schema\" (want \
+             \"prep.persist-report/1\")"))
+  else if kind = "policy" then (
+    match Nvm.Persist.of_json (contents ()) with
+    | Ok p ->
+      Printf.printf "%s: valid persist-policy (%s; %d weakenings)\n" file
+        Nvm.Persist.schema
+        (List.length (Nvm.Persist.weakenings p));
+      `Ok ()
+    | Error e ->
+      Printf.printf "%s: %s\n" file e;
+      `Error (false, "validation failed"))
+  else
   let validator =
     match kind with
     | "trace" -> Ok Telemetry.Json.validate_trace
@@ -435,13 +514,7 @@ let validate kind file =
   match validator with
   | Error m -> `Error (true, m)
   | Ok validator -> (
-    let contents =
-      let ic = open_in_bin file in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    match Telemetry.Json.validate_string validator contents with
+    match Telemetry.Json.validate_string validator (contents ()) with
     | Ok () ->
       Printf.printf "%s: valid %s artifact (schema_version %d)\n" file kind
         Telemetry.Json.schema_version;
@@ -744,9 +817,11 @@ let fuzz_sharded ~iters ~ds ~threads ~epsilon ~log_size ~ops ~seed ~fault
 
 let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
     crash_time no_crash bg_period flit dist_rw log_mirror slot_bitmap detect
-    lsm_ckpt nshards multi_pct cross_pct jobs =
+    lsm_ckpt nshards multi_pct cross_pct persist_policy jobs =
   if nshards > 1 then begin
-    if variant <> "durable" then
+    if persist_policy <> None then
+      `Error (true, "--persist-policy is not supported with --shards")
+    else if variant <> "durable" then
       `Error (true, "--shards requires --variant durable (sharding is durable-only)")
     else if flit || dist_rw || log_mirror || slot_bitmap || detect || lsm_ckpt
     then
@@ -761,6 +836,9 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
   end
   else if nshards < 1 then `Error (true, "--shards must be at least 1")
   else
+  match parse_policy persist_policy with
+  | Error m -> `Error (true, m)
+  | Ok persist_policy ->
   let variant_v =
     match variant with
     | "volatile" -> Ok Prep.Config.Volatile
@@ -819,7 +897,7 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
        let ep = { template with crash } in
        let out =
          F.run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
-           ~lsm_ckpt ~mode ~fault ~gen_op ep
+           ~lsm_ckpt ?persist_policy ~mode ~fault ~gen_op ep
        in
        Printf.printf
          "episode %s: crashed=%b logged=%d completed=%d applied=%d\n"
@@ -841,8 +919,8 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
      | None ->
        let res =
          F.fuzz ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~lsm_ckpt
-           ~mode ~fault ~gen_op ~template ~iters ~log:print_endline
-           ~runner:(Campaign.run ~j:jobs) ()
+           ?persist_policy ~mode ~fault ~gen_op ~template ~iters
+           ~log:print_endline ~runner:(Campaign.run ~j:jobs) ()
        in
        Printf.printf "%d episodes (%d crashed), %d failing\n"
          res.Check.Fuzz.episodes res.Check.Fuzz.crashes
@@ -853,12 +931,13 @@ let fuzz iters variant ds threads epsilon log_size ops seed fault crash_op
           print_endline "shrinking first failure...";
           let small =
             F.shrink ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
-              ~lsm_ckpt ~mode ~fault ~gen_op first.Check.Fuzz.episode
+              ~lsm_ckpt ?persist_policy ~mode ~fault ~gen_op
+              first.Check.Fuzz.episode
           in
           Printf.printf "shrunk to: %s\nreplay with:\n  %s\n"
             (Fmt.str "%a" Check.Fuzz.pp_episode small)
             (Check.Fuzz.repro_command ~flit ~dist_rw ~log_mirror ~slot_bitmap
-               ~detect ~lsm_ckpt ~mode ~fault ~ds small);
+               ~detect ~lsm_ckpt ?persist_policy ~mode ~fault ~ds small);
           `Error (false, "durable-linearizability violations found")))
 
 let fuzz_cmd =
@@ -874,7 +953,7 @@ let fuzz_cmd =
        $ fault_arg $ crash_op_arg $ crash_time_arg $ no_crash_arg
        $ bg_period_arg $ flit_arg $ dist_rw_arg $ log_mirror_arg
        $ slot_bitmap_arg $ detect_arg $ lsm_ckpt_arg $ fuzz_shards_arg
-       $ multi_pct_arg $ cross_pct_arg $ jobs_arg))
+       $ multi_pct_arg $ cross_pct_arg $ persist_policy_arg $ jobs_arg))
 
 (* ---- explore ---- *)
 
@@ -1035,7 +1114,10 @@ let sharded_explore_gen rng =
 let explore variant ds threads ops epsilon log_size seed sockets cores fault
     flit dist_rw log_mirror slot_bitmap detect lsm_ckpt lsm_fanout
     max_schedules max_states max_steps frontier_lines no_prune no_persistence
-    shards uc_shards jobs replay crash_step frontier =
+    shards uc_shards persist_policy jobs replay crash_step frontier =
+  match parse_policy persist_policy with
+  | Error m -> `Error (true, m)
+  | Ok persist_policy ->
   let variant_v =
     match variant with
     | "volatile" -> Ok Prep.Config.Volatile
@@ -1085,7 +1167,9 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
     in
     if uc_shards > 1 then begin
       let _ = mode in
-      if variant <> "durable" then
+      if persist_policy <> None then
+        `Error (true, "--persist-policy is not supported with --uc-shards")
+      else if variant <> "durable" then
         `Error
           (true, "--uc-shards requires --variant durable (sharding is durable-only)")
       else if flit || dist_rw || log_mirror || slot_bitmap || detect || lsm_ckpt
@@ -1161,6 +1245,11 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
                  Printf.sprintf " --lsm-fanout %d" lsm_fanout
                else "");
               (if no_persistence then " --no-persistence" else "");
+              (match persist_policy with
+               | Some p when not (Nvm.Persist.is_default p) ->
+                 Printf.sprintf " --persist-policy \"%s\""
+                   (Nvm.Persist.to_spec p)
+               | Some _ | None -> "");
             ]
         in
         let repro_command decisions crash =
@@ -1181,22 +1270,22 @@ let explore variant ds threads ops epsilon log_size seed sockets cores fault
           let crash = Option.map (fun s -> (s, frontier)) crash_step in
           report_explore_replay
             (E.replay ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
-               ~lsm_ckpt ~lsm_fanout ~mode ~fault:fault_v ~gen_op ~scope
-               ~decisions ?crash ())
+               ~lsm_ckpt ~lsm_fanout ?persist_policy ~mode ~fault:fault_v
+               ~gen_op ~scope ~decisions ?crash ())
         | None ->
           let res =
             if shards = 1 then
               E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect
-                ~lsm_ckpt ~lsm_fanout ~budget ~mode ~fault:fault_v ~gen_op
-                ~scope ()
+                ~lsm_ckpt ~lsm_fanout ?persist_policy ~budget ~mode
+                ~fault:fault_v ~gen_op ~scope ()
             else
               Check.Explore.merge_shards
                 (Campaign.run ~j:jobs
                    (Array.init shards (fun i () ->
                         E.explore ~flit ~dist_rw ~log_mirror ~slot_bitmap
-                          ~detect ~lsm_ckpt ~lsm_fanout ~budget
-                          ~shard:(i, shards) ~mode ~fault:fault_v ~gen_op
-                          ~scope ())))
+                          ~detect ~lsm_ckpt ~lsm_fanout ?persist_policy
+                          ~budget ~shard:(i, shards) ~mode ~fault:fault_v
+                          ~gen_op ~scope ())))
           in
           report_explore_result ~repro_command res
       end
@@ -1217,8 +1306,148 @@ let explore_cmd =
        $ slot_bitmap_arg $ detect_arg $ lsm_ckpt_arg $ lsm_fanout_arg
        $ max_schedules_arg $ max_states_arg $ max_steps_arg
        $ frontier_lines_arg $ no_prune_arg $ no_persistence_arg $ shards_arg
-       $ uc_shards_arg $ jobs_arg $ replay_arg $ crash_step_arg
-       $ frontier_arg))
+       $ uc_shards_arg $ persist_policy_arg $ jobs_arg $ replay_arg
+       $ crash_step_arg $ frontier_arg))
+
+(* ---- optimize-persist ---- *)
+
+let op_out_arg =
+  Arg.(value
+       & opt string "persist-policy.json"
+       & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write the proven policy JSON here (--persist-policy input).")
+
+let op_report_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "report" ] ~docv:"FILE"
+           ~doc:"Also write the full decision report JSON (admitted and \
+                 rejected candidates, measurements, repro commands).")
+
+let op_fuzz_threads_arg =
+  Arg.(value & opt int 4
+       & info [ "fuzz-threads" ] ~docv:"N"
+           ~doc:"Worker threads in the measurement run and fuzz soak.")
+
+let op_fuzz_ops_arg =
+  Arg.(value & opt int 150
+       & info [ "fuzz-ops" ] ~docv:"N"
+           ~doc:"Ops per worker in the measurement run and fuzz soak.")
+
+let op_fuzz_iters_arg =
+  Arg.(value & opt int 30
+       & info [ "fuzz-iters" ] ~docv:"N"
+           ~doc:"Crash episodes in the per-candidate differential fuzz soak.")
+
+let optimize_persist variant ds threads ops epsilon log_size seed sockets
+    cores flit dist_rw log_mirror slot_bitmap detect lsm_ckpt max_schedules
+    max_states max_steps frontier_lines no_persistence fuzz_threads fuzz_ops
+    fuzz_iters bg_period out report_file =
+  let variant_v =
+    match variant with
+    | "buffered" -> Ok Prep.Config.Buffered
+    | "durable" -> Ok Prep.Config.Durable
+    | "volatile" ->
+      Error "optimize-persist needs a persistent variant (buffered/durable)"
+    | other -> Error (Printf.sprintf "unknown variant %S" other)
+  in
+  match (variant_v, fuzz_ds ds) with
+  | Error m, _ | _, Error m -> `Error (true, m)
+  | Ok mode, Ok ((module Ds), gen_op) ->
+    if detect && mode <> Prep.Config.Durable then
+      `Error (true, "--detect requires --variant durable")
+    else if lsm_ckpt && not (List.mem ds [ "hashmap"; "rbtree"; "skiplist" ])
+    then
+      `Error
+        (true, "--lsm-ckpt needs a map data structure (per-key dirty tracking)")
+    else begin
+      let module PI = Check.Persist_infer.Make (Ds) in
+      let scope =
+        {
+          Check.Explore.seed;
+          threads;
+          ops_per_worker = ops;
+          epsilon;
+          log_size;
+          sockets;
+          cores_per_socket = cores;
+          prune = true;
+          persistence = not no_persistence;
+        }
+      in
+      let budget =
+        {
+          Check.Explore.max_schedules;
+          max_states;
+          max_steps;
+          max_frontier_lines = frontier_lines;
+        }
+      in
+      let template =
+        {
+          Check.Fuzz.workload_seed = seed;
+          threads = fuzz_threads;
+          epsilon = 16;
+          log_size = 256;
+          ops_per_worker = fuzz_ops;
+          bg_period;
+          preempt_prob = 0.02;
+          crash = Check.Fuzz.No_crash;
+        }
+      in
+      let report =
+        PI.infer ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~lsm_ckpt
+          ~log:print_endline ~mode ~gen_op ~scope ~budget ~template
+          ~fuzz_iters ~ds ()
+      in
+      let write path contents =
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc contents)
+      in
+      write out (Nvm.Persist.to_json report.Check.Persist_infer.r_policy);
+      Printf.printf "policy written to %s\n" out;
+      (match report_file with
+       | Some f ->
+         write f (Check.Persist_infer.report_to_json report);
+         Printf.printf "report written to %s\n" f
+       | None -> ());
+      let admitted =
+        Nvm.Persist.weakenings report.Check.Persist_infer.r_policy
+      in
+      Printf.printf
+        "admitted %d weakenings (explorer exhausted %b); flushes %d -> %d, \
+         fences %d -> %d\n"
+        (List.length admitted) report.Check.Persist_infer.r_exhausted
+        report.Check.Persist_infer.r_baseline_flushes
+        report.Check.Persist_infer.r_policy_flushes
+        report.Check.Persist_infer.r_baseline_fences
+        report.Check.Persist_infer.r_policy_fences;
+      `Ok ()
+    end
+
+let optimize_persist_cmd =
+  Cmd.v
+    (Cmd.info "optimize-persist"
+       ~doc:
+         "Infer a minimal per-site persistency policy: measure which \
+          flush/fence sites are hot, greedily propose one-site weakenings \
+          (elide, downgrade, defer) hottest-first, and admit each only if \
+          the bounded-exhaustive explorer exhausts its scope with zero \
+          violations AND a differential crash-fuzz soak stays clean. Emits \
+          the proven policy as JSON for --persist-policy; rejected \
+          candidates are recorded with replayable repro commands")
+    Term.(
+      ret
+        (const optimize_persist $ variant_arg $ ds_arg $ exp_threads_arg
+       $ exp_ops_arg $ exp_epsilon_arg $ exp_log_size_arg $ exp_seed_arg
+       $ exp_sockets_arg $ exp_cores_arg $ flit_arg $ dist_rw_arg
+       $ log_mirror_arg $ slot_bitmap_arg $ detect_arg $ lsm_ckpt_arg
+       $ max_schedules_arg $ max_states_arg $ max_steps_arg
+       $ frontier_lines_arg $ no_persistence_arg $ op_fuzz_threads_arg
+       $ op_fuzz_ops_arg $ op_fuzz_iters_arg $ bg_period_arg $ op_out_arg
+       $ op_report_arg))
 
 (* ---- session ---- *)
 
@@ -2011,5 +2240,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ bench_cmd; run_cmd; profile_cmd; validate_cmd; crash_cmd;
-            fuzz_cmd; explore_cmd; session_cmd; sweep_cmd; serve_sim_cmd;
-            ckptscale_cmd ]))
+            fuzz_cmd; explore_cmd; optimize_persist_cmd; session_cmd;
+            sweep_cmd; serve_sim_cmd; ckptscale_cmd ]))

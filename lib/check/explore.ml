@@ -412,8 +412,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       exact unsharded search. *)
   let explore ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
       ?(slot_bitmap = false) ?(detect = false) ?(lsm_ckpt = false)
-      ?(lsm_fanout = 4) ?(budget = default_budget) ?(shard = (0, 1)) ~mode
-      ~fault ~gen_op ~scope () =
+      ?(lsm_fanout = 4) ?persist_policy ?(budget = default_budget)
+      ?(shard = (0, 1)) ~mode ~fault ~gen_op ~scope () =
     if scope.threads < 1 || scope.threads > max_threads scope then
       invalid_arg "Explore: thread count out of range";
     let shard_ix, shard_n = shard in
@@ -788,7 +788,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
              let cfg =
                Prep.Config.make ~mode ~log_size:scope.log_size
                  ~epsilon:scope.epsilon ~flit ~dist_rw ~log_mirror ~slot_bitmap
-                 ~detect ~lsm_ckpt ~lsm_fanout ~fault ~workers:scope.threads ()
+                 ~detect ~lsm_ckpt ~lsm_fanout ?persist_policy ~fault
+                 ~workers:scope.threads ()
              in
              let uc = Uc.create mem roots cfg in
              uc_ref := Some uc;
@@ -909,7 +910,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       reproduces its violation. *)
   let replay ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
       ?(slot_bitmap = false) ?(detect = false) ?(lsm_ckpt = false)
-      ?(lsm_fanout = 4) ~mode ~fault ~gen_op ~scope ~decisions ?crash () =
+      ?(lsm_fanout = 4) ?persist_policy ~mode ~fault ~gen_op ~scope ~decisions
+      ?crash () =
     let topo = topology scope in
     let beta = topo.Sim.Topology.cores_per_socket in
     let loss_bound =
@@ -1009,7 +1011,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
            let cfg =
              Prep.Config.make ~mode ~log_size:scope.log_size
                ~epsilon:scope.epsilon ~flit ~dist_rw ~log_mirror ~slot_bitmap
-               ~detect ~lsm_ckpt ~lsm_fanout ~fault ~workers:scope.threads ()
+               ~detect ~lsm_ckpt ~lsm_fanout ?persist_policy ~fault
+               ~workers:scope.threads ()
            in
            let uc = Uc.create mem roots cfg in
            uc_ref := Some uc;

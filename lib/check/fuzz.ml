@@ -69,11 +69,11 @@ let variant_name = function
 
 (** A copy-pasteable replay of [ep]: runs exactly one episode. *)
 let repro_command ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
-    ?(slot_bitmap = false) ?(detect = false) ?(lsm_ckpt = false) ~mode ~fault
-    ~ds ep =
+    ?(slot_bitmap = false) ?(detect = false) ?(lsm_ckpt = false)
+    ?persist_policy ~mode ~fault ~ds ep =
   Printf.sprintf
     "dune exec bin/prep_cli.exe -- fuzz --variant %s --ds %s --threads %d \
-     --epsilon %d --log-size %d --ops %d --seed %d --fault %s%s%s%s%s%s%s %s"
+     --epsilon %d --log-size %d --ops %d --seed %d --fault %s%s%s%s%s%s%s%s %s"
     (variant_name mode) ds ep.threads ep.epsilon ep.log_size ep.ops_per_worker
     ep.workload_seed (Prep.Config.fault_name fault)
     (if flit then " --flit" else "")
@@ -82,6 +82,10 @@ let repro_command ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
     (if slot_bitmap then " --slot-bitmap" else "")
     (if detect then " --detect" else "")
     (if lsm_ckpt then " --lsm-ckpt" else "")
+    (match persist_policy with
+     | Some p when not (Nvm.Persist.is_default p) ->
+         Printf.sprintf " --persist-policy \"%s\"" (Nvm.Persist.to_spec p)
+     | Some _ | None -> "")
     (crash_flag ep.crash)
 
 let pp_episode ppf ep =
@@ -106,8 +110,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       drives the announce/response protocol and, after a crash, judges
       every thread's [resolve] verdict against ghost truth. *)
   let run_episode ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
-      ?(slot_bitmap = false) ?(detect = false) ?(lsm_ckpt = false) ~mode
-      ~fault ~gen_op ep =
+      ?(slot_bitmap = false) ?(detect = false) ?(lsm_ckpt = false)
+      ?persist_policy ~mode ~fault ~gen_op ep =
     if ep.threads < 1 || ep.threads > max_threads then
       invalid_arg "Fuzz: thread count out of range";
     let sim =
@@ -129,7 +133,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
            let cfg =
              Prep.Config.make ~mode ~log_size:ep.log_size ~epsilon:ep.epsilon
                ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~lsm_ckpt
-               ~fault ~workers:ep.threads ()
+               ?persist_policy ~fault ~workers:ep.threads ()
            in
            let uc = Uc.create mem roots cfg in
            uc_ref := Some uc;
@@ -297,11 +301,13 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       results are merged in episode order, so the result and the log are
       byte-identical whatever the runner's parallelism. *)
   let fuzz ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
-      ?(slot_bitmap = false) ?(detect = false) ?(lsm_ckpt = false) ~mode
-      ~fault ~gen_op ~template ~iters ?(log = fun _ -> ())
+      ?(slot_bitmap = false) ?(detect = false) ?(lsm_ckpt = false)
+      ?persist_policy ~mode ~fault ~gen_op ~template ~iters
+      ?(log = fun _ -> ())
       ?(runner = fun tasks -> Array.map (fun task -> task ()) tasks) () =
     let run_episode =
       run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~lsm_ckpt
+        ?persist_policy
     in
     let calib =
       run_episode ~mode ~fault ~gen_op { template with crash = No_crash }
@@ -347,11 +353,11 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       crash points, since fewer threads shift the schedule), then an
       earlier crash point, then less work per worker. *)
   let shrink ?(flit = false) ?(dist_rw = false) ?(log_mirror = false)
-      ?(slot_bitmap = false) ?(detect = false) ?(lsm_ckpt = false) ~mode
-      ~fault ~gen_op ep =
+      ?(slot_bitmap = false) ?(detect = false) ?(lsm_ckpt = false)
+      ?persist_policy ~mode ~fault ~gen_op ep =
     let fails ep =
       (run_episode ~flit ~dist_rw ~log_mirror ~slot_bitmap ~detect ~lsm_ckpt
-         ~mode ~fault ~gen_op ep).violations
+         ?persist_policy ~mode ~fault ~gen_op ep).violations
       <> []
     in
     let scale_crash ep num den =

@@ -152,6 +152,13 @@ type t = {
       (** suffix appended to this instance's telemetry track names
           (e.g. ["/shard2"]), so per-shard combiner and persistence
           fibers get separate tracks in the trace export *)
+  persist_policy : Nvm.Persist.policy option;
+      (** per-site persistency policy installed on the memory at build
+          time ([Nvm.Memory.set_policy]); [None] leaves whatever the
+          memory already has (the all-[Emit] default). Policies come from
+          [optimize-persist]'s proven output ([--persist-policy]) or from
+          a deliberately unsafe spec used as a planted fault; the
+          construction itself never weakens anything. *)
   fault : fault;
 }
 
@@ -200,7 +207,8 @@ let make ?(mode = Buffered) ?(log_size = 65536) ?(epsilon = 1024)
     ?(flush = Wbinvd) ?(flit = false) ?(dist_rw = false)
     ?(log_mirror = false) ?(slot_bitmap = false) ?(detect = false)
     ?(shards = 1) ?(lsm_ckpt = false) ?(lsm_fanout = 4) ?(lsm_compact = true)
-    ?(root_base = 0) ?(tag = "") ?(fault = No_fault) ~workers () =
+    ?(root_base = 0) ?(tag = "") ?persist_policy ?(fault = No_fault)
+    ~workers () =
   { mode; log_size; epsilon; workers; flush; flit; dist_rw; log_mirror;
     slot_bitmap; detect; shards; lsm_ckpt; lsm_fanout; lsm_compact;
-    root_base; tag; fault }
+    root_base; tag; persist_policy; fault }

@@ -91,7 +91,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     Memory.write mem r0.applied_addr 0;
     Memory.write mem r0.dirty_addr 0;
     Alloc.persist_heap r0.alloc;
-    Memory.clflush mem dir;
+    Memory.clflush ~site:Persist.Cx_dir_init mem dir;
     Roots.set roots slot_cur (pack ~count:0 ~rid:0);
     Roots.set roots slot_dir dir;
     { mem; roots; queue; qtail_addr; reps; dir; ctrl_alloc; queue_capacity;
@@ -132,8 +132,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     Memory.write t.mem d (Ds.root_addr ds);
     Memory.write t.mem (d + 1) rep.applied_addr;
     Memory.write t.mem (d + 2) rep.dirty_addr;
-    Memory.clwb t.mem d;
-    Memory.sfence t.mem
+    Memory.clwb ~site:Persist.Cx_replica_dir t.mem d;
+    Memory.sfence ~site:Persist.Cx_replica_dir t.mem
 
   let publish t ~count ~rid =
     Phases.in_span t.tel (fun pt -> pt.Phases.publish) @@ fun () ->
@@ -144,7 +144,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       else if
         Memory.cas t.mem (Roots.addr t.roots slot_cur) ~expected:cur
           ~desired:(pack ~count ~rid)
-      then Memory.clflush ~site:"cx.publish" t.mem (Roots.addr t.roots slot_cur)
+      then Memory.clflush ~site:Persist.Cx_publish t.mem (Roots.addr t.roots slot_cur)
       else loop ()
     in
     loop ()
@@ -177,13 +177,13 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     if rep.ds = None then instantiate t rep;
     (* mark the replica mid-update so recovery will not trust it *)
     Memory.write t.mem rep.dirty_addr 1;
-    Memory.clflush ~site:"cx.dirty_flag" t.mem rep.dirty_addr;
+    Memory.clflush ~site:Persist.Cx_dirty_flag t.mem rep.dirty_addr;
     let resp = catch_up t rep ~upto:idx in
     (* the CX persistence strategy: write back the whole replica heap *)
     Phases.in_span t.tel (fun pt -> pt.Phases.persist) (fun () ->
         Alloc.persist_heap rep.alloc;
         Memory.write t.mem rep.dirty_addr 0;
-        Memory.clflush ~site:"cx.dirty_flag" t.mem rep.dirty_addr);
+        Memory.clflush ~site:Persist.Cx_dirty_flag t.mem rep.dirty_addr);
     publish t ~count:(idx + 1) ~rid:rep.rid;
     Locks.Rwlock.write_release rep.rw;
     resp

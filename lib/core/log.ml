@@ -137,7 +137,7 @@ let read_tag t idx =
 (** Queue the entry's line for write-back (durable mode only). *)
 let persist_entry t idx =
   if t.durable then
-    Memory.clwb ~site:"log.persist_entry" t.mem (entry_addr t idx)
+    Memory.clwb ~site:Persist.Log_persist_entry t.mem (entry_addr t idx)
 
 (** Line-coalesced CLWB sweep over entries [first, first + n): one CLWB per
     distinct cache line covered by the batch, not one per entry (durable
@@ -152,7 +152,7 @@ let persist_range t ~first ~n =
       let step = Memory.line_words in
       let l = ref (lo - (lo mod step)) in
       while !l <= hi do
-        Memory.clwb ~site:"log.persist_range" t.mem !l;
+        Memory.clwb ~site:Persist.Log_persist_range t.mem !l;
         l := !l + step
       done
     in
@@ -165,7 +165,13 @@ let persist_range t ~first ~n =
     end
   end
 
-let fence t = if t.durable then Memory.sfence ~site:"log.fence" t.mem
+(** Persistent fence (durable mode only). The combiner's two-phase persist
+    passes its own [site] ([Log_fence_payload] / [Log_fence_publish]) so
+    the two fences are separately addressable by the persistency policy —
+    the payload fence is exactly the one the FliT batched path proved
+    droppable, and [optimize-persist] re-derives that as a policy. *)
+let fence ?(site = Persist.Log_fence) t =
+  if t.durable then Memory.sfence ~site t.mem
 
 (** Flip the emptyBit, making the entry visible to consumers. The payload
     must reach the mirror before the emptyBit does — consumers poll the

@@ -446,6 +446,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     let beta = topo.Sim.Topology.cores_per_socket in
     Config.validate cfg ~beta;
     if cfg.Config.flit then Memory.set_flit mem true;
+    (match cfg.Config.persist_policy with
+     | Some p -> Memory.set_policy mem p
+     | None -> ());
     let workers = min cfg.Config.workers (Sim.Topology.total_cores topo - 1) in
     let n_replicas =
       min topo.Sim.Topology.sockets ((workers + beta - 1) / beta)
@@ -523,7 +526,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
           if mode = Config.Durable then begin
             let a = Alloc.alloc pa 8 in
             Memory.write mem a 0;
-            Memory.clflush ~site:"prep.init" mem a;
+            Memory.clflush ~site:Persist.Prep_init mem a;
             a
           end
           else begin
@@ -895,7 +898,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     loop ();
     if durable t && t.cfg.Config.fault <> Config.Elide_ct_flush then
       Phases.in_span t.tel (fun pt -> pt.Phases.persist) (fun () ->
-          Memory.clflush ~site:"prep.completed_tail" t.mem t.ct_addr)
+          Memory.clflush ~site:Persist.Prep_completed_tail t.mem t.ct_addr)
 
   let slot_addr r core = r.slots + (core * slot_words)
 
@@ -955,8 +958,9 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
       let new_tail = tail + n in
       let publish_span f = Phases.in_span t.tel (fun pt -> pt.Phases.publish) f
       and persist_span f = Phases.in_span t.tel (fun pt -> pt.Phases.persist) f in
-      let log_fence () =
-        if not hoist_fences then persist_span (fun () -> Log.fence t.log)
+      let log_fence site =
+        if not hoist_fences then
+          persist_span (fun () -> Log.fence ~site t.log)
       in
       if not t.cfg.Config.flit then begin
         (* phase 1: payloads (arguments then op), write-backs, one fence *)
@@ -970,14 +974,14 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
             Trace.logged ~tid:(tid_of core) ~seqno:seq t.trace (tail + i) ~op
               ~args)
           batch;
-        log_fence ();
+        log_fence Persist.Log_fence_payload;
         (* phase 2: publish emptyBits, write-backs, one fence *)
         List.iteri
           (fun i _ ->
             publish_span (fun () -> Log.publish t.log (tail + i));
             persist_span (fun () -> Log.persist_entry t.log (tail + i)))
           batch;
-        log_fence ()
+        log_fence Persist.Log_fence_publish
       end
       else begin
         (* Batched persistence: write every payload, sweep the batch's lines
@@ -1004,7 +1008,8 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
             List.iteri (fun i _ -> Log.publish t.log (tail + i)) batch);
         persist_span (fun () ->
             Log.persist_range t.log ~first:tail ~n;
-            if not hoist_fences then Log.fence t.log)
+            if not hoist_fences then
+              Log.fence ~site:Persist.Log_fence_publish t.log)
       end;
       Locks.Rw.write_acquire r.rw;
       update_from_log t r ~upto:tail;
@@ -1049,7 +1054,7 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
         in
         if not hoist_fences then
           Phases.in_span t.tel (fun pt -> pt.Phases.detect) (fun () ->
-              Memory.sfence ~site:"detect.response" t.mem);
+              Memory.sfence ~site:Persist.Detect_response t.mem);
         advance_completed_tail t new_tail;
         List.iteri
           (fun i (core, resp) ->
@@ -1223,15 +1228,15 @@ module Make (Ds : Seqds.Ds_intf.S) = struct
     if t.cfg.Config.fault = Config.Early_boundary_advance then
       write_flush_boundary t (read_flush_boundary t + t.cfg.Config.epsilon);
     (match t.cfg.Config.flush with
-     | Config.Wbinvd -> Memory.wbinvd ~site:"prep.checkpoint" t.mem
+     | Config.Wbinvd -> Memory.wbinvd ~site:Persist.Prep_checkpoint t.mem
      | Config.Flush_heap ->
        (* walk the persistent heap and write back whatever is dirty; pays
           per line instead of the WBINVD stall — the small-structure
           alternative of §6 *)
        List.iter
-         (fun aid -> Memory.flush_arena ~site:"prep.checkpoint" t.mem aid)
+         (fun aid -> Memory.flush_arena ~site:Persist.Prep_checkpoint t.mem aid)
          (Alloc.arenas (Option.get t.p_alloc)));
-    Memory.sfence ~site:"prep.checkpoint" t.mem;
+    Memory.sfence ~site:Persist.Prep_checkpoint t.mem;
     (* swap active/stable and persist the switch before opening the next
        window (see module comment on ordering) *)
     let active = Roots.get t.roots (rslot t slot_active) in

@@ -156,8 +156,8 @@ module Decision = struct
   let commit t txid =
     let a = slot_addr t txid in
     Memory.write t.mem a txid;
-    Memory.clflush ~site:"txn.decision" t.mem a;
-    Memory.sfence ~site:"txn.decision" t.mem
+    Memory.clflush ~site:Persist.Txn_decision t.mem a;
+    Memory.sfence ~site:Persist.Txn_decision t.mem
 
   (** Coherent-view commit query (charged read; what the runtime gate and
       recovery replay consult — right after a crash the coherent view IS
@@ -168,7 +168,7 @@ module Decision = struct
       persistence gate's pre-checkpoint obligation (the checkpoint fence
       drains it). *)
   let flush t txid =
-    Memory.clwb ~site:"txn.gate" t.mem (slot_addr t txid)
+    Memory.clwb ~site:Persist.Txn_gate t.mem (slot_addr t txid)
 
   (** Cost-free media-truth commit query for the checkers. *)
   let committed_peek t txid = Memory.peek t.mem (slot_addr t txid) = txid

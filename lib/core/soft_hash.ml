@@ -76,8 +76,8 @@ let insert t key value =
       (* update: persist only the new value's line *)
       let pnode = Memory.read t.mem (found + 2) in
       Memory.write t.mem (pnode + 2) value;
-      Memory.clwb t.mem (pnode + 2);
-      Memory.sfence t.mem;
+      Memory.clwb ~site:Persist.Soft_update t.mem (pnode + 2);
+      Memory.sfence ~site:Persist.Soft_update t.mem;
       Memory.write t.mem (found + 1) value;
       0
     end
@@ -87,8 +87,8 @@ let insert t key value =
       Memory.write t.mem (pnode + 2) value;
       Memory.write t.mem (pnode + 3) 1;
       Memory.write t.mem pnode magic;
-      Memory.clwb t.mem pnode;
-      Memory.sfence t.mem;
+      Memory.clwb ~site:Persist.Soft_insert t.mem pnode;
+      Memory.sfence ~site:Persist.Soft_insert t.mem;
       let vnode = Alloc.alloc t.valloc 4 in
       Memory.write t.mem vnode key;
       Memory.write t.mem (vnode + 1) value;
@@ -113,8 +113,8 @@ let remove t key =
       (* persist the invalidation first, then unlink the volatile node *)
       Memory.write t.mem (pnode + 3) 0;
       Memory.write t.mem pnode 0;
-      Memory.clwb t.mem pnode;
-      Memory.sfence t.mem;
+      Memory.clwb ~site:Persist.Soft_delete t.mem pnode;
+      Memory.sfence ~site:Persist.Soft_delete t.mem;
       let next = Memory.read t.mem (found + 3) in
       if prev = Memory.null then Memory.write t.mem (t.buckets + b) next
       else Memory.write t.mem (prev + 3) next;

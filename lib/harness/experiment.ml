@@ -258,7 +258,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
   let prep ?(log_size = 65536) ?(flush = Prep.Config.Wbinvd) ?(flit = false)
       ?(dist_rw = false) ?(log_mirror = false) ?(slot_bitmap = false)
       ?(detect = false) ?(lsm_ckpt = false) ?(lsm_fanout = 4)
-      ?(lsm_compact = true) ?name ~mode ~epsilon () =
+      ?(lsm_compact = true) ?persist_policy ?name ~mode ~epsilon () =
     let name =
       match name with
       | Some n -> n
@@ -273,7 +273,8 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
           List.filter_map
             (fun (on, tag) -> if on then Some tag else None)
             [ (flit, "flit"); (dist_rw, "dist"); (log_mirror, "mir");
-              (slot_bitmap, "bmp"); (detect, "det"); (lsm_ckpt, "lsm") ]
+              (slot_bitmap, "bmp"); (detect, "det"); (lsm_ckpt, "lsm");
+              (persist_policy <> None, "pol") ]
         in
         if tags = [] then base else base ^ "/" ^ String.concat "+" tags
     in
@@ -285,7 +286,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
           let cfg =
             Prep.Config.make ~mode ~log_size ~epsilon ~flush ~flit ~dist_rw
               ~log_mirror ~slot_bitmap ~detect ~lsm_ckpt ~lsm_fanout
-              ~lsm_compact ~workers ()
+              ~lsm_compact ?persist_policy ~workers ()
           in
           let uc = P.create ~prefill mem roots cfg in
           P.start_persistence uc;
@@ -303,7 +304,8 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
      telemetry registry shows both the total and the balance. *)
   let prep_sharded ?(log_size = 65536) ?(flush = Prep.Config.Wbinvd)
       ?(flit = false) ?(slot_bitmap = false) ?(lsm_ckpt = false)
-      ?(lsm_fanout = 4) ?(lsm_compact = true) ?name ~shards ~epsilon () =
+      ?(lsm_fanout = 4) ?(lsm_compact = true) ?persist_policy ?name ~shards
+      ~epsilon () =
     let name =
       match name with
       | Some n -> n
@@ -319,7 +321,7 @@ module Systems (Ds : Seqds.Ds_intf.S) = struct
           let cfg =
             Prep.Config.make ~mode:Prep.Config.Durable ~log_size ~epsilon
               ~flush ~flit ~slot_bitmap ~shards ~lsm_ckpt ~lsm_fanout
-              ~lsm_compact ~workers ()
+              ~lsm_compact ?persist_policy ~workers ()
           in
           let uc = Sh.create ~prefill mem roots cfg in
           Sh.start_persistence uc;

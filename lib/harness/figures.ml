@@ -167,8 +167,8 @@ module St = Experiment.Systems (Seqds.Stack_ds)
 let prep_v prep ~log_size =
   prep ?log_size:(Some log_size) ?flush:None ?flit:None ?dist_rw:None
     ?log_mirror:None ?slot_bitmap:None ?detect:None ?lsm_ckpt:None
-    ?lsm_fanout:None ?lsm_compact:None ?name:None ~mode:Prep.Config.Volatile
-    ~epsilon:1 ()
+    ?lsm_fanout:None ?lsm_compact:None ?persist_policy:None ?name:None
+    ~mode:Prep.Config.Volatile ~epsilon:1 ()
 
 (* ---- Table 1 ---- *)
 

@@ -77,14 +77,104 @@ let render_phase_table (snap : Registry.snapshot) =
        wall);
   Buffer.contents b
 
+(* ---- per-site flush/fence table ----
+
+   [Nvm.Memory] attributes every persistence primitive to a typed call
+   site ([Nvm.Persist.site]) through counters named "nvm.<metric>@<site>".
+   This folds them into one row per (site, primitive): instructions
+   actually emitted (with their simulated-ns share), instructions elided
+   by the persistency policy (including clflush->clwb downgrades and
+   deferred fences), and instructions elided by the FliT clean-line
+   tracking. *)
+
+type site_row = {
+  mutable sr_emitted : int;
+  mutable sr_ns : int;
+  mutable sr_policy : int;  (* policy-elided + downgraded + deferred *)
+  mutable sr_flit : int;
+}
+
+let strip_suffix s suf =
+  let n = String.length s and m = String.length suf in
+  if n > m && String.sub s (n - m) m = suf then Some (String.sub s 0 (n - m))
+  else None
+
+let site_rows (snap : Registry.snapshot) =
+  let tbl = Hashtbl.create 32 in
+  let row site prim =
+    let key = (Nvm.Persist.to_string site, prim) in
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r
+    | None ->
+      let r = { sr_emitted = 0; sr_ns = 0; sr_policy = 0; sr_flit = 0 } in
+      Hashtbl.replace tbl key r;
+      r
+  in
+  List.iter
+    (fun (name, v) ->
+      match Nvm.Persist.split_counter name with
+      | None -> ()
+      | Some (metric, site) -> (
+        match strip_suffix metric "_ns" with
+        | Some prim -> (row site prim).sr_ns <- v
+        | None -> (
+          match strip_suffix metric "_flit_elided" with
+          | Some prim -> (row site prim).sr_flit <- v
+          | None -> (
+            match strip_suffix metric "_policy_elided" with
+            | Some prim ->
+              let r = row site prim in
+              r.sr_policy <- r.sr_policy + v
+            | None ->
+              if metric = "clflush_downgraded" then begin
+                let r = row site "clflush" in
+                r.sr_policy <- r.sr_policy + v
+              end
+              else if metric = "sfence_deferred" then begin
+                let r = row site "sfence" in
+                r.sr_policy <- r.sr_policy + v
+              end
+              else (row site metric).sr_emitted <- v))))
+    snap.Registry.sn_counters;
+  Hashtbl.fold (fun k r acc -> (k, r) :: acc) tbl []
+  |> List.sort (fun ((s1, p1), r1) ((s2, p2), r2) ->
+         if r1.sr_ns <> r2.sr_ns then compare r2.sr_ns r1.sr_ns
+         else compare (s1, p1) (s2, p2))
+
+let render_site_table (snap : Registry.snapshot) =
+  let rows = site_rows snap in
+  if rows = [] then ""
+  else begin
+    let total_ns =
+      List.fold_left (fun acc (_, r) -> acc + r.sr_ns) 0 rows
+    in
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "\nflush/fence sites:\n";
+    Buffer.add_string b
+      (Printf.sprintf "  %-22s %-12s %10s %12s %6s %12s %12s\n" "site" "prim"
+         "emitted" "ns" "ns%" "pol-elided" "flit-elided");
+    List.iter
+      (fun ((site, prim), r) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-22s %-12s %10d %12d %5.1f%% %12d %12d\n" site
+             prim r.sr_emitted r.sr_ns (pct r.sr_ns total_ns) r.sr_policy
+             r.sr_flit))
+      rows;
+    Buffer.contents b
+  end
+
 let render_counters (snap : Registry.snapshot) =
   let b = Buffer.create 1024 in
   List.iter
     (fun (name, v) ->
-      if v <> 0 then Buffer.add_string b (Printf.sprintf "  %-40s %12d\n" name v))
+      (* per-site nvm counters are folded into the site table above *)
+      if v <> 0 && Nvm.Persist.split_counter name = None then
+        Buffer.add_string b (Printf.sprintf "  %-40s %12d\n" name v))
     snap.Registry.sn_counters;
   Buffer.contents b
 
-(** The full profile: phase table, then nonzero counters. *)
+(** The full profile: phase table, per-site flush/fence table, then the
+    remaining nonzero counters. *)
 let render (snap : Registry.snapshot) =
-  render_phase_table snap ^ "\ncounters:\n" ^ render_counters snap
+  render_phase_table snap ^ render_site_table snap ^ "\ncounters:\n"
+  ^ render_counters snap

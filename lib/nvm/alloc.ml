@@ -99,6 +99,6 @@ let free t addr size =
 let persist_heap t =
   if t.kind <> Memory.Nvm then invalid_arg "Alloc.persist_heap: volatile heap";
   List.iter
-    (fun aid -> Memory.flush_arena ~site:"alloc.persist_heap" t.mem aid)
+    (fun aid -> Memory.flush_arena ~site:Persist.Alloc_persist_heap t.mem aid)
     t.arenas;
-  Memory.sfence ~site:"alloc.persist_heap" t.mem
+  Memory.sfence ~site:Persist.Alloc_persist_heap t.mem

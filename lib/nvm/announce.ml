@@ -72,10 +72,10 @@ let create alloc ~threads =
   let base = Alloc.alloc_lines alloc (2 * threads) in
   let t = { mem; base; threads } in
   for tid = 0 to threads - 1 do
-    Memory.clwb ~site:"detect.announce_init" mem (announce_addr t tid);
-    Memory.clwb ~site:"detect.announce_init" mem (response_addr t tid)
+    Memory.clwb ~site:Persist.Detect_announce_init mem (announce_addr t tid);
+    Memory.clwb ~site:Persist.Detect_announce_init mem (response_addr t tid)
   done;
-  Memory.sfence ~site:"detect.announce_init" mem;
+  Memory.sfence ~site:Persist.Detect_announce_init mem;
   t
 
 (** Attach to a table recovered through a persistent root. *)
@@ -111,7 +111,7 @@ let announce t ~tid ~seqno ~op ~args =
   done;
   Memory.write t.mem (a + an_seq) seqno;
   Memory.write t.mem (a + an_commit) seqno;
-  Memory.clflush ~site:"detect.announce" t.mem a
+  Memory.clflush ~site:Persist.Detect_announce t.mem a
 
 (** Record the result for [tid]'s op [seqno]. Persistence is the caller's
     job ([persist_response] / [flush_response]): the combiner batches CLWBs
@@ -125,11 +125,11 @@ let write_response t ~tid ~seqno ~result =
 
 (** Queue the response line for write-back (CLWB; caller fences). *)
 let persist_response t ~tid =
-  Memory.clwb ~site:"detect.response" t.mem (response_addr t tid)
+  Memory.clwb ~site:Persist.Detect_response t.mem (response_addr t tid)
 
 (** Write the response line straight to media (CLFLUSH, blocking). *)
 let flush_response t ~tid =
-  Memory.clflush ~site:"detect.response" t.mem (response_addr t tid)
+  Memory.clflush ~site:Persist.Detect_response t.mem (response_addr t tid)
 
 let read_record mem a ~payload_word ~commit_word ~with_args =
   let seq = Memory.read mem (a + 0) in

@@ -66,9 +66,9 @@ let publish t ~epoch ~sealed_lt ~segs =
   let lw = Memory.line_words in
   let first = s / lw and last = (s + ck_off) / lw in
   for line = first to last do
-    Memory.clwb ~site:"manifest.publish" t.mem (line * lw)
+    Memory.clwb ~site:Persist.Manifest_publish t.mem (line * lw)
   done;
-  Memory.sfence ~site:"manifest.publish" t.mem
+  Memory.sfence ~site:Persist.Manifest_publish t.mem
 
 let read_slot read t i =
   let s = slot_addr t i in

@@ -45,12 +45,17 @@ type stats = {
   mutable clwb_coalesced : int; (** CLWB merged into an existing WPQ entry *)
   mutable clflush_elided : int; (** CLFLUSH on a clean line with current media *)
   mutable sfence_elided : int;  (** SFENCE with an empty write-pending queue *)
+  (* static per-site policy accounting ([set_policy]; all 0 by default): *)
+  mutable policy_elided : int;     (** instructions removed by [Persist.Elide] *)
+  mutable policy_downgraded : int; (** CLFLUSHes rewritten to CLWB *)
+  mutable policy_deferred : int;   (** SFENCEs left to the next emitted fence *)
 }
 
 let new_stats () =
   { reads = 0; writes = 0; cas_ops = 0; clwb = 0; clflush = 0; sfence = 0;
     wbinvd = 0; wbinvd_lines = 0; bg_flushes = 0;
-    clwb_elided = 0; clwb_coalesced = 0; clflush_elided = 0; sfence_elided = 0 }
+    clwb_elided = 0; clwb_coalesced = 0; clflush_elided = 0; sfence_elided = 0;
+    policy_elided = 0; policy_downgraded = 0; policy_deferred = 0 }
 
 type pending = { p_arena : int; p_line : int; p_words : int array }
 
@@ -111,6 +116,10 @@ type t = {
       (* telemetry registry captured at [make]; [None] costs one branch per
          operation and nothing else. Recording never ticks simulated time,
          so an attached registry cannot change a run's behaviour. *)
+  mutable m_policy : Persist.policy;
+      (* per-site persistency policy consulted by every flush/fence
+         primitive before it emits; the all-[Emit] default reproduces the
+         hardware instruction stream exactly as written *)
 }
 
 let make ?(seed = 42L) ?(sockets = 2) ?(bg_period = 50_000) ?(flit = false) () =
@@ -134,15 +143,13 @@ let make ?(seed = 42L) ?(sockets = 2) ?(bg_period = 50_000) ?(flit = false) () =
       m_wpq_hash = 0;
       m_access_hook = None;
       m_tel = Telemetry.Registry.current ();
+      m_policy = Persist.default ();
     }
   in
   m
 
 (* Per-primitive telemetry: a count and a simulated-ns total per operation
-   kind, e.g. [nvm.clwb] / [nvm.clwb_ns]. Flush/fence call sites may pass
-   [?site] to additionally attribute the call to a named site
-   ([nvm.clwb@log.persist_entry]), which is the per-site accounting the
-   FliT line of work argues from. *)
+   kind, e.g. [nvm.clwb] / [nvm.clwb_ns]. *)
 let tel_op m name cost =
   match m.m_tel with
   | None -> ()
@@ -152,12 +159,30 @@ let tel_op m name cost =
       Telemetry.Registry.add_to r ("nvm." ^ name ^ "_ns") cost
     end
 
-let tel_site m name site =
-  match (m.m_tel, site) with
-  | Some r, Some s ->
+(* Per-site flush/fence telemetry ([Persist.split_counter] is the reader).
+   An *emitted* instruction records its count and its simulated-ns share
+   ([nvm.clwb@log.persist_entry] / [nvm.clwb_ns@log.persist_entry]); the
+   elision classes record a count under a metric naming the class
+   ([nvm.clwb_flit_elided@...], [nvm.clflush_policy_elided@...], ...), so
+   the profile table and the inference ranking can separate what actually
+   reached the bus from what a layer removed. *)
+let tel_emit m prim site cost =
+  match m.m_tel with
+  | None -> ()
+  | Some r ->
+    if Telemetry.Registry.enabled r then begin
+      let s = Persist.to_string site in
+      Telemetry.Registry.add_to r ("nvm." ^ prim ^ "@" ^ s) 1;
+      Telemetry.Registry.add_to r ("nvm." ^ prim ^ "_ns@" ^ s) cost
+    end
+
+let tel_site_count m metric site =
+  match m.m_tel with
+  | None -> ()
+  | Some r ->
     if Telemetry.Registry.enabled r then
-      Telemetry.Registry.add_to r ("nvm." ^ name ^ "@" ^ s) 1
-  | _ -> ()
+      Telemetry.Registry.add_to r
+        ("nvm." ^ metric ^ "@" ^ Persist.to_string site) 1
 
 let tel_instant m name =
   match m.m_tel with
@@ -168,6 +193,19 @@ let stats m = m.m_stats
 
 (** Whether FliT-style flush elimination is active. *)
 let flit_enabled m = m.m_flit
+
+(** The installed per-site persistency policy (all-[Emit] by default). *)
+let policy m = m.m_policy
+
+(** Install a per-site persistency policy. Every flush/fence primitive
+    consults it before emitting: a policy-removed instruction charges no
+    simulated time, takes no scheduling point and has no effect — it is
+    gone from the instruction stream, which is exactly the static claim
+    the [optimize-persist] oracle must then prove safe. Orthogonal to
+    [set_flit]: FliT elides dynamically whatever the policy still emits. *)
+let set_policy m p = m.m_policy <- p
+
+let policy_action m site = Persist.get m.m_policy site
 
 (** Enable/disable FliT-style flush tracking. In flit mode the write-pending
     queue is keyed by cache line, so a CLWB on a line that is already queued
@@ -507,10 +545,17 @@ let faa m addr delta =
 
 (** Asynchronous write-back of the line containing [addr]. The captured
     line contents only reach media at the next [sfence] (or clflush /
-    background flush), so a crash in between loses them. *)
-let clwb ?site m addr =
+    background flush), so a crash in between loses them. [site] is
+    mandatory: every write-back belongs to exactly one [Persist.site],
+    whose policy is consulted first — [Elide] removes the instruction
+    entirely (no cost, no scheduling point, no effect). *)
+let clwb ~site m addr =
+  match policy_action m site with
+  | Persist.Elide ->
+    m.m_stats.policy_elided <- m.m_stats.policy_elided + 1;
+    tel_site_count m "clwb_policy_elided" site
+  | Persist.Emit | Persist.Downgrade_to_clwb | Persist.Defer_to_next_fence ->
   op_point m;
-  tel_site m "clwb" site;
   let arena = arena_of_addr m addr in
   if arena.kind <> Nvm then invalid_arg "Memory.clwb: not an NVM address";
   let line = line_of_offset (offset_of_addr addr) in
@@ -519,6 +564,7 @@ let clwb ?site m addr =
   if not m.m_flit then begin
     Sim.tick (Sim.costs ()).Sim.Costs.clwb_line;
     tel_op m "clwb" (Sim.costs ()).Sim.Costs.clwb_line;
+    tel_emit m "clwb" site (Sim.costs ()).Sim.Costs.clwb_line;
     m.m_stats.clwb <- m.m_stats.clwb + 1;
     let words = Array.sub arena.values base line_words in
     m.m_pending <- { p_arena = arena.aid; p_line = line; p_words = words } :: m.m_pending;
@@ -533,6 +579,7 @@ let clwb ?site m addr =
          the flush tag says there is nothing to write back *)
       Sim.tick c.Sim.Costs.flush_tag_check;
       tel_op m "clwb_elided" c.Sim.Costs.flush_tag_check;
+      tel_site_count m "clwb_flit_elided" site;
       m.m_stats.clwb_elided <- m.m_stats.clwb_elided + 1;
       access_point m key ~addr:(-1) ~write:false 0
     end
@@ -541,11 +588,13 @@ let clwb ?site m addr =
         (* same line already queued: update the WPQ entry in place *)
         Sim.tick c.Sim.Costs.clwb_merge;
         tel_op m "clwb_coalesced" c.Sim.Costs.clwb_merge;
+        tel_emit m "clwb" site c.Sim.Costs.clwb_merge;
         m.m_stats.clwb_coalesced <- m.m_stats.clwb_coalesced + 1
       end
       else begin
         Sim.tick c.Sim.Costs.clwb_line;
         tel_op m "clwb" c.Sim.Costs.clwb_line;
+        tel_emit m "clwb" site c.Sim.Costs.clwb_line;
         m.m_stats.clwb <- m.m_stats.clwb + 1
       end;
       (* capture after the tick (a yield point): a concurrent fence may have
@@ -563,10 +612,24 @@ let clwb ?site m addr =
     end
   end
 
-(** Blocking flush: the line is persisted before the call returns. *)
-let clflush ?site m addr =
+(** Blocking flush: the line is persisted before the call returns.
+    Policy: [Elide] removes the instruction; [Downgrade_to_clwb] (and
+    [Defer_to_next_fence], which means the same thing for a blocking
+    flush) replaces it with an asynchronous [clwb] of the same line, so
+    the contents reach media only at the next emitted fence. Both the
+    FliT clean-line elision and the policy classes are surfaced per site
+    — the unified accounting [clwb] always had. *)
+let clflush ~site m addr =
+  match policy_action m site with
+  | Persist.Elide ->
+    m.m_stats.policy_elided <- m.m_stats.policy_elided + 1;
+    tel_site_count m "clflush_policy_elided" site
+  | Persist.Downgrade_to_clwb | Persist.Defer_to_next_fence ->
+    m.m_stats.policy_downgraded <- m.m_stats.policy_downgraded + 1;
+    tel_site_count m "clflush_downgraded" site;
+    clwb ~site m addr
+  | Persist.Emit ->
   op_point m;
-  tel_site m "clflush" site;
   let arena = arena_of_addr m addr in
   if arena.kind <> Nvm then invalid_arg "Memory.clflush: not an NVM address";
   let line = line_of_offset (offset_of_addr addr) in
@@ -577,12 +640,14 @@ let clflush ?site m addr =
     (* clean and nothing queued: media already holds the line *)
     Sim.tick (Sim.costs ()).Sim.Costs.flush_tag_check;
     tel_op m "clflush_elided" (Sim.costs ()).Sim.Costs.flush_tag_check;
+    tel_site_count m "clflush_flit_elided" site;
     m.m_stats.clflush_elided <- m.m_stats.clflush_elided + 1;
     access_point m (dirty_key arena.aid line) ~addr:(-1) ~write:false 0
   end
   else begin
     Sim.tick (Sim.costs ()).Sim.Costs.clflush_line;
     tel_op m "clflush" (Sim.costs ()).Sim.Costs.clflush_line;
+    tel_emit m "clflush" site (Sim.costs ()).Sim.Costs.clflush_line;
     m.m_stats.clflush <- m.m_stats.clflush + 1;
     commit_line_to_media m arena line;
     flit_prune m arena line;
@@ -600,19 +665,31 @@ let drain_pending_words m aid line words =
     done
   end
 
-let sfence ?site m =
+let sfence ~site m =
+  match policy_action m site with
+  | Persist.Elide ->
+    (* the fence is gone; any queued write-backs stay pending and drain at
+       the next emitted fence — or are lost to a crash, which is exactly
+       the window the admission oracle has to clear *)
+    m.m_stats.policy_elided <- m.m_stats.policy_elided + 1;
+    tel_site_count m "sfence_policy_elided" site
+  | Persist.Defer_to_next_fence ->
+    m.m_stats.policy_deferred <- m.m_stats.policy_deferred + 1;
+    tel_site_count m "sfence_deferred" site
+  | Persist.Emit | Persist.Downgrade_to_clwb ->
   op_point m;
-  tel_site m "sfence" site;
   if m.m_flit then begin
     if Hashtbl.length m.m_pending_tbl = 0 then begin
       (* empty WPQ: the fence retires immediately, no drain cost *)
       tel_op m "sfence_elided" 0;
+      tel_site_count m "sfence_flit_elided" site;
       m.m_stats.sfence_elided <- m.m_stats.sfence_elided + 1;
       access_point m (-1) ~addr:(-1) ~write:false 0
     end
     else begin
       Sim.tick (Sim.costs ()).Sim.Costs.sfence;
       tel_op m "sfence" (Sim.costs ()).Sim.Costs.sfence;
+      tel_emit m "sfence" site (Sim.costs ()).Sim.Costs.sfence;
       tel_instant m "sfence";
       m.m_stats.sfence <- m.m_stats.sfence + 1;
       Hashtbl.iter
@@ -628,6 +705,7 @@ let sfence ?site m =
   else begin
     Sim.tick (Sim.costs ()).Sim.Costs.sfence;
     tel_op m "sfence" (Sim.costs ()).Sim.Costs.sfence;
+    tel_emit m "sfence" site (Sim.costs ()).Sim.Costs.sfence;
     tel_instant m "sfence";
     m.m_stats.sfence <- m.m_stats.sfence + 1;
     List.iter
@@ -642,9 +720,13 @@ let sfence ?site m =
     line dirtied by this socket is persisted (NVM) or merely cleaned
     (DRAM). Cost scales with the number of dirty lines, making this the
     expensive hammer the paper says it is. *)
-let wbinvd ?site m =
+let wbinvd ~site m =
+  match policy_action m site with
+  | Persist.Elide ->
+    m.m_stats.policy_elided <- m.m_stats.policy_elided + 1;
+    tel_site_count m "wbinvd_policy_elided" site
+  | Persist.Emit | Persist.Downgrade_to_clwb | Persist.Defer_to_next_fence ->
   op_point m;
-  tel_site m "wbinvd" site;
   let socket = Sim.socket () in
   let table = m.m_dirty_by_socket.(socket) in
   let keys = Hashtbl.fold (fun k () acc -> k :: acc) table [] in
@@ -653,6 +735,7 @@ let wbinvd ?site m =
   let cost = c.Sim.Costs.wbinvd_base + (flushed * c.Sim.Costs.wbinvd_per_line) in
   Sim.tick cost;
   tel_op m "wbinvd" cost;
+  tel_emit m "wbinvd" site cost;
   tel_instant m "wbinvd";
   m.m_stats.wbinvd <- m.m_stats.wbinvd + 1;
   m.m_stats.wbinvd_lines <- m.m_stats.wbinvd_lines + flushed;
@@ -674,9 +757,13 @@ let clean_line_flush_cost = 12
    instruction; this is what makes walking a huge address range more
    expensive than WBINVD for large structures *)
 
-let flush_arena ?site m aid =
+let flush_arena ~site m aid =
+  match policy_action m site with
+  | Persist.Elide ->
+    m.m_stats.policy_elided <- m.m_stats.policy_elided + 1;
+    tel_site_count m "flush_arena_policy_elided" site
+  | Persist.Emit | Persist.Downgrade_to_clwb | Persist.Defer_to_next_fence ->
   op_point m;
-  tel_site m "flush_arena" site;
   let arena = m.m_arenas.(aid) in
   if arena.kind <> Nvm then invalid_arg "Memory.flush_arena: not an NVM arena";
   let c = Sim.costs () in
@@ -693,6 +780,7 @@ let flush_arena ?site m aid =
     end
   done;
   tel_op m "flush_arena" !total;
+  tel_emit m "flush_arena" site !total;
   access_point m (-1) ~addr:(-1) ~write:true 0
 
 (* ---- crash and inspection (no simulated cost: harness-side) ---- *)

@@ -28,7 +28,7 @@ let get t slot = Memory.read t.mem (addr t slot)
     recoverable as soon as the call returns. *)
 let set t slot v =
   Memory.write t.mem (addr t slot) v;
-  Memory.clflush t.mem (addr t slot)
+  Memory.clflush ~site:Persist.Roots_set t.mem (addr t slot)
 
 (** Write root [slot] without persisting (caller flushes). *)
 let set_unflushed t slot v = Memory.write t.mem (addr t slot) v

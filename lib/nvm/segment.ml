@@ -132,11 +132,11 @@ let checksum ~count ~level ~min_key ~max_key ~bloom_words body =
   List.iter (fun w -> h := Memory.h2 !h w) body;
   if !h = 0 then 1 else !h
 
-let clwb_range ?site mem ~base ~words =
+let clwb_range ~site mem ~base ~words =
   let lw = Memory.line_words in
   let first = base / lw and last = (base + words - 1) / lw in
   for line = first to last do
-    Memory.clwb ?site mem (line * lw)
+    Memory.clwb ~site mem (line * lw)
   done
 
 (** Write and seal a segment at [addr] (from [Alloc.alloc_lines
@@ -163,9 +163,9 @@ let build mem ~addr ~level recs =
       Memory.write mem (rb + (2 * i)) k;
       Memory.write mem (rb + (2 * i) + 1) v)
     recs;
-  clwb_range ~site:"segment.body" mem ~base:(addr + header_words)
+  clwb_range ~site:Persist.Segment_body mem ~base:(addr + header_words)
     ~words:(bloom_words + (2 * count));
-  Memory.sfence ~site:"segment.body" mem;
+  Memory.sfence ~site:Persist.Segment_body mem;
   (* seal: the header goes durable only after the body fence above *)
   let body =
     Array.to_list bloom
@@ -180,8 +180,8 @@ let build mem ~addr ~level recs =
   Memory.write mem (addr + 6) 0;
   Memory.write mem (addr + 7) ck;
   Memory.write mem addr magic;
-  Memory.clwb ~site:"segment.seal" mem addr;
-  Memory.sfence ~site:"segment.seal" mem;
+  Memory.clwb ~site:Persist.Segment_seal mem addr;
+  Memory.sfence ~site:Persist.Segment_seal mem;
   { addr; count; level; min_key; max_key; bloom_words }
 
 (** Mount a segment from its header (charged reads, O(1)). Returns [None]

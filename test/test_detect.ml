@@ -103,7 +103,7 @@ let test_torn_announce_never_trusted () =
       Memory.write m (base + 6) 0 (* an_commit *);
       Memory.write m (base + 1) 9 (* an_op *);
       Memory.write m base 2 (* an_seq *);
-      Memory.clflush m base (* the background flush capturing mid-write *);
+      Memory.clflush ~site:Persist.Test m base (* the background flush capturing mid-write *);
       Memory.crash m;
       match Announce.announced a ~tid:0 with
       | Announce.Torn { seqno; commit } ->

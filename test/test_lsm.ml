@@ -64,8 +64,8 @@ let test_mount_rejects_unsealed () =
       let addr2 = Alloc.alloc_lines (Alloc.create_persistent mem ~home:0) 4 in
       Memory.write mem addr2 Segment.magic;
       Memory.write mem (addr2 + 1) 0 (* count = 0 *);
-      Memory.clwb mem addr2;
-      Memory.sfence mem;
+      Memory.clwb ~site:Persist.Test mem addr2;
+      Memory.sfence ~site:Persist.Test mem;
       Memory.crash mem;
       check_bool "insane header does not mount" true
         (Segment.mount mem addr2 = None))
@@ -95,8 +95,8 @@ let test_verify_condemns_partially_flushed_body () =
           (addr2 + Segment.header_words + i)
           (Memory.read mem (addr + Segment.header_words + i))
       done;
-      Memory.clwb mem addr2;
-      Memory.sfence mem;
+      Memory.clwb ~site:Persist.Test mem addr2;
+      Memory.sfence ~site:Persist.Test mem;
       Memory.crash mem;
       (match Segment.mount mem addr2 with
        | None -> Alcotest.fail "torn segment should mount (header is sane)"
@@ -226,9 +226,9 @@ let test_torn_manifest_falls_back () =
       Memory.write mem (s + 1) 11;
       Memory.write mem (s + 2) 1;
       Memory.write mem (s + 3) 999;
-      Memory.clwb mem s;
-      Memory.clwb mem (s + 3);
-      Memory.sfence mem;
+      Memory.clwb ~site:Persist.Test mem s;
+      Memory.clwb ~site:Persist.Test mem (s + 3);
+      Memory.sfence ~site:Persist.Test mem;
       Memory.crash mem;
       match Manifest.load man with
       | Some r ->

@@ -59,7 +59,7 @@ let test_clwb_alone_not_durable () =
       let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
       let a = Memory.addr_of ~aid ~offset:8 in
       Memory.write m a 77;
-      Memory.clwb m a;
+      Memory.clwb ~site:Persist.Test m a;
       (* no fence: the write-back is still pending *)
       Memory.crash m;
       check "clwb without sfence lost" 0 (Memory.peek m a))
@@ -70,8 +70,8 @@ let test_clwb_sfence_durable () =
       let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
       let a = Memory.addr_of ~aid ~offset:8 in
       Memory.write m a 77;
-      Memory.clwb m a;
-      Memory.sfence m;
+      Memory.clwb ~site:Persist.Test m a;
+      Memory.sfence ~site:Persist.Test m;
       Memory.crash m;
       check "durable" 77 (Memory.peek m a))
 
@@ -81,7 +81,7 @@ let test_clflush_durable_immediately () =
       let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
       let a = Memory.addr_of ~aid ~offset:8 in
       Memory.write m a 42;
-      Memory.clflush m a;
+      Memory.clflush ~site:Persist.Test m a;
       Memory.crash m;
       check "durable" 42 (Memory.peek m a))
 
@@ -91,10 +91,10 @@ let test_clwb_captures_at_call_time () =
       let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
       let a = Memory.addr_of ~aid ~offset:8 in
       Memory.write m a 1;
-      Memory.clwb m a;
+      Memory.clwb ~site:Persist.Test m a;
       Memory.write m a 2;
       (* second write re-dirties the line after the clwb captured value 1 *)
-      Memory.sfence m;
+      Memory.sfence ~site:Persist.Test m;
       Memory.crash m;
       check "fence persists captured value" 1 (Memory.peek m a))
 
@@ -106,7 +106,7 @@ let test_whole_line_flushed () =
       (* two words on the same 8-word line *)
       Memory.write m base 5;
       Memory.write m (base + 3) 6;
-      Memory.clflush m base;
+      Memory.clflush ~site:Persist.Test m base;
       Memory.crash m;
       check "word 0" 5 (Memory.peek m base);
       check "word 3 same line" 6 (Memory.peek m (base + 3)))
@@ -123,7 +123,7 @@ let test_wbinvd_flushes_own_socket_only () =
     (Sim.spawn sim ~socket:1 (fun () ->
          Memory.write m a1 20;
          Sim.tick 10_000 (* let socket 0's write land first *);
-         Memory.wbinvd m));
+         Memory.wbinvd ~site:Persist.Test m));
   (match Sim.run sim () with `Done -> () | `Cut _ -> Alcotest.fail "cut");
   Memory.crash m;
   check "other socket's line not flushed" 0 (Memory.peek m a0);
@@ -164,7 +164,7 @@ let test_crash_resets_coherent_view_to_media () =
       let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
       let a = Memory.addr_of ~aid ~offset:8 in
       Memory.write m a 1;
-      Memory.clflush m a;
+      Memory.clflush ~site:Persist.Test m a;
       Memory.write m a 2 (* newer, unflushed *);
       check "coherent view sees 2" 2 (Memory.read m a);
       Memory.crash m;
@@ -177,8 +177,8 @@ let test_flush_arena () =
       for i = 1 to 100 do
         Memory.write m (Memory.addr_of ~aid ~offset:(8 * i)) i
       done;
-      Memory.flush_arena m aid;
-      Memory.sfence m;
+      Memory.flush_arena ~site:Persist.Test m aid;
+      Memory.sfence ~site:Persist.Test m;
       Memory.crash m;
       let ok = ref true in
       for i = 1 to 100 do
@@ -229,7 +229,7 @@ let test_persistent_alloc_addresses_survive () =
       let al = Alloc.create_persistent m ~home:0 in
       let a = Alloc.alloc al 4 in
       Memory.write m a 31337;
-      Memory.clflush m a;
+      Memory.clflush ~site:Persist.Test m a;
       Memory.crash m;
       check "persistent data still at same address" 31337 (Memory.peek m a))
 
@@ -323,13 +323,13 @@ let test_flit_clean_clwb_elided () =
       let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
       let a = Memory.addr_of ~aid ~offset:8 in
       Memory.write m a 42;
-      Memory.clwb m a;
-      Memory.sfence m;
+      Memory.clwb ~site:Persist.Test m a;
+      Memory.sfence ~site:Persist.Test m;
       let s = Memory.stats m in
       check "first clwb issued" 1 s.Memory.clwb;
       let media_before = Array.init 8 (fun i -> Memory.peek_media m (a - (a mod 8) + i)) in
       let t0 = Sim.now () in
-      Memory.clwb m a;
+      Memory.clwb ~site:Persist.Test m a;
       let dt = Sim.now () - t0 in
       let media_after = Array.init 8 (fun i -> Memory.peek_media m (a - (a mod 8) + i)) in
       check "clwb on clean line elided" 1 s.Memory.clwb_elided;
@@ -345,13 +345,13 @@ let test_flit_clwb_coalesces () =
       let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
       let a = Memory.addr_of ~aid ~offset:8 in
       Memory.write m a 1;
-      Memory.clwb m a;
+      Memory.clwb ~site:Persist.Test m a;
       Memory.write m a 2;
-      Memory.clwb m a;
+      Memory.clwb ~site:Persist.Test m a;
       let s = Memory.stats m in
       check "one real write-back" 1 s.Memory.clwb;
       check "second coalesced into WPQ entry" 1 s.Memory.clwb_coalesced;
-      Memory.sfence m;
+      Memory.sfence ~site:Persist.Test m;
       Memory.crash m;
       check "newest capture wins" 2 (Memory.peek m a))
 
@@ -361,14 +361,14 @@ let test_flit_empty_sfence_free () =
       let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
       let a = Memory.addr_of ~aid ~offset:8 in
       let t0 = Sim.now () in
-      Memory.sfence m;
+      Memory.sfence ~site:Persist.Test m;
       check "empty WPQ: no drain cost" 0 (Sim.now () - t0);
       check "counted as elided" 1 (Memory.stats m).Memory.sfence_elided;
       (* a fence with work still pays *)
       Memory.write m a 9;
-      Memory.clwb m a;
+      Memory.clwb ~site:Persist.Test m a;
       let t1 = Sim.now () in
-      Memory.sfence m;
+      Memory.sfence ~site:Persist.Test m;
       check_bool "non-empty WPQ charges" true (Sim.now () - t1 > 0);
       check "real fence counted" 1 (Memory.stats m).Memory.sfence)
 
@@ -378,8 +378,8 @@ let test_flit_clflush_elided_when_persisted () =
       let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
       let a = Memory.addr_of ~aid ~offset:8 in
       Memory.write m a 5;
-      Memory.clflush m a;
-      Memory.clflush m a;
+      Memory.clflush ~site:Persist.Test m a;
+      Memory.clflush ~site:Persist.Test m a;
       let s = Memory.stats m in
       check "one real clflush" 1 s.Memory.clflush;
       check "second elided" 1 s.Memory.clflush_elided;
@@ -395,10 +395,10 @@ let test_flit_no_stale_writeback_regression () =
       let aid = Memory.new_arena m ~kind:Memory.Nvm ~home:0 in
       let a = Memory.addr_of ~aid ~offset:8 in
       Memory.write m a 1;
-      Memory.clwb m a;
+      Memory.clwb ~site:Persist.Test m a;
       Memory.write m a 2;
-      Memory.clflush m a;
-      Memory.sfence m;
+      Memory.clflush ~site:Persist.Test m a;
+      Memory.sfence ~site:Persist.Test m;
       Memory.crash m;
       check "media not regressed to stale capture" 2 (Memory.peek m a))
 
@@ -425,9 +425,9 @@ let prop_flit_media_matches_baseline =
                 List.iter (fun (off, v) -> Memory.write m (addr off) v) writes;
                 let reps = if dup_clwb then 2 else 1 in
                 for _ = 1 to reps do
-                  List.iter (fun (off, _) -> Memory.clwb m (addr off)) writes
+                  List.iter (fun (off, _) -> Memory.clwb ~site:Persist.Test m (addr off)) writes
                 done;
-                if fence then Memory.sfence m)
+                if fence then Memory.sfence ~site:Persist.Test m)
               rounds;
             Memory.crash m;
             let media =
@@ -463,9 +463,9 @@ let prop_flushed_equals_peek =
             writes;
           List.iter
             (fun (off, _) ->
-              Memory.clwb m (Memory.addr_of ~aid ~offset:(off + 8)))
+              Memory.clwb ~site:Persist.Test m (Memory.addr_of ~aid ~offset:(off + 8)))
             writes;
-          Memory.sfence m;
+          Memory.sfence ~site:Persist.Test m;
           let expected =
             List.map
               (fun (off, _) -> Memory.peek m (Memory.addr_of ~aid ~offset:(off + 8)))
